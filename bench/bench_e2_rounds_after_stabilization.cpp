@@ -1,0 +1,63 @@
+// E2 — Section 5.4 + Theorem 3: rounds needed after the failure detector
+// stabilizes.
+//
+// Paper's claim: with the leader-election capability of ◇C the algorithm
+// decides in ONE round once the detector is stable, whatever process the
+// detector elected; any rotating-coordinator ◇S algorithm has runs needing
+// up to n extra rounds, because it must grind through rounds whose
+// coordinators are still suspected until rotation reaches the
+// never-suspected process.
+//
+// We use the Theorem 3 adversarial ◇S/◇C detector: stable from t=0,
+// suspecting everyone except the leader p_k, and sweep k.
+
+#include "consensus/harness.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace ecfd;
+using namespace ecfd::consensus;
+
+HarnessResult run(Algo algo, int n, ProcessId leader, std::uint64_t seed) {
+  HarnessConfig cfg;
+  cfg.scenario.n = n;
+  cfg.scenario.seed = seed;
+  cfg.scenario.links = LinkKind::kPartialSync;
+  cfg.scenario.gst = 0;
+  cfg.scenario.delta = msec(5);
+  cfg.algo = algo;
+  cfg.fd = FdStack::kScriptedStable;
+  cfg.fd_stable_at = 0;
+  cfg.scripted_ewa_only = true;
+  cfg.scripted_leader = leader;
+  cfg.horizon = sec(60);
+  return run_consensus(cfg);
+}
+
+}  // namespace
+
+int main() {
+  ecfd::bench::section("E2: decision round vs leader position (Theorem 3)");
+  std::cout << "Adversarial stable ◇S: everyone suspects everyone except "
+               "the leader p_k.\nPaper: ecfd-C decides in round 1 for every "
+               "k; rotating CT needs ~k+1 rounds (Omega(n) worst case).\n";
+
+  const int n = 9;
+  ecfd::bench::Table table({"leader_k", "C_round", "C_time_ms", "CT_round",
+                            "CT_time_ms"});
+  table.print_header();
+  int ct_worst = 0;
+  for (ProcessId k = 0; k < n; ++k) {
+    const HarnessResult c = run(Algo::kEcfdC, n, k, 2000 + k);
+    const HarnessResult ct = run(Algo::kChandraTouegS, n, k, 3000 + k);
+    ct_worst = std::max(ct_worst, ct.min_decision_round);
+    table.print_row(static_cast<int>(k), c.min_decision_round,
+                    static_cast<double>(c.last_decision_at) / 1000.0,
+                    ct.min_decision_round,
+                    static_cast<double>(ct.last_decision_at) / 1000.0);
+  }
+  std::cout << "\nCT worst case over leader positions: " << ct_worst
+            << " rounds (paper: Omega(n), here n=" << n << ").\n";
+  return 0;
+}

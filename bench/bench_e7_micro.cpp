@@ -1,0 +1,81 @@
+// E7 — engineering microbenchmarks (google-benchmark): simulator kernel
+// throughput and end-to-end protocol runs. Not a paper table; documents
+// that the substrate is fast enough to make the E1-E6 sweeps cheap.
+
+#include <benchmark/benchmark.h>
+
+#include "consensus/harness.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "net/scenario.hpp"
+#include "sim/event_queue.hpp"
+
+namespace {
+
+using namespace ecfd;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.schedule(i % 97, [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_ProcessSetOps(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ProcessSet a(n), b(n);
+  for (int i = 0; i < n; i += 3) a.add(i);
+  for (int i = 0; i < n; i += 2) b.add(i);
+  for (auto _ : state) {
+    ProcessSet u = a | b;
+    benchmark::DoNotOptimize(u.size());
+    benchmark::DoNotOptimize(u.first_excluded());
+  }
+}
+BENCHMARK(BM_ProcessSetOps)->Arg(16)->Arg(128);
+
+void BM_HeartbeatSecondOfSimTime(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ScenarioConfig cfg;
+    cfg.n = n;
+    cfg.seed = 7;
+    cfg.links = LinkKind::kPartialSync;
+    cfg.gst = 0;
+    auto sys = make_system(cfg);
+    for (ProcessId p = 0; p < n; ++p) sys->host(p).emplace<fd::HeartbeatP>();
+    sys->start();
+    sys->run_until(sec(1));
+    benchmark::DoNotOptimize(sys->network().sent_total());
+  }
+}
+BENCHMARK(BM_HeartbeatSecondOfSimTime)->Arg(4)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+void BM_ConsensusEndToEnd(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    consensus::HarnessConfig cfg;
+    cfg.scenario.n = n;
+    cfg.scenario.seed = seed++;
+    cfg.scenario.links = LinkKind::kPartialSync;
+    cfg.scenario.gst = 0;
+    cfg.algo = consensus::Algo::kEcfdC;
+    cfg.fd = consensus::FdStack::kScriptedStable;
+    cfg.fd_stable_at = 0;
+    auto r = consensus::run_consensus(cfg);
+    if (!r.every_correct_decided) state.SkipWithError("did not decide");
+    benchmark::DoNotOptimize(r.consensus_msgs);
+  }
+  state.SetLabel("one full ◇C consensus instance");
+}
+BENCHMARK(BM_ConsensusEndToEnd)->Arg(5)->Arg(9)->Arg(17)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// E8 — Section 2.2's observation, quantified:
+//
+//   "usually it is not necessary for the failure detector to reach
+//    permanent stability to be useful. Instead, many algorithms can
+//    successfully complete if the failure detector provides a unique
+//    leader for long enough periods of time."
+//
+// The scripted ◇C detector here alternates between a stable window of
+// width W (common leader p0, accurate suspicions) and an equally long
+// chaos window (every process trusts itself and suspects everyone else).
+// We sweep W and report how often, and how fast, the ◇C-consensus decides
+// — the crossover locates "long enough" for this network (delta = 5ms,
+// a decision needs ~4 message delays plus the poll cadence).
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "core/consensus_c.hpp"
+#include "core/ecfd_compose.hpp"
+#include "fd/scripted_fd.hpp"
+#include "net/scenario.hpp"
+#include "table.hpp"
+
+namespace {
+
+using namespace ecfd;
+
+/// Builds the alternating script for one process: stable on
+/// [2kW, (2k+1)W), chaos on [(2k+1)W, (2k+2)W).
+std::vector<fd::ScriptedFd::Step> alternating_script(int n, ProcessId self,
+                                                     DurUs window,
+                                                     TimeUs horizon) {
+  std::vector<fd::ScriptedFd::Step> steps;
+  ProcessSet none(n);
+  ProcessSet all_but_self = ProcessSet::full(n);
+  all_but_self.remove(self);
+  for (TimeUs t = 0; t < horizon; t += 2 * window) {
+    steps.push_back({t, none, 0});                       // stable
+    steps.push_back({t + window, all_but_self, self});   // chaos
+  }
+  return steps;
+}
+
+struct Outcome {
+  int decided{0};
+  double mean_ms{0};
+};
+
+Outcome run_window(int n, DurUs window, int seeds) {
+  Outcome out;
+  for (std::uint64_t s = 0; s < static_cast<std::uint64_t>(seeds); ++s) {
+    ScenarioConfig sc;
+    sc.n = n;
+    sc.seed = 900 + s;
+    sc.links = LinkKind::kPartialSync;
+    sc.gst = 0;
+    sc.delta = msec(5);
+    auto sys = make_system(sc);
+    const TimeUs horizon = sec(5);
+
+    std::vector<std::shared_ptr<void>> keepalive;
+    std::vector<core::ConsensusC*> cons;
+    for (ProcessId p = 0; p < n; ++p) {
+      auto& scripted = sys->host(p).emplace<fd::ScriptedFd>(
+          alternating_script(n, p, window, horizon));
+      auto oracle =
+          std::make_shared<core::EcfdFromSAndOmega>(&scripted, &scripted);
+      keepalive.push_back(oracle);
+      auto& rb = sys->host(p).emplace<broadcast::ReliableBroadcast>();
+      cons.push_back(&sys->host(p).emplace<core::ConsensusC>(oracle.get(), &rb));
+    }
+    sys->start();
+    for (ProcessId p = 0; p < n; ++p) cons[static_cast<std::size_t>(p)]->propose(100 + p);
+    sys->run_until(horizon);
+
+    bool all = true;
+    TimeUs last = 0;
+    for (auto* c : cons) {
+      if (!c->has_decided()) {
+        all = false;
+        break;
+      }
+      last = std::max(last, c->decision()->at);
+    }
+    if (all) {
+      ++out.decided;
+      out.mean_ms += static_cast<double>(last) / 1000.0;
+    }
+  }
+  if (out.decided > 0) out.mean_ms /= out.decided;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  ecfd::bench::section(
+      "E8: decision vs leader-stability window (Sec. 2.2 remark)");
+  std::cout << "◇C detector alternates stable/chaos windows of width W; "
+               "delta=5ms, n=5, 8 seeds, 5s horizon.\nA round needs ~4 "
+               "message delays, so W well above ~20ms should suffice and "
+               "tiny windows should not.\n";
+
+  ecfd::bench::Table table({"window_ms", "decided", "mean_decide_ms"}, 16);
+  table.print_header();
+  const int seeds = 8;
+  for (DurUs w : {msec(2), msec(5), msec(10), msec(20), msec(40), msec(80),
+                  msec(160)}) {
+    const Outcome o = run_window(5, w, seeds);
+    table.print_row(static_cast<double>(w) / 1000.0,
+                    std::to_string(o.decided) + "/" + std::to_string(seeds),
+                    o.mean_ms);
+  }
+  std::cout << "\nShape check: decisions appear once the stable window "
+               "exceeds a few round-trips and become universal shortly "
+               "after — permanent stability is NOT required.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Minimal fixed-width table printer shared by the experiment binaries, so
+/// every bench emits its results in the same readable layout.
+
+namespace ecfd::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void print_header() const {
+    for (const auto& h : headers_) {
+      std::cout << std::setw(width_) << h;
+    }
+    std::cout << '\n';
+    std::cout << std::string(headers_.size() * static_cast<std::size_t>(width_), '-')
+              << '\n';
+  }
+
+  template <class... Cells>
+  void print_row(const Cells&... cells) const {
+    (print_cell(cells), ...);
+    std::cout << '\n';
+  }
+
+ private:
+  template <class T>
+  void print_cell(const T& value) const {
+    std::ostringstream os;
+    if constexpr (std::is_floating_point_v<T>) {
+      os << std::fixed << std::setprecision(1) << value;
+    } else {
+      os << value;
+    }
+    std::cout << std::setw(width_) << os.str();
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+}  // namespace ecfd::bench

@@ -1,0 +1,127 @@
+// Side-by-side comparison of the failure-detector implementations:
+//
+//   heartbeat ◇P     — all-to-all, n(n-1) msgs/period, fast detection
+//   ring ◇S/◇P       — 2n msgs/period, detection propagates around the ring
+//   leader-candidate — Omega only, (n-1) msgs/period in steady state
+//   ◇C→◇P (Fig. 2)   — 2(n-1) msgs/period, leader-centred
+//
+// One process crashes mid-run; the program prints, for each detector, when
+// each survivor started suspecting it, plus the total message bill.
+//
+// Build & run:  ./build/examples/fd_comparison
+
+#include <iomanip>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/c_to_p.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "fd/leader_candidate.hpp"
+#include "fd/ring_fd.hpp"
+#include "net/scenario.hpp"
+
+using namespace ecfd;
+
+namespace {
+
+constexpr int kN = 8;
+constexpr ProcessId kVictim = 4;
+constexpr TimeUs kCrashAt = sec(1);
+
+struct RunResult {
+  std::vector<DurUs> suspect_delay_ms;  // per survivor, -1 = never
+  std::int64_t messages{};
+};
+
+template <class InstallFn>
+RunResult run_detector(InstallFn install, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = kN;
+  cfg.seed = seed;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = msec(150);
+  cfg.delta = msec(5);
+  auto sys = make_system(cfg);
+
+  std::vector<const SuspectOracle*> oracles(kN, nullptr);
+  install(*sys, oracles);
+  sys->crash_at(kVictim, kCrashAt);
+  sys->start();
+
+  RunResult out;
+  out.suspect_delay_ms.assign(kN, -1);
+  const TimeUs end = kCrashAt + sec(5);
+  while (sys->now() < end) {
+    sys->run_for(msec(1));
+    if (sys->now() <= kCrashAt) continue;
+    for (ProcessId p = 0; p < kN; ++p) {
+      if (p == kVictim || out.suspect_delay_ms[p] >= 0) continue;
+      if (oracles[p] != nullptr &&
+          oracles[p]->suspected().contains(kVictim)) {
+        out.suspect_delay_ms[p] = (sys->now() - kCrashAt) / 1000;
+      }
+    }
+  }
+  out.messages = sys->network().sent_total();
+  return out;
+}
+
+void print_row(const char* name, const RunResult& r) {
+  std::cout << std::setw(14) << name << " |";
+  for (ProcessId p = 0; p < kN; ++p) {
+    if (p == kVictim) {
+      std::cout << std::setw(6) << "X";
+    } else if (r.suspect_delay_ms[p] < 0) {
+      std::cout << std::setw(6) << "-";
+    } else {
+      std::cout << std::setw(6) << r.suspect_delay_ms[p];
+    }
+  }
+  std::cout << " | " << std::setw(8) << r.messages << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "p" << kVictim << " crashes at t=1s. Cells: ms from crash "
+            << "until that process suspects it.\n\n";
+  std::cout << std::setw(14) << "detector" << " |";
+  for (ProcessId p = 0; p < kN; ++p) std::cout << std::setw(6) << ("p" + std::to_string(p));
+  std::cout << " | " << std::setw(8) << "msgs" << '\n';
+  std::cout << std::string(14 + 2 + 6 * kN + 3 + 8, '-') << '\n';
+
+  print_row("heartbeat-P",
+            run_detector(
+                [](System& sys, std::vector<const SuspectOracle*>& out) {
+                  for (ProcessId p = 0; p < kN; ++p) {
+                    out[p] = &sys.host(p).emplace<fd::HeartbeatP>();
+                  }
+                },
+                1));
+
+  print_row("ring",
+            run_detector(
+                [](System& sys, std::vector<const SuspectOracle*>& out) {
+                  for (ProcessId p = 0; p < kN; ++p) {
+                    out[p] = &sys.host(p).emplace<fd::RingFd>();
+                  }
+                },
+                2));
+
+  print_row("ctp(Fig.2)",
+            run_detector(
+                [](System& sys, std::vector<const SuspectOracle*>& out) {
+                  for (ProcessId p = 0; p < kN; ++p) {
+                    auto& omega = sys.host(p).emplace<fd::LeaderCandidate>();
+                    out[p] = &sys.host(p).emplace<core::CToP>(&omega);
+                  }
+                },
+                3));
+
+  std::cout << "\nNote the ring's staircase: suspicion reaches neighbours "
+               "first and propagates hop-by-hop, while heartbeat-P and the "
+               "Fig.2 transformation inform everyone almost simultaneously "
+               "— at very different message bills.\n";
+  return 0;
+}

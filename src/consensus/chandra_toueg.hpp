@@ -1,0 +1,129 @@
+#pragma once
+
+#include <map>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "consensus/consensus.hpp"
+#include "fd/oracle.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file chandra_toueg.hpp
+/// The Chandra-Toueg ◇S consensus algorithm ([6]) — the rotating-
+/// coordinator baseline the paper compares against (Sections 5.2-5.4).
+/// Requires f < n/2 and reliable links.
+///
+/// Rounds are 1-based; the coordinator of round r is p_{(r-1) mod n}
+/// (the rotating coordinator paradigm). Each round has four phases:
+///   Phase 1 — everyone sends its timestamped estimate to the coordinator;
+///   Phase 2 — the coordinator waits for the FIRST majority of estimates,
+///             picks one with the largest timestamp, proposes it to all;
+///   Phase 3 — everyone waits for the proposition or for the coordinator
+///             to become suspected; it acks (adopting the value) or nacks;
+///   Phase 4 — the coordinator waits for the FIRST majority of ack/nacks
+///             and R-broadcasts `decide` only if ALL of them are acks —
+///             one single negative reply blocks the round, which is the
+///             behaviour the paper's Phase 2/4 waiting rule improves on.
+///
+/// Decisions propagate by Reliable Broadcast. The per-round message count
+/// is about 3n and, per Theorem 3, a run may need up to n extra rounds
+/// after the detector stabilizes before the never-suspected process gets
+/// its turn as coordinator.
+
+namespace ecfd::consensus {
+
+class ChandraTouegConsensus final : public ConsensusProtocol {
+ public:
+  struct Config {
+    DurUs poll_period{msec(2)};
+    int max_rounds{0};  ///< 0 = unlimited
+  };
+
+  ChandraTouegConsensus(Env& env, const SuspectOracle* fd,
+                        broadcast::ReliableBroadcast* rb);
+  ChandraTouegConsensus(Env& env, const SuspectOracle* fd,
+                        broadcast::ReliableBroadcast* rb, Config cfg);
+
+  void start() override;
+  void propose(Value v) override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] int current_round() const override { return round_; }
+  [[nodiscard]] bool gave_up() const { return gave_up_; }
+
+  /// Coordinator of round r under rotation.
+  [[nodiscard]] ProcessId coordinator_of(int r) const {
+    return (r - 1) % env_.n();
+  }
+
+ private:
+  enum MsgType {
+    kEstimate = 1,
+    kPropose = 2,
+    kAck = 3,
+    kNack = 4,
+  };
+
+  struct EstimateBody {
+    int round{};
+    Value value{};
+    int ts{};
+  };
+  struct ProposeBody {
+    int round{};
+    Value value{};
+  };
+  struct RoundOnly {
+    int round{};
+  };
+  struct DecideBody {
+    int round{};
+    Value value{};
+  };
+
+  struct EstimateTally {
+    int total{0};
+    Value best{};
+    int best_ts{-1};
+    ProcessSet responders;
+  };
+  struct AckTally {
+    int acks{0};
+    int nacks{0};
+    ProcessSet responders;
+  };
+
+  [[nodiscard]] int majority() const { return env_.n() / 2 + 1; }
+
+  void on_rb_deliver(const broadcast::RbEnvelope& e);
+  void poll();
+  void step();
+  bool step_once();
+  void enter_round(int r);
+  void begin_round_one();
+  void halt() { halted_ = true; }
+
+  Config cfg_;
+  const SuspectOracle* fd_;
+  broadcast::ReliableBroadcast* rb_;
+
+  bool proposed_{false};
+  bool started_{false};
+  bool halted_{false};
+  bool gave_up_{false};
+
+  Value estimate_{};
+  int ts_{0};
+
+  int round_{0};
+  int phase_{0};
+  bool is_coordinator_{false};
+
+  std::map<int, EstimateTally> estimates_;
+  std::map<int, AckTally> acks_;
+  std::map<int, ProposeBody> proposals_;  ///< proposition per round (if any)
+  /// Messages that arrived before propose(); replayed when round 1 starts
+  /// (a faster coordinator's one-shot proposition must not be lost).
+  std::vector<Message> pre_propose_buffer_;
+};
+
+}  // namespace ecfd::consensus

@@ -1,0 +1,15 @@
+#include "consensus/consensus.hpp"
+
+#include <sstream>
+
+namespace ecfd::consensus {
+
+/// Renders a decision for logs and test failure messages.
+std::string to_string(const Decision& d) {
+  std::ostringstream os;
+  os << "decide(" << d.value << ") in round " << d.round << " at " << d.at
+     << "us";
+  return os.str();
+}
+
+}  // namespace ecfd::consensus

@@ -1,0 +1,34 @@
+#include "consensus/mr_omega.hpp"
+
+namespace ecfd::consensus {
+
+namespace {
+
+core::ConsensusC::Config inner_config(const MrOmegaConsensus::Config& cfg) {
+  core::ConsensusC::Config out;
+  out.policy = core::ReplyPolicy::kNMinusF;
+  out.f = cfg.f;
+  out.merged_phase01 = true;
+  out.poll_period = cfg.poll_period;
+  out.max_rounds = cfg.max_rounds;
+  return out;
+}
+
+}  // namespace
+
+MrOmegaConsensus::MrOmegaConsensus(Env& env, const LeaderOracle* omega,
+                                   broadcast::ReliableBroadcast* rb)
+    : MrOmegaConsensus(env, omega, rb, Config{}) {}
+
+MrOmegaConsensus::MrOmegaConsensus(Env& env, const LeaderOracle* omega,
+                                   broadcast::ReliableBroadcast* rb,
+                                   Config cfg)
+    : ConsensusProtocol(env, protocol_ids::kConsensusMR),
+      adapter_(env.n(), env.self(), omega),
+      inner_(env, &adapter_, rb, inner_config(cfg),
+             protocol_ids::kConsensusMR) {
+  // Surface the inner engine's decision through this wrapper's interface.
+  inner_.set_on_decide([this](const Decision& d) { decide(d.value, d.round); });
+}
+
+}  // namespace ecfd::consensus

@@ -1,0 +1,5 @@
+#include "core/ecfd_compose.hpp"
+
+// The Section 3 constructions are query-time adapters and fully defined in
+// the header; this translation unit exists to hold their emitted symbols
+// in the library.

@@ -1,0 +1,110 @@
+#pragma once
+
+#include "core/ecfd_oracle.hpp"
+#include "fd/leader_candidate.hpp"
+#include "fd/ring_fd.hpp"
+
+/// \file ecfd_compose.hpp
+/// The constructions of Section 3: building a ◇C detector from detectors
+/// of the other classes. All of these are local (query-time) adapters —
+/// they exchange no messages of their own, which is the point the paper
+/// makes: ◇C costs no more than the detectors it is derived from.
+
+namespace ecfd::core {
+
+/// ◇C from Omega (the paper's trivial construction): trusted is the Omega
+/// output; suspected is everyone except the trusted process. Correct but
+/// with the worst possible accuracy — this is exactly what an algorithm
+/// restricted to Omega information must assume, and is how we model the
+/// Mostefaoui-Raynal baseline's knowledge.
+class EcfdFromOmega final : public EcfdOracle {
+ public:
+  EcfdFromOmega(int n, ProcessId self, const LeaderOracle* omega)
+      : n_(n), self_(self), omega_(omega) {}
+
+  [[nodiscard]] ProcessSet suspected() const override {
+    ProcessSet s = ProcessSet::full(n_);
+    s.remove(omega_->trusted());
+    s.remove(self_);
+    return s;
+  }
+  [[nodiscard]] ProcessId trusted() const override {
+    return omega_->trusted();
+  }
+
+ private:
+  int n_;
+  ProcessId self_;
+  const LeaderOracle* omega_;
+};
+
+/// ◇C from ◇P: suspected is the ◇P set; trusted is the first process (in
+/// the total order p0 < p1 < ...) not in it. Since ◇P sets converge to
+/// exactly the crashed set at every correct process, the trusted outputs
+/// converge to the first correct process.
+class EcfdFromP final : public EcfdOracle {
+ public:
+  explicit EcfdFromP(const SuspectOracle* p) : p_(p) {}
+
+  [[nodiscard]] ProcessSet suspected() const override {
+    return p_->suspected();
+  }
+  [[nodiscard]] ProcessId trusted() const override {
+    const ProcessSet s = p_->suspected();
+    const ProcessId first = s.first_excluded();
+    return first == kNoProcess ? 0 : first;
+  }
+
+ private:
+  const SuspectOracle* p_;
+};
+
+/// ◇C from an arbitrary ◇S plus an Omega detector (e.g. the Chu-style
+/// reduction of fd/omega_from_s.hpp run on top of the same ◇S).
+///
+/// The two ingredients are independent, so clause 3 of Definition 1
+/// (eventually trusted ∉ suspected) does not follow automatically: this
+/// adapter enforces it by erasing the currently trusted process from the
+/// reported suspected set. That cannot break strong completeness, because
+/// the Omega output eventually stabilizes on a *correct* process, after
+/// which no crashed process is ever erased again.
+class EcfdFromSAndOmega final : public EcfdOracle {
+ public:
+  EcfdFromSAndOmega(const SuspectOracle* s, const LeaderOracle* omega)
+      : s_(s), omega_(omega) {}
+
+  [[nodiscard]] ProcessSet suspected() const override {
+    ProcessSet out = s_->suspected();
+    out.remove(omega_->trusted());
+    return out;
+  }
+  [[nodiscard]] ProcessId trusted() const override {
+    return omega_->trusted();
+  }
+
+ private:
+  const SuspectOracle* s_;
+  const LeaderOracle* omega_;
+};
+
+/// ◇C from the ring detector at no additional cost (the paper's §3
+/// highlight): the ring algorithm already guarantees that the first
+/// non-suspected process in ring order converges, at every correct
+/// process, to the same correct process — so its own two outputs already
+/// satisfy Definition 1 and this adapter merely forwards them.
+class EcfdFromRing final : public EcfdOracle {
+ public:
+  explicit EcfdFromRing(const fd::RingFd* ring) : ring_(ring) {}
+
+  [[nodiscard]] ProcessSet suspected() const override {
+    return ring_->suspected();
+  }
+  [[nodiscard]] ProcessId trusted() const override {
+    return ring_->trusted();
+  }
+
+ private:
+  const fd::RingFd* ring_;
+};
+
+}  // namespace ecfd::core

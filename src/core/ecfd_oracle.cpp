@@ -1,0 +1,7 @@
+#include "core/ecfd_oracle.hpp"
+
+namespace ecfd::core {
+
+EcfdOracle::~EcfdOracle() = default;
+
+}  // namespace ecfd::core

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "fd/oracle.hpp"
+
+/// \file ecfd_oracle.hpp
+/// The Eventually Consistent failure detector interface — the paper's
+/// central definition.
+///
+/// Definition 1: a failure detector D belongs to class ◇C if it provides
+/// every process p with a suspected set D.suspected_p and one trusted
+/// process D.trusted_p such that
+///   1. the sets satisfy strong completeness and eventual weak accuracy
+///      (like ◇S),
+///   2. the trusted processes satisfy Property 1 — there is a time after
+///      which every correct process permanently trusts the same correct
+///      process (like Omega), and
+///   3. there is a time after which trusted_p ∉ suspected_p.
+///
+/// A ◇C detector is therefore a ◇S detector enhanced with an eventual
+/// leader-election capability; unlike Omega alone it does not force all
+/// processes but one to be suspected, so it can offer much better accuracy.
+
+namespace ecfd::core {
+
+/// Local ◇C module: both query interfaces at once.
+class EcfdOracle : public SuspectOracle, public LeaderOracle {
+ public:
+  ~EcfdOracle() override;
+};
+
+}  // namespace ecfd::core

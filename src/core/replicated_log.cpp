@@ -1,0 +1,76 @@
+#include "core/replicated_log.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecfd::core {
+
+LogReplica::LogReplica(ProcessHost& host, const EcfdOracle* fd)
+    : LogReplica(host, fd, Config{}) {}
+
+LogReplica::LogReplica(ProcessHost& host, const EcfdOracle* fd, Config cfg)
+    : cfg_(cfg), decided_(static_cast<std::size_t>(cfg.capacity)) {
+  assert(cfg_.capacity > 0);
+  slots_.reserve(static_cast<std::size_t>(cfg_.capacity));
+  ConsensusC::Config slot_cfg = cfg_.consensus;
+  slot_cfg.deprioritized = kNoOpCommand;  // real commands win ties
+  for (int k = 0; k < cfg_.capacity; ++k) {
+    auto& rb = host.emplace<broadcast::ReliableBroadcast>(
+        cfg_.protocol_base + 2 * k + 1);
+    auto& cons = host.emplace<ConsensusC>(fd, &rb, slot_cfg,
+                                          cfg_.protocol_base + 2 * k);
+    cons.set_on_decide([this, k](const consensus::Decision& d) {
+      on_slot_decided(k, d);
+    });
+    slots_.push_back(&cons);
+  }
+  // Kick slot 0 so the pipeline runs even if nothing is ever submitted
+  // (other replicas' slots need our participation).
+  propose_next();
+}
+
+void LogReplica::submit(consensus::Value command) {
+  assert(command != kNoOpCommand);
+  pending_.push_back(command);
+}
+
+void LogReplica::propose_next() {
+  while (next_proposal_slot_ < cfg_.capacity &&
+         (next_proposal_slot_ == 0 ||
+          decided_[static_cast<std::size_t>(next_proposal_slot_ - 1)]
+              .has_value())) {
+    const consensus::Value v =
+        pending_.empty() ? kNoOpCommand : pending_.front();
+    slots_[static_cast<std::size_t>(next_proposal_slot_)]->propose(v);
+    ++next_proposal_slot_;
+  }
+}
+
+void LogReplica::on_slot_decided(int slot, const consensus::Decision& d) {
+  auto& cell = decided_[static_cast<std::size_t>(slot)];
+  if (cell.has_value()) return;
+  cell = d;
+
+  // Retire our oldest pending command if it is the one that won.
+  if (!pending_.empty() && d.value == pending_.front()) {
+    pending_.erase(pending_.begin());
+  }
+
+  // Apply strictly in slot order; decisions can be learned out of order
+  // when a later slot's reliable broadcast overtakes an earlier one.
+  while (applied_upto_ < cfg_.capacity &&
+         decided_[static_cast<std::size_t>(applied_upto_)].has_value()) {
+    const consensus::Decision& dd =
+        *decided_[static_cast<std::size_t>(applied_upto_)];
+    if (dd.value != kNoOpCommand) {
+      Entry e{dd.value, applied_upto_, dd.at};
+      log_.push_back(e);
+      if (apply_) apply_(e);
+    }
+    ++applied_upto_;
+  }
+
+  propose_next();
+}
+
+}  // namespace ecfd::core

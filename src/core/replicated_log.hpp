@@ -1,0 +1,98 @@
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "core/consensus_c.hpp"
+#include "net/process_host.hpp"
+
+/// \file replicated_log.hpp
+/// State-machine replication on repeated instances of the paper's
+/// ◇C-consensus: the canonical application that motivates consensus
+/// (Section 1.2). Each log slot is one independent instance of the
+/// Figs. 3-4 algorithm; all replicas apply the slot decisions in slot
+/// order, so their logs are identical.
+///
+/// Liveness requires every replica to participate in every slot (a
+/// coordinator waits for a reply from every unsuspected process), so a
+/// replica with nothing to say proposes a no-op — the classic Multi-Paxos
+/// idiom. No-ops consume a slot but are not applied.
+///
+/// Usage: construct one LogReplica per process (same capacity and
+/// protocol_base everywhere), submit() commands at any time, and read the
+/// applied log. Slots are proposed strictly in order with pipeline depth
+/// one: slot k+1 is proposed once this replica has learned slot k's
+/// decision.
+
+namespace ecfd::core {
+
+/// Slot filler proposed when a replica has no pending command.
+inline constexpr consensus::Value kNoOpCommand =
+    std::numeric_limits<consensus::Value>::min();
+
+class LogReplica {
+ public:
+  /// Decided, applied log entry (no-ops excluded).
+  struct Entry {
+    consensus::Value command{};
+    int slot{};
+    TimeUs decided_at{};
+  };
+
+  using ApplyFn = std::function<void(const Entry&)>;
+
+  struct Config {
+    /// Number of slots to pre-provision. Consensus instances must exist
+    /// on every host before their messages arrive, so the capacity is
+    /// fixed up front.
+    int capacity{16};
+    /// First protocol id of the block used by the instances; slot k
+    /// consumes ids base+2k (consensus) and base+2k+1 (broadcast). Must
+    /// not collide with other protocols and must match across processes.
+    ProtocolId protocol_base{1000};
+    ConsensusC::Config consensus;
+  };
+
+  /// Installs the instances on \p host. \p fd is the host's ◇C module
+  /// (not owned; must outlive the host).
+  LogReplica(ProcessHost& host, const EcfdOracle* fd);
+  LogReplica(ProcessHost& host, const EcfdOracle* fd, Config cfg);
+
+  LogReplica(const LogReplica&) = delete;
+  LogReplica& operator=(const LogReplica&) = delete;
+
+  /// Queues \p command (!= kNoOpCommand) for replication.
+  void submit(consensus::Value command);
+
+  /// Callback invoked, in slot order, for every applied entry.
+  void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
+
+  /// The applied log so far (slot order, no-ops filtered out).
+  [[nodiscard]] const std::vector<Entry>& log() const { return log_; }
+
+  /// Slots whose decision this replica has learned and applied.
+  [[nodiscard]] int applied_slots() const { return applied_upto_; }
+
+  /// Commands submitted here and not yet decided anywhere.
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+  [[nodiscard]] int capacity() const { return cfg_.capacity; }
+
+ private:
+  void on_slot_decided(int slot, const consensus::Decision& d);
+  void propose_next();
+
+  Config cfg_;
+  std::vector<ConsensusC*> slots_;  // owned by the host
+  std::vector<std::optional<consensus::Decision>> decided_;
+  std::vector<consensus::Value> pending_;
+  std::vector<Entry> log_;
+  int next_proposal_slot_{0};
+  int applied_upto_{0};
+  ApplyFn apply_;
+};
+
+}  // namespace ecfd::core

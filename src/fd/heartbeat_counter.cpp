@@ -1,0 +1,32 @@
+#include "fd/heartbeat_counter.hpp"
+
+namespace ecfd::fd {
+
+namespace {
+constexpr int kBeat = 1;
+}
+
+HeartbeatCounter::HeartbeatCounter(Env& env)
+    : HeartbeatCounter(env, Config{}) {}
+
+HeartbeatCounter::HeartbeatCounter(Env& env, Config cfg)
+    : Protocol(env, protocol_ids::kHeartbeatCounter),
+      cfg_(cfg),
+      counters_(static_cast<std::size_t>(env.n()), 0) {}
+
+void HeartbeatCounter::start() {
+  env_.set_timer(env_.rng().range(0, cfg_.period), [this]() { beat(); });
+}
+
+void HeartbeatCounter::beat() {
+  ++counters_[static_cast<std::size_t>(env_.self())];
+  env_.broadcast(Message::make_empty(protocol_id(), kBeat, "hbc.beat"));
+  env_.set_timer(cfg_.period, [this]() { beat(); });
+}
+
+void HeartbeatCounter::on_message(const Message& m) {
+  if (m.type != kBeat) return;
+  ++counters_[static_cast<std::size_t>(m.src)];
+}
+
+}  // namespace ecfd::fd

@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file heartbeat_counter.hpp
+/// The timeout-free Heartbeat failure detector of Aguilera, Chen, Toueg
+/// (WDAG'97 — the paper's reference [1], cited among the unreliable-
+/// failure-detector classes in Section 1.1).
+///
+/// Unlike every other detector in this library, HB uses NO timing
+/// assumptions at all: when queried it returns a vector of unbounded
+/// heartbeat counters, one per process. Its characteristic properties:
+///
+///   * HB-completeness — the counter of a crashed process eventually
+///     stops increasing;
+///   * HB-accuracy     — the counter of a correct process never stops
+///     increasing (at every correct process).
+///
+/// It therefore never "suspects" anyone and makes no mistakes; consumers
+/// (e.g. quiescent reliable-communication protocols) act on whether a
+/// counter has moved since they last looked. The implementation is the
+/// all-to-all variant for fully connected networks: every process
+/// periodically broadcasts HEARTBEAT and increments the sender's counter
+/// on receipt. It works verbatim over fair-lossy links — message loss
+/// only slows counters down, which HB semantics tolerate by design.
+
+namespace ecfd::fd {
+
+class HeartbeatCounter final : public Protocol {
+ public:
+  struct Config {
+    DurUs period{msec(10)};
+  };
+
+  explicit HeartbeatCounter(Env& env);
+  HeartbeatCounter(Env& env, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  /// The HB output: current counter vector (own slot counts own beats).
+  [[nodiscard]] const std::vector<std::uint64_t>& counters() const {
+    return counters_;
+  }
+
+  /// Counter of a single process.
+  [[nodiscard]] std::uint64_t counter(ProcessId q) const {
+    return counters_[static_cast<std::size_t>(q)];
+  }
+
+ private:
+  void beat();
+
+  Config cfg_;
+  std::vector<std::uint64_t> counters_;
+};
+
+}  // namespace ecfd::fd

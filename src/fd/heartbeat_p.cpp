@@ -1,0 +1,56 @@
+#include "fd/heartbeat_p.hpp"
+
+namespace ecfd::fd {
+
+namespace {
+constexpr int kAlive = 1;
+}
+
+HeartbeatP::HeartbeatP(Env& env) : HeartbeatP(env, Config{}) {}
+
+HeartbeatP::HeartbeatP(Env& env, Config cfg)
+    : Protocol(env, protocol_ids::kHeartbeatP),
+      cfg_(cfg),
+      suspected_(env.n()),
+      last_heard_(static_cast<std::size_t>(env.n()), 0),
+      timeout_(static_cast<std::size_t>(env.n()), cfg.initial_timeout) {}
+
+void HeartbeatP::start() {
+  // Stagger the very first beat a little so all-process bursts do not
+  // synchronize artificially; determinism is preserved (per-process rng).
+  env_.set_timer(env_.rng().range(0, cfg_.period), [this]() { beat(); });
+  env_.set_timer(cfg_.period / 2, [this]() { check(); });
+}
+
+void HeartbeatP::beat() {
+  env_.broadcast(Message::make_empty(protocol_id(), kAlive, "hb_p.alive"));
+  env_.set_timer(cfg_.period, [this]() { beat(); });
+}
+
+void HeartbeatP::check() {
+  const TimeUs now = env_.now();
+  for (ProcessId q = 0; q < env_.n(); ++q) {
+    if (q == env_.self()) continue;
+    const auto i = static_cast<std::size_t>(q);
+    if (!suspected_.contains(q) && now - last_heard_[i] > timeout_[i]) {
+      suspected_.add(q);
+      env_.trace("hb_p.suspect", "p" + std::to_string(q));
+    }
+  }
+  env_.set_timer(cfg_.period / 2, [this]() { check(); });
+}
+
+void HeartbeatP::on_message(const Message& m) {
+  if (m.type != kAlive) return;
+  const auto i = static_cast<std::size_t>(m.src);
+  last_heard_[i] = env_.now();
+  if (suspected_.contains(m.src)) {
+    // Premature suspicion: retract and widen the timeout so this pair
+    // eventually stops making mistakes (eventual strong accuracy).
+    suspected_.remove(m.src);
+    timeout_[i] += cfg_.timeout_increment;
+    env_.trace("hb_p.unsuspect", "p" + std::to_string(m.src));
+  }
+}
+
+}  // namespace ecfd::fd

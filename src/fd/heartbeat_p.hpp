@@ -1,0 +1,56 @@
+#pragma once
+
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file heartbeat_p.hpp
+/// The Chandra-Toueg all-to-all heartbeat implementation of ◇P in models
+/// of partial synchrony ([6], Section 1.1).
+///
+/// Every process broadcasts I-AM-ALIVE every `period`. Process p suspects q
+/// when it has not heard from q within its per-target timeout Δ_p(q); when
+/// a message from a suspected q arrives, p removes q from the suspected set
+/// and increases Δ_p(q). After GST, each pair makes only finitely many
+/// mistakes, so the output converges to exactly the crashed set — i.e. both
+/// strong completeness and eventual strong accuracy hold.
+///
+/// Periodic cost: n(n-1) messages — the quadratic baseline the paper's
+/// Section 4 compares its 2(n-1) ◇C→◇P transformation against.
+
+namespace ecfd::fd {
+
+class HeartbeatP final : public Protocol, public SuspectOracle {
+ public:
+  struct Config {
+    DurUs period{msec(10)};           ///< heartbeat broadcast period Φ
+    DurUs initial_timeout{msec(30)};  ///< initial Δ_p(q)
+    DurUs timeout_increment{msec(10)};///< Δ_p(q) += this on each mistake
+  };
+
+  explicit HeartbeatP(Env& env);
+  HeartbeatP(Env& env, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] ProcessSet suspected() const override { return suspected_; }
+
+  /// Current adaptive timeout for q (exposed for tests).
+  [[nodiscard]] DurUs timeout_of(ProcessId q) const {
+    return timeout_[static_cast<std::size_t>(q)];
+  }
+
+ private:
+  void beat();
+  void check();
+
+  Config cfg_;
+  ProcessSet suspected_;
+  std::vector<TimeUs> last_heard_;
+  std::vector<DurUs> timeout_;
+};
+
+}  // namespace ecfd::fd

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file leader_candidate.hpp
+/// The leader-candidate implementation of Omega in partial synchrony,
+/// after Larrea, Fernández, Arévalo (SRDS 2000, [16]).
+///
+/// Processes consider candidates in the fixed order p0, p1, ... Each
+/// process's candidate is the lowest-id process it has not (yet) suspected.
+/// Only a process that considers *itself* the candidate broadcasts LEADER
+/// heartbeats (n-1 messages per period); every other process monitors its
+/// current candidate with an adaptive timeout, suspecting it and moving to
+/// the next candidate on expiry, and rolling back (with a widened timeout)
+/// when it hears from a lower-id process again.
+///
+/// After GST the first correct process p_l is heard within its (eventually
+/// large enough) timeouts, so every correct process converges to trusting
+/// p_l: Property 1 (Omega). Note the suspected set maintained here contains
+/// only lower-id prefix processes — it is NOT ◇S-complete; this detector
+/// provides leader election only, which is exactly how the paper uses it.
+
+namespace ecfd::fd {
+
+class LeaderCandidate final : public Protocol, public LeaderOracle {
+ public:
+  struct Config {
+    DurUs period{msec(10)};
+    DurUs initial_timeout{msec(30)};
+    DurUs timeout_increment{msec(10)};
+  };
+
+  explicit LeaderCandidate(Env& env);
+  LeaderCandidate(Env& env, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  /// The current candidate (lowest-id unsuspected process).
+  [[nodiscard]] ProcessId trusted() const override;
+
+  /// Prefix suspicions (exposed for tests; not a complete suspect list).
+  [[nodiscard]] const ProcessSet& prefix_suspects() const { return suspected_; }
+
+ private:
+  void tick();
+  void announce();
+
+  Config cfg_;
+  ProcessSet suspected_;
+  std::vector<TimeUs> last_heard_;
+  std::vector<DurUs> timeout_;
+  bool announcing_{false};
+};
+
+}  // namespace ecfd::fd

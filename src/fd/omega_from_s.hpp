@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file omega_from_s.hpp
+/// Asynchronous reduction of a ◇S (or ◇W) detector to Omega, in the style
+/// of Chandra-Hadzilacos-Toueg [5] and Chu [7] (Section 3 of the paper).
+///
+/// Each process accumulates, per target q, a penalty counter that grows
+/// while the local input detector suspects q, and gossips its counter row
+/// to everyone each period. The trusted process is the one minimizing
+/// (total penalty, id). A process that is eventually never suspected stops
+/// accumulating penalty anywhere, while every other process's penalty grows
+/// without bound, so all correct processes converge to the same correct
+/// leader — using no timing assumptions whatsoever.
+///
+/// As the paper notes, this generality costs Θ(n²) periodic messages,
+/// which motivates the cheap ring/leader-candidate routes to ◇C.
+
+namespace ecfd::fd {
+
+class OmegaFromS final : public Protocol, public LeaderOracle {
+ public:
+  struct Config {
+    DurUs period{msec(10)};
+  };
+
+  /// \p input is this process's local ◇S module (not owned; must outlive).
+  OmegaFromS(Env& env, const SuspectOracle* input);
+  OmegaFromS(Env& env, const SuspectOracle* input, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] ProcessId trusted() const override;
+
+  /// Total penalty of q across all known rows (exposed for tests).
+  [[nodiscard]] std::uint64_t penalty(ProcessId q) const;
+
+ private:
+  void tick();
+
+  Config cfg_;
+  const SuspectOracle* input_;
+  /// rows_[r][q]: penalty process r has charged q, as far as we know.
+  std::vector<std::vector<std::uint64_t>> rows_;
+};
+
+}  // namespace ecfd::fd

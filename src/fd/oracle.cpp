@@ -1,0 +1,9 @@
+#include "fd/oracle.hpp"
+
+namespace ecfd {
+
+// Out-of-line destructors anchor the vtables in this translation unit.
+SuspectOracle::~SuspectOracle() = default;
+LeaderOracle::~LeaderOracle() = default;
+
+}  // namespace ecfd

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "net/process_set.hpp"
+
+/// \file oracle.hpp
+/// Failure-detector query interfaces (Section 2.1).
+///
+/// A distributed failure detector is a set of modules, one per process; a
+/// process only queries its local module. These interfaces are what a local
+/// module exposes:
+///   * SuspectOracle  — D.suspected_p, a set of processes believed crashed
+///                      (the classical Chandra-Toueg interface);
+///   * LeaderOracle   — D.trusted_p, a single process believed correct
+///                      (the Omega interface).
+///
+/// The paper's ◇C interface (both at once, with the coupling clause) is
+/// core/ecfd_oracle.hpp.
+
+namespace ecfd {
+
+/// Local module returning a set of suspected processes.
+class SuspectOracle {
+ public:
+  virtual ~SuspectOracle();
+
+  /// The current set of suspected processes, D.suspected_p.
+  [[nodiscard]] virtual ProcessSet suspected() const = 0;
+};
+
+/// Local module returning a trusted process.
+class LeaderOracle {
+ public:
+  virtual ~LeaderOracle();
+
+  /// The current trusted process, D.trusted_p.
+  [[nodiscard]] virtual ProcessId trusted() const = 0;
+};
+
+}  // namespace ecfd

@@ -1,0 +1,44 @@
+#include "fd/probe.hpp"
+
+namespace ecfd {
+
+FdProbe::FdProbe(System& sys, DurUs period)
+    : sys_(sys),
+      period_(period),
+      suspect_(static_cast<std::size_t>(sys.n()), nullptr),
+      leader_(static_cast<std::size_t>(sys.n()), nullptr) {}
+
+void FdProbe::attach(ProcessId p, const SuspectOracle* s,
+                     const LeaderOracle* l) {
+  suspect_[static_cast<std::size_t>(p)] = s;
+  leader_[static_cast<std::size_t>(p)] = l;
+}
+
+void FdProbe::start(TimeUs until) {
+  until_ = until;
+  arm();
+}
+
+void FdProbe::arm() {
+  sys_.scheduler().schedule_after(period_, [this]() {
+    sample_once();
+    if (sys_.now() + period_ <= until_) arm();
+  });
+}
+
+void FdProbe::sample_once() {
+  FdSample s;
+  s.time = sys_.now();
+  const int n = sys_.n();
+  s.suspected.resize(static_cast<std::size_t>(n));
+  s.trusted.resize(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    if (sys_.host(p).crashed()) continue;
+    const auto i = static_cast<std::size_t>(p);
+    if (suspect_[i] != nullptr) s.suspected[i] = suspect_[i]->suspected();
+    if (leader_[i] != nullptr) s.trusted[i] = leader_[i]->trusted();
+  }
+  samples_.push_back(std::move(s));
+}
+
+}  // namespace ecfd

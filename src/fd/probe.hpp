@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/system.hpp"
+
+/// \file probe.hpp
+/// Periodic sampling of every process's failure-detector output, producing
+/// the timeline that fd/properties.hpp evaluates.
+
+namespace ecfd {
+
+/// One snapshot of the whole system's FD outputs.
+struct FdSample {
+  TimeUs time{};
+  /// Per process: suspected set (nullopt when the process is crashed or has
+  /// no suspect oracle attached).
+  std::vector<std::optional<ProcessSet>> suspected;
+  /// Per process: trusted process (nullopt when crashed / not attached).
+  std::vector<std::optional<ProcessId>> trusted;
+};
+
+/// Samples attached oracles on a fixed cadence using the system scheduler.
+///
+/// The probe itself is not a process: it is measurement machinery and sends
+/// no messages.
+class FdProbe {
+ public:
+  FdProbe(System& sys, DurUs period);
+
+  /// Attaches process \p p's oracles (either pointer may be null).
+  void attach(ProcessId p, const SuspectOracle* s, const LeaderOracle* l);
+
+  /// Starts sampling now and every period until \p until.
+  void start(TimeUs until);
+
+  [[nodiscard]] const std::vector<FdSample>& samples() const {
+    return samples_;
+  }
+
+ private:
+  void sample_once();
+  void arm();
+
+  System& sys_;
+  DurUs period_;
+  TimeUs until_{0};
+  std::vector<const SuspectOracle*> suspect_;
+  std::vector<const LeaderOracle*> leader_;
+  std::vector<FdSample> samples_;
+};
+
+}  // namespace ecfd

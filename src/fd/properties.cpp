@@ -1,0 +1,173 @@
+#include "fd/properties.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace ecfd {
+
+namespace {
+
+/// Finds the earliest suffix of \p samples on which \p pred holds at every
+/// sample. Returns {false, kTimeNever} if it fails at the last sample (or
+/// there are no samples).
+Eventually find_suffix(const std::vector<FdSample>& samples,
+                       const std::function<bool(const FdSample&)>& pred) {
+  if (samples.empty()) return {};
+  // Scan backwards to the first failure.
+  std::size_t start = samples.size();
+  for (std::size_t i = samples.size(); i-- > 0;) {
+    if (!pred(samples[i])) break;
+    start = i;
+  }
+  if (start == samples.size()) return {};
+  return Eventually{true, samples[start].time};
+}
+
+}  // namespace
+
+TimeUs FdReport::ecfd_stable_from() const {
+  TimeUs t = 0;
+  t = std::max(t, strong_completeness.from);
+  t = std::max(t, eventual_weak_accuracy.from);
+  t = std::max(t, omega.from);
+  t = std::max(t, ecfd_coupling.from);
+  return t;
+}
+
+FdReport check_fd_properties(const RunFacts& facts,
+                             const std::vector<FdSample>& samples) {
+  FdReport report;
+  const int n = facts.n;
+  const ProcessSet& correct = facts.correct;
+  ProcessSet faulty = ProcessSet::full(n) - correct;
+
+  const auto correct_ids = correct.members();
+  const auto faulty_ids = faulty.members();
+
+  auto susp_of = [&](const FdSample& s, ProcessId p)
+      -> const std::optional<ProcessSet>& {
+    return s.suspected[static_cast<std::size_t>(p)];
+  };
+  auto trust_of = [&](const FdSample& s, ProcessId p)
+      -> const std::optional<ProcessId>& {
+    return s.trusted[static_cast<std::size_t>(p)];
+  };
+
+  const bool any_suspect_output = std::any_of(
+      samples.begin(), samples.end(), [&](const FdSample& s) {
+        return std::any_of(correct_ids.begin(), correct_ids.end(),
+                           [&](ProcessId p) { return susp_of(s, p).has_value(); });
+      });
+  const bool any_leader_output = std::any_of(
+      samples.begin(), samples.end(), [&](const FdSample& s) {
+        return std::any_of(correct_ids.begin(), correct_ids.end(),
+                           [&](ProcessId p) { return trust_of(s, p).has_value(); });
+      });
+
+  if (any_suspect_output) {
+    // Strong completeness: each faulty process is in every correct
+    // process's suspected set.
+    report.strong_completeness = find_suffix(samples, [&](const FdSample& s) {
+      for (ProcessId p : correct_ids) {
+        const auto& sp = susp_of(s, p);
+        if (!sp.has_value()) return false;
+        for (ProcessId q : faulty_ids) {
+          if (!sp->contains(q)) return false;
+        }
+      }
+      return true;
+    });
+
+    // Weak completeness: per faulty q, SOME correct p suspects q on a
+    // suffix. Each q may have a different witness, so evaluate per q.
+    report.weak_completeness = {true, 0};
+    for (ProcessId q : faulty_ids) {
+      Eventually best{};
+      for (ProcessId p : correct_ids) {
+        Eventually e = find_suffix(samples, [&](const FdSample& s) {
+          const auto& sp = susp_of(s, p);
+          return sp.has_value() && sp->contains(q);
+        });
+        if (e.holds && (!best.holds || e.from < best.from)) best = e;
+      }
+      if (!best.holds) {
+        report.weak_completeness = {};
+        break;
+      }
+      report.weak_completeness.from =
+          std::max(report.weak_completeness.from, best.from);
+    }
+    if (faulty_ids.empty()) report.weak_completeness = {true, 0};
+    if (report.strong_completeness.holds && faulty_ids.empty()) {
+      report.strong_completeness.from = 0;
+    }
+
+    // Eventual strong accuracy: no correct process suspected by any
+    // correct process.
+    report.eventual_strong_accuracy =
+        find_suffix(samples, [&](const FdSample& s) {
+          for (ProcessId p : correct_ids) {
+            const auto& sp = susp_of(s, p);
+            if (!sp.has_value()) return false;
+            for (ProcessId q : correct_ids) {
+              if (sp->contains(q)) return false;
+            }
+          }
+          return true;
+        });
+
+    // Eventual weak accuracy: some correct process never suspected by any
+    // correct process, from some point on.
+    for (ProcessId q : correct_ids) {
+      Eventually e = find_suffix(samples, [&](const FdSample& s) {
+        for (ProcessId p : correct_ids) {
+          const auto& sp = susp_of(s, p);
+          if (!sp.has_value() || sp->contains(q)) return false;
+        }
+        return true;
+      });
+      if (e.holds &&
+          (!report.eventual_weak_accuracy.holds ||
+           e.from < report.eventual_weak_accuracy.from)) {
+        report.eventual_weak_accuracy = e;
+        report.ewa_witness = q;
+      }
+    }
+  }
+
+  if (any_leader_output) {
+    // Omega: all correct processes permanently trust the same correct
+    // process.
+    for (ProcessId leader : correct_ids) {
+      Eventually e = find_suffix(samples, [&](const FdSample& s) {
+        for (ProcessId p : correct_ids) {
+          const auto& tp = trust_of(s, p);
+          if (!tp.has_value() || *tp != leader) return false;
+        }
+        return true;
+      });
+      if (e.holds && (!report.omega.holds || e.from < report.omega.from)) {
+        report.omega = e;
+        report.omega_leader = leader;
+      }
+    }
+  }
+
+  if (any_suspect_output && any_leader_output) {
+    // Coupling clause of Definition 1: eventually, for every correct p,
+    // trusted_p is not in suspected_p.
+    report.ecfd_coupling = find_suffix(samples, [&](const FdSample& s) {
+      for (ProcessId p : correct_ids) {
+        const auto& sp = susp_of(s, p);
+        const auto& tp = trust_of(s, p);
+        if (!sp.has_value() || !tp.has_value()) return false;
+        if (sp->contains(*tp)) return false;
+      }
+      return true;
+    });
+  }
+
+  return report;
+}
+
+}  // namespace ecfd

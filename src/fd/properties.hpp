@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "fd/probe.hpp"
+#include "net/process_set.hpp"
+#include "sim/time.hpp"
+
+/// \file properties.hpp
+/// Evaluation of failure-detector properties (Section 1.1, Fig. 1; Property
+/// 1 for Omega; Definition 1 for ◇C) over a sampled run.
+///
+/// Every property is of the form "there is a time after which X holds
+/// permanently". On a finite run we interpret that as "there is a sample
+/// index s* such that X holds at every sample >= s*", and report when the
+/// suffix starts so callers can additionally require stabilization to
+/// happen with margin before the run's end.
+
+namespace ecfd {
+
+/// Facts about a finished run that the checkers need.
+struct RunFacts {
+  int n{0};
+  /// Processes that never crashed during the run ("correct", Section 2.1).
+  ProcessSet correct;
+  TimeUs end_time{0};
+};
+
+/// Result of evaluating one eventual property: whether a qualifying suffix
+/// exists and the time of its first sample (kTimeNever when it does not).
+struct Eventually {
+  bool holds{false};
+  TimeUs from{kTimeNever};
+};
+
+/// Full property report for a run.
+struct FdReport {
+  Eventually strong_completeness;       ///< every crashed suspected by every correct
+  Eventually weak_completeness;         ///< every crashed suspected by some correct
+  Eventually eventual_strong_accuracy;  ///< no correct suspected by any correct
+  Eventually eventual_weak_accuracy;    ///< some correct never suspected by any correct
+  ProcessId ewa_witness{kNoProcess};    ///< the witness process for EWA
+  Eventually omega;                     ///< all correct trust the same correct process
+  ProcessId omega_leader{kNoProcess};   ///< that process
+  Eventually ecfd_coupling;             ///< trusted_p not in suspected_p (Def. 1, 3rd clause)
+
+  /// ◇P = strong completeness + eventual strong accuracy.
+  [[nodiscard]] bool is_eventually_perfect() const {
+    return strong_completeness.holds && eventual_strong_accuracy.holds;
+  }
+  /// ◇S = strong completeness + eventual weak accuracy.
+  [[nodiscard]] bool is_eventually_strong() const {
+    return strong_completeness.holds && eventual_weak_accuracy.holds;
+  }
+  /// ◇W = weak completeness + eventual weak accuracy.
+  [[nodiscard]] bool is_eventually_weak() const {
+    return weak_completeness.holds && eventual_weak_accuracy.holds;
+  }
+  /// ◇Q = weak completeness + eventual strong accuracy.
+  [[nodiscard]] bool is_eventually_quasi_perfect() const {
+    return weak_completeness.holds && eventual_strong_accuracy.holds;
+  }
+  /// Omega (Property 1).
+  [[nodiscard]] bool is_omega() const { return omega.holds; }
+  /// ◇C (Definition 1): ◇S sets + Omega trusted + coupling clause.
+  [[nodiscard]] bool is_eventually_consistent() const {
+    return is_eventually_strong() && omega.holds && ecfd_coupling.holds;
+  }
+
+  /// Latest stabilization time over the properties making up ◇C; useful for
+  /// "stabilized well before the run ended" assertions.
+  [[nodiscard]] TimeUs ecfd_stable_from() const;
+};
+
+/// Evaluates all properties over the sampled timeline.
+///
+/// Only correct processes' outputs are consulted (the definitions quantify
+/// over correct processes); samples where a correct process has no suspect
+/// (resp. leader) output attached make suspicion (resp. omega) properties
+/// vacuously fail, except that runs sampling only one kind of oracle simply
+/// leave the other family of properties unevaluated (holds = false).
+FdReport check_fd_properties(const RunFacts& facts,
+                             const std::vector<FdSample>& samples);
+
+}  // namespace ecfd

@@ -1,0 +1,96 @@
+#include "fd/qos.hpp"
+
+namespace ecfd {
+
+QosReport compute_qos(const RunFacts& facts,
+                      const std::vector<CrashEvent>& crashes,
+                      const std::vector<FdSample>& samples) {
+  QosReport report;
+  const auto correct_ids = facts.correct.members();
+
+  auto susp_of = [&](const FdSample& s, ProcessId p)
+      -> const std::optional<ProcessSet>& {
+    return s.suspected[static_cast<std::size_t>(p)];
+  };
+
+  // --- detection times -------------------------------------------------
+  for (const CrashEvent& c : crashes) {
+    QosReport::Detection d;
+    d.victim = c.process;
+    d.crash_at = c.at;
+    for (const FdSample& s : samples) {
+      if (s.time < c.at) continue;
+      bool any = false;
+      bool all = true;
+      for (ProcessId p : correct_ids) {
+        const auto& sp = susp_of(s, p);
+        const bool has = sp.has_value() && sp->contains(c.process);
+        any = any || has;
+        all = all && has;
+      }
+      if (any && !d.first_suspect_delay.has_value()) {
+        d.first_suspect_delay = s.time - c.at;
+      }
+      if (all) {
+        d.all_suspect_delay = s.time - c.at;
+        break;
+      }
+    }
+    report.detections.push_back(d);
+  }
+
+  // --- mistakes and query accuracy --------------------------------------
+  // Track, per (observer, victim) pair of correct processes, the open
+  // false-suspicion episode (start time).
+  const int n = facts.n;
+  std::vector<std::optional<TimeUs>> open(
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+  auto cell = [n](ProcessId obs, ProcessId vic) {
+    return static_cast<std::size_t>(obs) * static_cast<std::size_t>(n) +
+           static_cast<std::size_t>(vic);
+  };
+
+  std::int64_t accurate_pairs = 0;
+  std::int64_t total_pairs = 0;
+  double closed_duration_total = 0;
+  int closed_episodes = 0;
+
+  for (const FdSample& s : samples) {
+    for (ProcessId obs : correct_ids) {
+      const auto& sp = susp_of(s, obs);
+      if (!sp.has_value()) continue;
+      ++total_pairs;
+      bool clean = true;
+      for (ProcessId vic : correct_ids) {
+        if (vic == obs) continue;
+        const bool suspected_now = sp->contains(vic);
+        if (suspected_now) clean = false;
+        auto& episode = open[cell(obs, vic)];
+        if (suspected_now && !episode.has_value()) {
+          episode = s.time;
+          ++report.mistake_episodes;
+        } else if (!suspected_now && episode.has_value()) {
+          closed_duration_total += static_cast<double>(s.time - *episode);
+          ++closed_episodes;
+          episode.reset();
+        }
+      }
+      if (clean) ++accurate_pairs;
+    }
+  }
+
+  if (total_pairs > 0) {
+    report.query_accuracy =
+        static_cast<double>(accurate_pairs) / static_cast<double>(total_pairs);
+  }
+  if (closed_episodes > 0) {
+    report.mean_mistake_duration_us = closed_duration_total / closed_episodes;
+  }
+  if (facts.end_time > 0) {
+    report.mistakes_per_second = static_cast<double>(report.mistake_episodes) /
+                                 (static_cast<double>(facts.end_time) / 1e6);
+  }
+  return report;
+}
+
+}  // namespace ecfd

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fd/probe.hpp"
+#include "fd/properties.hpp"
+
+/// \file qos.hpp
+/// Quality-of-service metrics for failure detectors, in the spirit of
+/// Chen, Toueg, Aguilera ("On the quality of service of failure
+/// detectors"). The paper's Section 4 argues its ◇C→◇P transformation
+/// avoids the ring's high detection latency; these metrics quantify such
+/// claims on sampled runs:
+///
+///   * detection time   — crash -> first sample where a given (or every)
+///                        correct process suspects the victim;
+///   * mistake rate     — false-suspicion episodes (a correct process
+///                        becoming suspected) per second of run;
+///   * mistake duration — how long such an episode lasts until retracted;
+///   * query accuracy   — fraction of samples where a correct process's
+///                        suspected set contains no correct process.
+
+namespace ecfd {
+
+struct QosReport {
+  /// Per crashed process: delay (us) until EVERY correct process suspected
+  /// it, measured from the crash; nullopt if never within the run.
+  struct Detection {
+    ProcessId victim{kNoProcess};
+    TimeUs crash_at{0};
+    std::optional<DurUs> all_suspect_delay;
+    std::optional<DurUs> first_suspect_delay;  ///< some correct process
+  };
+  std::vector<Detection> detections;
+
+  /// False-suspicion episodes: (observer, victim) both correct, victim
+  /// entering observer's suspected set. Episodes are counted at sample
+  /// granularity.
+  int mistake_episodes{0};
+  double mistakes_per_second{0};
+  /// Mean duration (us) of a false-suspicion episode (closed episodes
+  /// only).
+  double mean_mistake_duration_us{0};
+
+  /// Fraction of (sample, correct observer) pairs whose suspected set
+  /// contained no correct process.
+  double query_accuracy{1.0};
+};
+
+/// Crash events needed to anchor detection measurements.
+struct CrashEvent {
+  ProcessId process{kNoProcess};
+  TimeUs at{0};
+};
+
+/// Computes QoS metrics from a sampled run. \p facts.correct must reflect
+/// the whole run (every process in a CrashEvent is faulty).
+QosReport compute_qos(const RunFacts& facts,
+                      const std::vector<CrashEvent>& crashes,
+                      const std::vector<FdSample>& samples);
+
+}  // namespace ecfd

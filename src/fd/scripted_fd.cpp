@@ -1,0 +1,70 @@
+#include "fd/scripted_fd.hpp"
+
+#include <cassert>
+
+namespace ecfd::fd {
+
+ScriptedFd::ScriptedFd(Env& env, std::vector<Step> steps)
+    : Protocol(env, protocol_ids::kScriptedFd), steps_(std::move(steps)) {
+  assert(!steps_.empty());
+  for (std::size_t i = 1; i < steps_.size(); ++i) {
+    assert(steps_[i - 1].at <= steps_[i].at && "script must be sorted");
+  }
+}
+
+const ScriptedFd::Step& ScriptedFd::current() const {
+  const TimeUs now = env_.now();
+  // Latest step with at <= now; the first step if none qualifies.
+  const Step* best = &steps_.front();
+  for (const Step& s : steps_) {
+    if (s.at <= now) best = &s;
+    else break;
+  }
+  return *best;
+}
+
+ProcessSet ScriptedFd::suspected() const { return current().suspected; }
+
+ProcessId ScriptedFd::trusted() const { return current().trusted; }
+
+std::vector<ScriptedFd::Step> stable_script(int n, ProcessId self,
+                                            const ProcessSet& crashed,
+                                            ProcessId leader, TimeUs from) {
+  std::vector<ScriptedFd::Step> steps;
+  ScriptedFd::Step chaos;
+  chaos.at = 0;
+  chaos.suspected = ProcessSet::full(n);
+  chaos.suspected.remove(self);
+  chaos.trusted = self;
+  steps.push_back(chaos);
+
+  ScriptedFd::Step stable;
+  stable.at = from;
+  stable.suspected = crashed;
+  stable.suspected.remove(self);
+  stable.trusted = leader;
+  steps.push_back(std::move(stable));
+  return steps;
+}
+
+std::vector<ScriptedFd::Step> ewa_only_script(int n, ProcessId self,
+                                              ProcessId leader, TimeUs from) {
+  std::vector<ScriptedFd::Step> steps;
+  ScriptedFd::Step chaos;
+  chaos.at = 0;
+  chaos.suspected = ProcessSet::full(n);
+  chaos.suspected.remove(self);
+  chaos.trusted = self;
+  steps.push_back(chaos);
+
+  ScriptedFd::Step stable;
+  stable.at = from;
+  stable.suspected = ProcessSet::full(n);
+  stable.suspected.remove(self);
+  stable.suspected.remove(leader);
+  stable.trusted = leader;
+  steps.push_back(std::move(stable));
+  return steps;
+}
+
+}  // namespace ecfd::fd

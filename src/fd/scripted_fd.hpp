@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file scripted_fd.hpp
+/// A failure detector whose output follows a pre-programmed timeline.
+///
+/// Sends no messages. Used to (a) drive consensus algorithms through
+/// adversarial detector behaviours (Theorem 3's worst case, E2/E6), and
+/// (b) feed the ◇W→◇S / ◇S→Ω transformations with precisely controlled
+/// inputs in unit tests.
+
+namespace ecfd::fd {
+
+class ScriptedFd final : public Protocol,
+                         public SuspectOracle,
+                         public LeaderOracle {
+ public:
+  /// Output in force from `at` until the next step.
+  struct Step {
+    TimeUs at{0};
+    ProcessSet suspected;
+    ProcessId trusted{kNoProcess};
+  };
+
+  /// Steps must be sorted by `at` ascending; the first step should be at 0
+  /// (queries before the first step return it anyway).
+  ScriptedFd(Env& env, std::vector<Step> steps);
+
+  void on_message(const Message&) override {}
+
+  [[nodiscard]] ProcessSet suspected() const override;
+  [[nodiscard]] ProcessId trusted() const override;
+
+ private:
+  [[nodiscard]] const Step& current() const;
+
+  std::vector<Step> steps_;
+};
+
+/// Builds the per-process script of a stable ◇C detector: every process
+/// permanently suspects exactly \p crashed and trusts \p leader, from time
+/// \p from on (before that, everyone suspects everyone else and trusts
+/// itself — the maximally unhelpful start).
+std::vector<ScriptedFd::Step> stable_script(int n, ProcessId self,
+                                            const ProcessSet& crashed,
+                                            ProcessId leader, TimeUs from);
+
+/// Like stable_script, but after stabilization the suspected set is
+/// "everyone except the leader (and self)" — a legal ◇S output whose only
+/// accuracy witness is the leader. This is the adversarial detector of
+/// Theorem 3: rotating-coordinator algorithms fail every round whose
+/// coordinator is not the leader, while the ◇C algorithm is unaffected.
+std::vector<ScriptedFd::Step> ewa_only_script(int n, ProcessId self,
+                                              ProcessId leader, TimeUs from);
+
+}  // namespace ecfd::fd

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file stable_leader.hpp
+/// Stable leader election, after Aguilera, Delporte-Gallet, Fauconnier,
+/// Toueg (DISC 2001, the paper's reference [2], discussed in Sections 1.1
+/// and 4): an Omega detector that is STABLE — once a leader is elected it
+/// remains the leader for as long as it does not crash and its links
+/// behave well, even if lower-id processes later recover credibility.
+///
+/// Mechanism (accusation counters):
+///  * every process keeps a monotone counter per process — the number of
+///    times that process has been accused of having crashed;
+///  * the leader is the process minimizing (counter, id);
+///  * the current leader broadcasts OK beats carrying the counter vector
+///    (n−1 messages per period in the steady state);
+///  * a process that times out on its current leader increments that
+///    leader's counter, widens the timeout, and broadcasts the accusation
+///    so that everyone converges on the same counters (max-merge).
+///
+/// A crashed leader silently accumulates accusations until it loses the
+/// argmin; a falsely accused leader loses it at most finitely often,
+/// because each mistake widens the accuser's timeout. Unlike the
+/// lowest-id rule of fd/leader_candidate.hpp, leadership does NOT bounce
+/// back to a lower-id process once it has moved on — that is the
+/// stability property, measured by tests as the number of leader changes.
+
+namespace ecfd::fd {
+
+class StableLeader final : public Protocol, public LeaderOracle {
+ public:
+  struct Config {
+    DurUs period{msec(10)};
+    DurUs initial_timeout{msec(30)};
+    DurUs timeout_increment{msec(10)};
+  };
+
+  explicit StableLeader(Env& env);
+  StableLeader(Env& env, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  /// The process minimizing (accusations, id).
+  [[nodiscard]] ProcessId trusted() const override;
+
+  /// Accusation count known against q (exposed for tests).
+  [[nodiscard]] std::uint64_t accusations(ProcessId q) const {
+    return counters_[static_cast<std::size_t>(q)];
+  }
+
+  /// How many times this module's trusted() output changed (stability
+  /// metric; sampled on the protocol's own period).
+  [[nodiscard]] int leader_changes() const { return leader_changes_; }
+
+ private:
+  enum MsgType { kOk = 1, kAccuse = 2 };
+
+  void tick();
+  void merge(const std::vector<std::uint64_t>& remote);
+
+  Config cfg_;
+  std::vector<std::uint64_t> counters_;
+  std::vector<TimeUs> last_heard_;
+  std::vector<DurUs> timeout_;
+  ProcessId observed_leader_{kNoProcess};
+  int leader_changes_{-1};  ///< first observation is not a "change"
+};
+
+}  // namespace ecfd::fd

@@ -1,0 +1,45 @@
+#pragma once
+
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/protocol_ids.hpp"
+
+/// \file w_to_s.hpp
+/// Chandra-Toueg's transformation from weak to strong completeness ([6],
+/// used in Section 3 to lift a ◇W detector to ◇S before composing ◇C).
+///
+/// Every process periodically broadcasts its input module's suspect set.
+/// On receiving (q, S), process p sets output := (output ∪ S) \ {q}: it
+/// adopts q's suspicions but clears q itself, because the message proves q
+/// alive. If some correct process permanently suspects a crashed process
+/// (weak completeness), everyone eventually adopts that suspicion — strong
+/// completeness — while each accuracy property of the input is preserved
+/// (an eventually-unsuspected process eventually appears in no broadcast
+/// set, and its own broadcasts clear any stale suspicion of it).
+
+namespace ecfd::fd {
+
+class WToS final : public Protocol, public SuspectOracle {
+ public:
+  struct Config {
+    DurUs period{msec(10)};
+  };
+
+  /// \p input: local module with weak completeness (not owned).
+  WToS(Env& env, const SuspectOracle* input);
+  WToS(Env& env, const SuspectOracle* input, Config cfg);
+
+  void start() override;
+  void on_message(const Message& m) override;
+
+  [[nodiscard]] ProcessSet suspected() const override { return output_; }
+
+ private:
+  void tick();
+
+  Config cfg_;
+  const SuspectOracle* input_;
+  ProcessSet output_;
+};
+
+}  // namespace ecfd::fd

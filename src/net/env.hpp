@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/message.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+/// \file env.hpp
+/// The runtime environment a protocol instance runs in.
+///
+/// Protocols (failure detectors, transformations, consensus) are written
+/// against this interface only, so the identical protocol code runs on the
+/// deterministic discrete-event simulator (net/process_host.hpp) and on the
+/// real threaded runtime (runtime/thread_env.hpp).
+
+namespace ecfd {
+
+/// Handle for a pending timer.
+using TimerId = std::uint64_t;
+
+inline constexpr TimerId kInvalidTimer = 0;
+
+/// Per-process runtime services.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Current time (virtual in simulation, wall-clock in the threaded
+  /// runtime), microseconds.
+  [[nodiscard]] virtual TimeUs now() const = 0;
+
+  /// Sends \p m to process \p dst. The src field is stamped by the
+  /// environment. Sending to self is allowed and delivered like any other
+  /// message (with minimal delay).
+  virtual void send(ProcessId dst, Message m) = 0;
+
+  /// Arms a one-shot timer; \p fn runs in this process's context after
+  /// \p delay. Returns an id usable with cancel_timer. Timers die silently
+  /// when the process crashes.
+  virtual TimerId set_timer(DurUs delay, std::function<void()> fn) = 0;
+
+  /// Cancels a pending timer; ignores unknown/fired ids.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// This process's id and the universe size n.
+  [[nodiscard]] virtual ProcessId self() const = 0;
+  [[nodiscard]] virtual int n() const = 0;
+
+  /// Per-process deterministic random stream.
+  virtual Rng& rng() = 0;
+
+  /// Emits a trace record (no-op unless tracing is enabled).
+  virtual void trace(const std::string& tag, const std::string& detail) = 0;
+
+  /// Sends \p m to every process except self.
+  void broadcast(Message m) {
+    for (ProcessId q = 0; q < n(); ++q) {
+      if (q != self()) send(q, m);
+    }
+  }
+};
+
+/// Base class for protocol instances hosted on a process.
+class Protocol {
+ public:
+  Protocol(Env& env, ProtocolId id) : env_(env), id_(id) {}
+  virtual ~Protocol() = default;
+
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  /// Invoked once when the system starts.
+  virtual void start() {}
+
+  /// Invoked for every message addressed to this protocol id.
+  virtual void on_message(const Message& m) = 0;
+
+  [[nodiscard]] ProtocolId protocol_id() const { return id_; }
+
+ protected:
+  Env& env_;
+
+ private:
+  ProtocolId id_;
+};
+
+}  // namespace ecfd

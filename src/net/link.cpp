@@ -1,0 +1,58 @@
+#include "net/link.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ecfd {
+
+ReliableLink::ReliableLink(DurUs min_delay, DurUs max_delay)
+    : min_delay_(min_delay), max_delay_(std::max(min_delay, max_delay)) {
+  assert(min_delay >= 0);
+}
+
+std::optional<DurUs> ReliableLink::sample_delay(TimeUs /*now*/, Rng& rng) {
+  return rng.range(min_delay_, max_delay_);
+}
+
+PartialSyncLink::PartialSyncLink(Config cfg) : cfg_(cfg) {
+  assert(cfg_.delta > 0);
+  assert(cfg_.pre_min >= 0 && cfg_.pre_max >= cfg_.pre_min);
+}
+
+std::optional<DurUs> PartialSyncLink::sample_delay(TimeUs now, Rng& rng) {
+  if (now >= cfg_.gst) {
+    // Post-GST: delivered and processed within delta.
+    return rng.range(1, cfg_.delta);
+  }
+  // Pre-GST: arbitrary (bounded only so finite runs terminate). A message
+  // sent just before GST may still arrive late, which is allowed: the bound
+  // applies to messages sent after GST.
+  return rng.range(cfg_.pre_min, cfg_.pre_max);
+}
+
+FairLossyLink::FairLossyLink(Config cfg) : cfg_(cfg) {
+  assert(cfg_.loss_p >= 0.0 && cfg_.loss_p < 1.0);
+  assert(cfg_.min_delay >= 0 && cfg_.max_delay >= cfg_.min_delay);
+}
+
+std::optional<DurUs> FairLossyLink::sample_delay(TimeUs /*now*/, Rng& rng) {
+  ++since_delivery_;
+  const bool forced = cfg_.force_deliver_every > 0 &&
+                      since_delivery_ >= cfg_.force_deliver_every;
+  if (!forced && rng.chance(cfg_.loss_p)) {
+    return std::nullopt;  // lost
+  }
+  since_delivery_ = 0;
+  return rng.range(cfg_.min_delay, cfg_.max_delay);
+}
+
+AsyncLink::AsyncLink(DurUs mean_delay) : mean_delay_(mean_delay) {
+  assert(mean_delay > 0);
+}
+
+std::optional<DurUs> AsyncLink::sample_delay(TimeUs /*now*/, Rng& rng) {
+  // 1 + exponential: strictly positive, unbounded tail.
+  return 1 + rng.exponential(mean_delay_);
+}
+
+}  // namespace ecfd

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "net/process_set.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+/// \file link.hpp
+/// Per-directed-link timing/loss models (system model of Sections 2.1 & 4).
+///
+/// Each ordered pair of processes has its own link instance. A link decides,
+/// per message, the delivery delay — or that the message is lost.
+
+namespace ecfd {
+
+/// Behaviour of one directed communication link.
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Samples the delivery delay for a message sent at \p now.
+  /// Returns std::nullopt when the message is lost.
+  virtual std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) = 0;
+};
+
+/// Reliable link with uniformly distributed delay in [min_delay, max_delay].
+/// No loss; models the paper's default reliable asynchronous links with a
+/// bounded horizon so finite runs terminate.
+class ReliableLink final : public LinkModel {
+ public:
+  ReliableLink(DurUs min_delay, DurUs max_delay);
+  std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) override;
+
+ private:
+  DurUs min_delay_;
+  DurUs max_delay_;
+};
+
+/// Partially synchronous link (Dwork-Lynch-Stockmeyer / Chandra-Toueg
+/// model, Section 4): before the global stabilization time GST, delays are
+/// arbitrary within [pre_min, pre_max] (typically large and erratic); from
+/// GST on, every message is delivered within the unknown-to-protocols bound
+/// delta. Messages are never lost.
+class PartialSyncLink final : public LinkModel {
+ public:
+  struct Config {
+    TimeUs gst{0};          ///< global stabilization time
+    DurUs delta{msec(5)};   ///< post-GST delivery bound
+    DurUs pre_min{usec(100)};
+    DurUs pre_max{msec(500)};  ///< pre-GST delays can be this slow
+  };
+
+  explicit PartialSyncLink(Config cfg);
+  std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) override;
+
+ private:
+  Config cfg_;
+};
+
+/// Fair-lossy link (output links of the leader in Section 4): each message
+/// is independently dropped with probability loss_p, except that every
+/// k-th message on the link is delivered unconditionally — this keeps the
+/// fairness property ("infinitely many sends imply infinitely many
+/// receipts") deterministic on finite runs.
+class FairLossyLink final : public LinkModel {
+ public:
+  struct Config {
+    double loss_p{0.3};
+    int force_deliver_every{8};  ///< <=0 disables the deterministic escape
+    DurUs min_delay{usec(100)};
+    DurUs max_delay{msec(5)};
+  };
+
+  explicit FairLossyLink(Config cfg);
+  std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) override;
+
+ private:
+  Config cfg_;
+  int since_delivery_{0};
+};
+
+/// Asynchronous link: exponential delays with the given mean (long tails,
+/// no bound), no loss. Used to exercise algorithms whose safety must not
+/// depend on timing.
+class AsyncLink final : public LinkModel {
+ public:
+  explicit AsyncLink(DurUs mean_delay);
+  std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) override;
+
+ private:
+  DurUs mean_delay_;
+};
+
+/// Factory signature used by Network::set_links: returns the model for the
+/// directed link src -> dst.
+using LinkFactory =
+    std::function<std::unique_ptr<LinkModel>(ProcessId, ProcessId)>;
+
+}  // namespace ecfd

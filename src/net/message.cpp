@@ -1,0 +1,17 @@
+#include "net/message.hpp"
+
+#include <string>
+
+namespace ecfd {
+
+/// Counter key for a message: "msg.<label>" with a numeric fallback when a
+/// protocol did not label its messages.
+std::string message_counter_key(const Message& m) {
+  if (m.label != nullptr && m.label[0] != '\0') {
+    return std::string("msg.") + m.label;
+  }
+  return "msg.proto" + std::to_string(m.protocol) + ".type" +
+         std::to_string(m.type);
+}
+
+}  // namespace ecfd

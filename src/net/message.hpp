@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <typeinfo>
+#include <utility>
+
+#include "net/process_set.hpp"
+
+/// \file message.hpp
+/// The unit of communication between processes.
+///
+/// A message carries a protocol id (which protocol instance on the receiving
+/// host should handle it), a per-protocol integer type, and an immutable,
+/// shared, typed payload. Payloads are shared rather than copied so that a
+/// broadcast of one body to n-1 destinations costs one allocation.
+
+namespace ecfd {
+
+/// Identifies a protocol instance across all hosts; see protocol_ids.hpp.
+using ProtocolId = int;
+
+struct Message {
+  ProcessId src{kNoProcess};
+  ProcessId dst{kNoProcess};
+  ProtocolId protocol{0};
+  int type{0};
+  /// Human-readable message label ("cons_c.estimate") used for counters.
+  const char* label{""};
+
+  std::shared_ptr<const void> payload{};
+  const std::type_info* payload_type{nullptr};
+
+  /// Builds a message with a typed payload.
+  template <class T>
+  static Message make(ProtocolId protocol, int type, const char* label,
+                      T body) {
+    Message m;
+    m.protocol = protocol;
+    m.type = type;
+    m.label = label;
+    auto owned = std::make_shared<const T>(std::move(body));
+    m.payload_type = &typeid(T);
+    m.payload = std::move(owned);
+    return m;
+  }
+
+  /// Builds a payload-less message.
+  static Message make_empty(ProtocolId protocol, int type, const char* label) {
+    Message m;
+    m.protocol = protocol;
+    m.type = type;
+    m.label = label;
+    return m;
+  }
+
+  /// Typed payload access; asserts on type mismatch (a protocol decoding a
+  /// message with the wrong body is a programming error, not a runtime
+  /// condition).
+  template <class T>
+  const T& as() const {
+    assert(payload && payload_type && *payload_type == typeid(T) &&
+           "message payload type mismatch");
+    return *static_cast<const T*>(payload.get());
+  }
+
+  [[nodiscard]] bool has_payload() const { return payload != nullptr; }
+};
+
+}  // namespace ecfd

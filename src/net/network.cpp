@@ -1,0 +1,96 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <string>
+
+namespace ecfd {
+
+// Defined in message.cpp.
+std::string message_counter_key(const Message& m);
+
+Network::Network(sim::Scheduler& sched, int n, Rng rng,
+                 sim::Counters& counters, sim::Trace& trace)
+    : sched_(sched),
+      n_(n),
+      rng_(rng),
+      counters_(counters),
+      trace_(trace),
+      links_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)),
+      blocked_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0) {
+  assert(n > 0);
+  // Default: reliable links with modest jitter.
+  set_links([](ProcessId, ProcessId) {
+    return std::make_unique<ReliableLink>(usec(200), msec(2));
+  });
+}
+
+void Network::set_links(const LinkFactory& factory) {
+  for (ProcessId s = 0; s < n_; ++s) {
+    for (ProcessId d = 0; d < n_; ++d) {
+      if (s != d) links_[idx(s, d)] = factory(s, d);
+    }
+  }
+}
+
+void Network::set_link(ProcessId src, ProcessId dst,
+                       std::unique_ptr<LinkModel> link) {
+  assert(src != dst);
+  links_[idx(src, dst)] = std::move(link);
+}
+
+void Network::set_blocked(ProcessId src, ProcessId dst, bool blocked) {
+  blocked_[idx(src, dst)] = blocked ? 1 : 0;
+}
+
+void Network::partition(const ProcessSet& group_a) {
+  for (ProcessId s = 0; s < n_; ++s) {
+    for (ProcessId d = 0; d < n_; ++d) {
+      if (s == d) continue;
+      if (group_a.contains(s) != group_a.contains(d)) {
+        blocked_[idx(s, d)] = 1;
+      }
+    }
+  }
+}
+
+void Network::heal() {
+  for (auto& b : blocked_) b = 0;
+}
+
+void Network::send(const Message& m) {
+  assert(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_);
+  assert(sink_ && "Network sink not installed");
+  ++sent_total_;
+  counters_.add(message_counter_key(m) + ".sent");
+
+  std::optional<DurUs> delay;
+  if (m.src == m.dst) {
+    delay = self_delay_;
+  } else if (blocked_[idx(m.src, m.dst)]) {
+    delay = std::nullopt;
+  } else {
+    LinkModel* link = links_[idx(m.src, m.dst)].get();
+    assert(link && "missing link model");
+    delay = link->sample_delay(sched_.now(), rng_);
+  }
+
+  if (!delay.has_value()) {
+    ++dropped_total_;
+    counters_.add(message_counter_key(m) + ".dropped");
+    return;
+  }
+
+  if (trace_.enabled()) {
+    trace_.emit(sched_.now(), m.src, "net.send",
+                std::string(m.label) + " -> p" + std::to_string(m.dst));
+  }
+
+  // Copy the message into the closure; payload is shared, so this is cheap.
+  Message copy = m;
+  sched_.schedule_after(*delay, [this, copy = std::move(copy)]() {
+    ++delivered_total_;
+    sink_(copy);
+  });
+}
+
+}  // namespace ecfd

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/message.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+/// \file network.hpp
+/// The simulated message-passing fabric: n processes, one LinkModel per
+/// ordered pair, loss/partition injection and message accounting.
+
+namespace ecfd {
+
+/// Simulated network. Owns the link models; delivery is handed to a sink
+/// callback installed by the System (which routes to process hosts).
+class Network {
+ public:
+  using DeliverySink = std::function<void(const Message&)>;
+
+  Network(sim::Scheduler& sched, int n, Rng rng, sim::Counters& counters,
+          sim::Trace& trace);
+
+  [[nodiscard]] int n() const { return n_; }
+
+  /// Installs the delivery sink (called once by the System).
+  void set_sink(DeliverySink sink) { sink_ = std::move(sink); }
+
+  /// Replaces every directed link using \p factory.
+  void set_links(const LinkFactory& factory);
+
+  /// Replaces a single directed link.
+  void set_link(ProcessId src, ProcessId dst, std::unique_ptr<LinkModel> link);
+
+  /// Blocks/unblocks a directed link (messages silently dropped while
+  /// blocked). Used to create partitions.
+  void set_blocked(ProcessId src, ProcessId dst, bool blocked);
+
+  /// Blocks both directions between every pair (a, b) with a in \p group_a
+  /// and b not in it — a full partition.
+  void partition(const ProcessSet& group_a);
+
+  /// Removes every block.
+  void heal();
+
+  /// Sends \p m (src/dst must be stamped). Samples the link model for a
+  /// delay, schedules the delivery, and keeps counters.
+  void send(const Message& m);
+
+  /// Delay applied to self-addressed messages (they bypass link models).
+  void set_self_delay(DurUs d) { self_delay_ = d; }
+
+  [[nodiscard]] std::int64_t sent_total() const { return sent_total_; }
+  [[nodiscard]] std::int64_t delivered_total() const { return delivered_total_; }
+  [[nodiscard]] std::int64_t dropped_total() const { return dropped_total_; }
+
+ private:
+  [[nodiscard]] std::size_t idx(ProcessId src, ProcessId dst) const {
+    return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(dst);
+  }
+
+  sim::Scheduler& sched_;
+  int n_;
+  Rng rng_;
+  sim::Counters& counters_;
+  sim::Trace& trace_;
+  DeliverySink sink_;
+  std::vector<std::unique_ptr<LinkModel>> links_;
+  std::vector<char> blocked_;
+  DurUs self_delay_{1};
+  std::int64_t sent_total_{0};
+  std::int64_t delivered_total_{0};
+  std::int64_t dropped_total_{0};
+};
+
+}  // namespace ecfd

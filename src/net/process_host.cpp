@@ -1,0 +1,79 @@
+#include "net/process_host.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ecfd {
+
+ProcessHost::ProcessHost(ProcessId id, int n, sim::Scheduler& sched,
+                         Network& network, sim::Trace& trace, Rng rng)
+    : id_(id), n_(n), sched_(sched), network_(network), trace_(trace),
+      rng_(rng) {}
+
+void ProcessHost::add_protocol(std::unique_ptr<Protocol> proto) {
+  assert(proto != nullptr);
+  const ProtocolId pid = proto->protocol_id();
+  assert(by_id_.find(pid) == by_id_.end() && "duplicate protocol id on host");
+  by_id_.emplace(pid, proto.get());
+  owned_.push_back(std::move(proto));
+}
+
+void ProcessHost::start() {
+  for (auto& p : owned_) p->start();
+}
+
+void ProcessHost::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  crash_time_ = sched_.now();
+  for (TimerId t : live_timers_) sched_.cancel(t);
+  live_timers_.clear();
+  if (trace_.enabled()) trace_.emit(sched_.now(), id_, "crash", "");
+}
+
+void ProcessHost::deliver(const Message& m) {
+  if (crashed_) return;
+  auto it = by_id_.find(m.protocol);
+  if (it == by_id_.end()) return;  // no such protocol on this host
+  it->second->on_message(m);
+}
+
+Protocol* ProcessHost::protocol(ProtocolId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+void ProcessHost::send(ProcessId dst, Message m) {
+  if (crashed_) return;
+  assert(dst >= 0 && dst < n_);
+  m.src = id_;
+  m.dst = dst;
+  network_.send(m);
+}
+
+TimerId ProcessHost::set_timer(DurUs delay, std::function<void()> fn) {
+  if (crashed_) return kInvalidTimer;
+  // The wrapper must remove its own id from the live set when it fires, but
+  // the id is only known after scheduling — hence the shared cell.
+  auto id_cell = std::make_shared<TimerId>(kInvalidTimer);
+  const sim::EventId id = sched_.schedule_after(
+      delay, [this, id_cell, fn = std::move(fn)]() {
+        live_timers_.erase(*id_cell);
+        if (!crashed_) fn();
+      });
+  *id_cell = id;
+  live_timers_.insert(id);
+  return id;
+}
+
+void ProcessHost::cancel_timer(TimerId id) {
+  if (id == kInvalidTimer) return;
+  sched_.cancel(id);
+  live_timers_.erase(id);
+}
+
+void ProcessHost::trace(const std::string& tag, const std::string& detail) {
+  if (trace_.enabled()) trace_.emit(sched_.now(), id_, tag, detail);
+}
+
+}  // namespace ecfd

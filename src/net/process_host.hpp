@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/env.hpp"
+#include "net/network.hpp"
+#include "sim/scheduler.hpp"
+
+/// \file process_host.hpp
+/// A simulated process: hosts a stack of protocol instances, implements Env
+/// for them, and models crash-stop failures (Section 2.1 — a crashed
+/// process permanently stops sending, receiving and executing timers).
+
+namespace ecfd {
+
+class ProcessHost final : public Env {
+ public:
+  ProcessHost(ProcessId id, int n, sim::Scheduler& sched, Network& network,
+              sim::Trace& trace, Rng rng);
+
+  /// Registers a protocol instance. The host owns it. Protocol ids must be
+  /// unique within a host.
+  void add_protocol(std::unique_ptr<Protocol> proto);
+
+  /// Constructs and registers a protocol of type P with (Env&, args...).
+  template <class P, class... Args>
+  P& emplace(Args&&... args) {
+    auto owned = std::make_unique<P>(*this, std::forward<Args>(args)...);
+    P& ref = *owned;
+    add_protocol(std::move(owned));
+    return ref;
+  }
+
+  /// Starts every registered protocol (in registration order).
+  void start();
+
+  /// Crash-stop: irreversibly silences the process.
+  void crash();
+  [[nodiscard]] bool crashed() const { return crashed_; }
+  [[nodiscard]] TimeUs crash_time() const { return crash_time_; }
+
+  /// Delivers an inbound message to the protocol registered under
+  /// m.protocol. Messages for crashed hosts or unknown protocols are
+  /// dropped.
+  void deliver(const Message& m);
+
+  /// Protocol lookup (nullptr when absent); used by tests.
+  [[nodiscard]] Protocol* protocol(ProtocolId id) const;
+
+  // --- Env interface -------------------------------------------------
+  [[nodiscard]] TimeUs now() const override { return sched_.now(); }
+  void send(ProcessId dst, Message m) override;
+  TimerId set_timer(DurUs delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] ProcessId self() const override { return id_; }
+  [[nodiscard]] int n() const override { return n_; }
+  Rng& rng() override { return rng_; }
+  void trace(const std::string& tag, const std::string& detail) override;
+
+ private:
+  ProcessId id_;
+  int n_;
+  sim::Scheduler& sched_;
+  Network& network_;
+  sim::Trace& trace_;
+  Rng rng_;
+  bool crashed_{false};
+  TimeUs crash_time_{kTimeNever};
+  std::vector<std::unique_ptr<Protocol>> owned_;
+  std::unordered_map<ProtocolId, Protocol*> by_id_;
+  std::unordered_set<TimerId> live_timers_;
+};
+
+}  // namespace ecfd

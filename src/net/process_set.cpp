@@ -1,0 +1,97 @@
+#include "net/process_set.hpp"
+
+#include <bit>
+#include <cassert>
+#include <sstream>
+
+namespace ecfd {
+
+ProcessSet ProcessSet::full(int n) {
+  ProcessSet s(n);
+  for (ProcessId p = 0; p < n; ++p) s.add(p);
+  return s;
+}
+
+void ProcessSet::add(ProcessId p) {
+  assert(p >= 0 && p < n_);
+  bits_[static_cast<std::size_t>(p) / 64] |= (1ULL << (p % 64));
+}
+
+void ProcessSet::remove(ProcessId p) {
+  assert(p >= 0 && p < n_);
+  bits_[static_cast<std::size_t>(p) / 64] &= ~(1ULL << (p % 64));
+}
+
+bool ProcessSet::contains(ProcessId p) const {
+  if (p < 0 || p >= n_) return false;
+  return (bits_[static_cast<std::size_t>(p) / 64] >> (p % 64)) & 1ULL;
+}
+
+int ProcessSet::size() const {
+  int c = 0;
+  for (auto w : bits_) c += std::popcount(w);
+  return c;
+}
+
+ProcessId ProcessSet::first() const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (bits_[i] != 0) {
+      const int p = static_cast<int>(i * 64) + std::countr_zero(bits_[i]);
+      return p < n_ ? p : kNoProcess;
+    }
+  }
+  return kNoProcess;
+}
+
+ProcessId ProcessSet::first_excluded() const {
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!contains(p)) return p;
+  }
+  return kNoProcess;
+}
+
+std::vector<ProcessId> ProcessSet::members() const {
+  std::vector<ProcessId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+ProcessSet& ProcessSet::operator|=(const ProcessSet& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] |= other.bits_[i];
+  return *this;
+}
+
+ProcessSet& ProcessSet::operator&=(const ProcessSet& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= other.bits_[i];
+  return *this;
+}
+
+ProcessSet& ProcessSet::operator-=(const ProcessSet& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < bits_.size(); ++i) bits_[i] &= ~other.bits_[i];
+  return *this;
+}
+
+std::string ProcessSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first_item = true;
+  for (ProcessId p : members()) {
+    if (!first_item) os << ',';
+    os << 'p' << p;
+    first_item = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+void ProcessSet::clear() {
+  for (auto& w : bits_) w = 0;
+}
+
+}  // namespace ecfd

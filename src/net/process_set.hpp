@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file process_set.hpp
+/// Identifiers for the process universe Π = {p_0, ..., p_{n-1}} and a
+/// compact set-of-processes type used for suspected sets.
+
+namespace ecfd {
+
+/// Process identifier, 0-based ("p1" in the paper is id 0 here).
+using ProcessId = int;
+
+inline constexpr ProcessId kNoProcess = -1;
+
+/// A subset of a fixed process universe of size n, stored as a bitset.
+///
+/// This is the "set of suspected processes" representation returned by
+/// failure detectors; it supports the set algebra the algorithms need and
+/// value-compares cheaply (used heavily by property checkers).
+class ProcessSet {
+ public:
+  ProcessSet() = default;
+
+  /// Empty set over a universe of \p n processes.
+  explicit ProcessSet(int n) : n_(n), bits_((static_cast<std::size_t>(n) + 63) / 64, 0) {}
+
+  /// Full universe {0..n-1}.
+  static ProcessSet full(int n);
+
+  [[nodiscard]] int universe_size() const { return n_; }
+
+  void add(ProcessId p);
+  void remove(ProcessId p);
+  [[nodiscard]] bool contains(ProcessId p) const;
+
+  /// Number of members.
+  [[nodiscard]] int size() const;
+  [[nodiscard]] bool empty() const { return size() == 0; }
+
+  /// Smallest member, or kNoProcess when empty.
+  [[nodiscard]] ProcessId first() const;
+
+  /// Smallest id in the universe NOT in the set, or kNoProcess if the set
+  /// is the full universe. This is the paper's "first non-suspected
+  /// process" rule used to derive a leader from a suspected set.
+  [[nodiscard]] ProcessId first_excluded() const;
+
+  /// Members in increasing order.
+  [[nodiscard]] std::vector<ProcessId> members() const;
+
+  ProcessSet& operator|=(const ProcessSet& other);
+  ProcessSet& operator&=(const ProcessSet& other);
+  /// Set difference (this \ other).
+  ProcessSet& operator-=(const ProcessSet& other);
+
+  friend ProcessSet operator|(ProcessSet a, const ProcessSet& b) { return a |= b; }
+  friend ProcessSet operator&(ProcessSet a, const ProcessSet& b) { return a &= b; }
+  friend ProcessSet operator-(ProcessSet a, const ProcessSet& b) { return a -= b; }
+
+  bool operator==(const ProcessSet& other) const = default;
+
+  /// "{p0,p3,p4}" rendering for traces and test failure messages.
+  [[nodiscard]] std::string to_string() const;
+
+  void clear();
+
+ private:
+  int n_{0};
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace ecfd

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "net/message.hpp"
+
+/// \file protocol_ids.hpp
+/// Central allocation of protocol ids so that independently developed
+/// protocol stacks never collide. A message's protocol id must resolve to
+/// the same protocol class on every host.
+
+namespace ecfd {
+
+namespace protocol_ids {
+inline constexpr ProtocolId kHeartbeatP = 1;     ///< fd/heartbeat_p
+inline constexpr ProtocolId kRingFd = 2;         ///< fd/ring_fd
+inline constexpr ProtocolId kLeaderCandidate = 3;///< fd/leader_candidate
+inline constexpr ProtocolId kOmegaFromS = 4;     ///< fd/omega_from_s
+inline constexpr ProtocolId kWToS = 5;           ///< fd/w_to_s
+inline constexpr ProtocolId kCToP = 6;           ///< core/c_to_p (Fig. 2)
+inline constexpr ProtocolId kReliableBroadcast = 7;  ///< broadcast/
+inline constexpr ProtocolId kConsensusC = 8;     ///< core/consensus_c (Figs. 3-4)
+inline constexpr ProtocolId kConsensusCT = 9;    ///< consensus/chandra_toueg
+inline constexpr ProtocolId kConsensusMR = 10;   ///< consensus/mr_omega
+inline constexpr ProtocolId kScriptedFd = 11;    ///< fd/scripted_fd (no messages)
+inline constexpr ProtocolId kEfficientP = 12;    ///< fd/efficient_p (Sec. 4 piggyback)
+inline constexpr ProtocolId kStableLeader = 13;  ///< fd/stable_leader ([2])
+inline constexpr ProtocolId kHeartbeatCounter = 14;  ///< fd/heartbeat_counter ([1])
+inline constexpr ProtocolId kTesting = 100;      ///< unit-test scratch protocols
+}  // namespace protocol_ids
+
+}  // namespace ecfd

@@ -1,0 +1,47 @@
+#include "net/scenario.hpp"
+
+namespace ecfd {
+
+std::unique_ptr<System> make_system(const ScenarioConfig& cfg) {
+  auto sys = std::make_unique<System>(cfg.n, cfg.seed);
+
+  switch (cfg.links) {
+    case LinkKind::kReliable:
+      sys->network().set_links([&cfg](ProcessId, ProcessId) {
+        return std::make_unique<ReliableLink>(cfg.min_delay, cfg.max_delay);
+      });
+      break;
+    case LinkKind::kPartialSync:
+      sys->network().set_links([&cfg](ProcessId, ProcessId) {
+        PartialSyncLink::Config lc;
+        lc.gst = cfg.gst;
+        lc.delta = cfg.delta;
+        lc.pre_min = cfg.min_delay;
+        lc.pre_max = cfg.pre_gst_max;
+        return std::make_unique<PartialSyncLink>(lc);
+      });
+      break;
+    case LinkKind::kFairLossy:
+      sys->network().set_links([&cfg](ProcessId, ProcessId) {
+        FairLossyLink::Config lc;
+        lc.loss_p = cfg.loss_p;
+        lc.force_deliver_every = cfg.force_deliver_every;
+        lc.min_delay = cfg.min_delay;
+        lc.max_delay = cfg.max_delay;
+        return std::make_unique<FairLossyLink>(lc);
+      });
+      break;
+    case LinkKind::kAsync:
+      sys->network().set_links([&cfg](ProcessId, ProcessId) {
+        return std::make_unique<AsyncLink>(cfg.mean_delay);
+      });
+      break;
+  }
+
+  for (const CrashPlan& c : cfg.crashes) {
+    sys->crash_at(c.process, c.at);
+  }
+  return sys;
+}
+
+}  // namespace ecfd

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/system.hpp"
+
+/// \file scenario.hpp
+/// Declarative run configurations shared by tests and benchmarks, so a
+/// scenario is fully described by a small value type and a seed.
+
+namespace ecfd {
+
+/// Which timing model every link follows.
+enum class LinkKind {
+  kReliable,      ///< uniform delay in [min_delay, max_delay], no loss
+  kPartialSync,   ///< arbitrary before GST, bounded by delta after
+  kFairLossy,     ///< lossy but fair
+  kAsync,         ///< exponential unbounded delays
+};
+
+/// A planned crash.
+struct CrashPlan {
+  ProcessId process{kNoProcess};
+  TimeUs at{0};
+};
+
+/// Everything needed to build a reproducible System.
+struct ScenarioConfig {
+  int n{5};
+  std::uint64_t seed{1};
+  LinkKind links{LinkKind::kPartialSync};
+
+  // kReliable / kFairLossy delay band.
+  DurUs min_delay{usec(200)};
+  DurUs max_delay{msec(2)};
+
+  // kPartialSync parameters.
+  TimeUs gst{msec(200)};
+  DurUs delta{msec(5)};
+  DurUs pre_gst_max{msec(300)};
+
+  // kFairLossy parameters.
+  double loss_p{0.2};
+  int force_deliver_every{8};
+
+  // kAsync parameter.
+  DurUs mean_delay{msec(2)};
+
+  std::vector<CrashPlan> crashes;
+
+  /// Convenience: crash the given processes at the given times.
+  ScenarioConfig& with_crash(ProcessId p, TimeUs at) {
+    crashes.push_back(CrashPlan{p, at});
+    return *this;
+  }
+};
+
+/// Builds a System with links and crash schedule configured (protocols are
+/// installed by the caller before start()).
+std::unique_ptr<System> make_system(const ScenarioConfig& cfg);
+
+}  // namespace ecfd

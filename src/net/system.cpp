@@ -1,0 +1,54 @@
+#include "net/system.hpp"
+
+#include <cassert>
+
+namespace ecfd {
+
+System::System(int n, std::uint64_t seed)
+    : n_(n),
+      master_rng_(seed),
+      network_(sched_, n, master_rng_.split(), counters_, trace_) {
+  assert(n > 0);
+  hosts_.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    hosts_.push_back(std::make_unique<ProcessHost>(
+        p, n, sched_, network_, trace_, master_rng_.split()));
+  }
+  network_.set_sink([this](const Message& m) {
+    hosts_[static_cast<std::size_t>(m.dst)]->deliver(m);
+  });
+}
+
+void System::start() {
+  assert(!started_ && "System::start called twice");
+  started_ = true;
+  for (auto& h : hosts_) h->start();
+}
+
+void System::crash_at(ProcessId p, TimeUs at) {
+  assert(p >= 0 && p < n_);
+  sched_.schedule_at(at, [this, p]() { hosts_[static_cast<std::size_t>(p)]->crash(); });
+}
+
+void System::crash_now(ProcessId p) {
+  assert(p >= 0 && p < n_);
+  hosts_[static_cast<std::size_t>(p)]->crash();
+}
+
+ProcessSet System::alive() const {
+  ProcessSet s(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (!hosts_[static_cast<std::size_t>(p)]->crashed()) s.add(p);
+  }
+  return s;
+}
+
+ProcessSet System::crashed() const {
+  ProcessSet s(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    if (hosts_[static_cast<std::size_t>(p)]->crashed()) s.add(p);
+  }
+  return s;
+}
+
+}  // namespace ecfd

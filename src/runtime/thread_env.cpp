@@ -1,0 +1,176 @@
+#include "runtime/thread_env.hpp"
+
+#include <cassert>
+
+namespace ecfd::runtime {
+
+// ----------------------------------------------------------------- host
+
+ThreadHost::ThreadHost(ThreadSystem& sys, ProcessId id, int n,
+                       std::uint64_t seed)
+    : sys_(sys), id_(id), n_(n), rng_(seed) {}
+
+ThreadHost::~ThreadHost() { stop_thread(); }
+
+void ThreadHost::add_protocol(std::unique_ptr<Protocol> proto) {
+  assert(proto != nullptr);
+  const ProtocolId pid = proto->protocol_id();
+  assert(by_id_.find(pid) == by_id_.end());
+  by_id_.emplace(pid, proto.get());
+  owned_.push_back(std::move(proto));
+}
+
+void ThreadHost::post_at(TimeUs when, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    queue_.push(Work{when, next_seq_++, kInvalidTimer, std::move(fn)});
+  }
+  cv_.notify_one();
+}
+
+TimeUs ThreadHost::now() const { return sys_.now(); }
+
+void ThreadHost::send(ProcessId dst, Message m) {
+  if (crashed()) return;
+  m.src = id_;
+  m.dst = dst;
+  sys_.route(m);
+}
+
+TimerId ThreadHost::set_timer(DurUs delay, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ || crashed_) return kInvalidTimer;
+    id = next_timer_++;
+    queue_.push(Work{now() + delay, next_seq_++, id, std::move(fn)});
+  }
+  cv_.notify_one();
+  return id;
+}
+
+void ThreadHost::cancel_timer(TimerId id) {
+  if (id == kInvalidTimer) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  cancelled_.insert(id);
+}
+
+void ThreadHost::trace(const std::string&, const std::string&) {
+  // The threaded runtime keeps no trace; attach a debugger or add printf
+  // locally when needed.
+}
+
+void ThreadHost::crash() {
+  std::lock_guard<std::mutex> lock(mu_);
+  crashed_ = true;
+}
+
+bool ThreadHost::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+void ThreadHost::deliver(const Message& m) {
+  post([this, m]() {
+    auto it = by_id_.find(m.protocol);
+    if (it != by_id_.end()) it->second->on_message(m);
+  });
+}
+
+void ThreadHost::start_thread() {
+  thread_ = std::thread([this]() { run_loop(); });
+}
+
+void ThreadHost::stop_thread() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_one();
+  if (thread_.joinable()) thread_.join();
+}
+
+void ThreadHost::run_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const TimeUs due = queue_.top().when;
+    const TimeUs current = sys_.now();
+    if (due > current) {
+      cv_.wait_for(lock, std::chrono::microseconds(due - current));
+      continue;
+    }
+    Work w = queue_.top();
+    queue_.pop();
+    if (w.timer != kInvalidTimer) {
+      auto it = cancelled_.find(w.timer);
+      if (it != cancelled_.end()) {
+        cancelled_.erase(it);
+        continue;
+      }
+    }
+    if (crashed_) continue;  // a crashed process executes nothing
+    lock.unlock();
+    w.fn();
+    lock.lock();
+  }
+}
+
+// --------------------------------------------------------------- system
+
+ThreadSystem::ThreadSystem(Config cfg)
+    : cfg_(cfg),
+      epoch_(std::chrono::steady_clock::now()),
+      route_rng_(cfg.seed ^ 0x5bd1e995) {
+  assert(cfg_.n > 0);
+  Rng seeder(cfg_.seed);
+  hosts_.reserve(static_cast<std::size_t>(cfg_.n));
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    hosts_.push_back(
+        std::make_unique<ThreadHost>(*this, p, cfg_.n, seeder.next()));
+  }
+}
+
+ThreadSystem::~ThreadSystem() {
+  for (auto& h : hosts_) h->stop_thread();
+}
+
+TimeUs ThreadSystem::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void ThreadSystem::start() {
+  assert(!started_);
+  started_ = true;
+  for (auto& h : hosts_) h->start_thread();
+  for (auto& h : hosts_) {
+    ThreadHost* host = h.get();
+    host->post([host]() {
+      for (auto& proto : host->owned_) proto->start();
+    });
+  }
+}
+
+void ThreadSystem::route(const Message& m) {
+  DurUs delay;
+  {
+    std::lock_guard<std::mutex> lock(route_mu_);
+    if (route_rng_.chance(cfg_.loss_p)) return;  // lost
+    delay = route_rng_.range(cfg_.min_delay, cfg_.max_delay);
+  }
+  ThreadHost& dst = *hosts_[static_cast<std::size_t>(m.dst)];
+  if (dst.crashed()) return;
+  dst.post_at(now() + delay, [&dst, m]() {
+    auto it = dst.by_id_.find(m.protocol);
+    if (it != dst.by_id_.end() && !dst.crashed()) it->second->on_message(m);
+  });
+}
+
+}  // namespace ecfd::runtime

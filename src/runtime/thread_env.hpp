@@ -1,0 +1,148 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/env.hpp"
+
+/// \file thread_env.hpp
+/// The non-simulated runtime: every process is a real std::thread with its
+/// own executor, timers run on the wall clock, and message passing goes
+/// through in-process queues with injected delay and loss. Protocols are
+/// written against Env, so the exact same classes that run under the
+/// deterministic simulator run here — this is the library's answer to
+/// deploying the paper's algorithms on a real asynchronous substrate.
+///
+/// Unlike the simulator, execution is nondeterministic; tests against this
+/// runtime assert eventual properties with generous deadlines.
+
+namespace ecfd::runtime {
+
+class ThreadSystem;
+
+/// One process: a thread draining a deadline-ordered work queue.
+class ThreadHost final : public Env {
+ public:
+  ThreadHost(ThreadSystem& sys, ProcessId id, int n, std::uint64_t seed);
+  ~ThreadHost() override;
+
+  ThreadHost(const ThreadHost&) = delete;
+  ThreadHost& operator=(const ThreadHost&) = delete;
+
+  /// Registers a protocol (must happen before ThreadSystem::start()).
+  void add_protocol(std::unique_ptr<Protocol> proto);
+
+  template <class P, class... Args>
+  P& emplace(Args&&... args) {
+    auto owned = std::make_unique<P>(*this, std::forward<Args>(args)...);
+    P& ref = *owned;
+    add_protocol(std::move(owned));
+    return ref;
+  }
+
+  /// Runs \p fn on this process's thread as soon as possible.
+  void post(std::function<void()> fn) { post_at(now(), std::move(fn)); }
+
+  /// Runs \p fn on this process's thread at absolute time \p when (us).
+  void post_at(TimeUs when, std::function<void()> fn);
+
+  /// Crash-stop: silences the process (thread keeps draining nothing).
+  void crash();
+  [[nodiscard]] bool crashed() const;
+
+  // --- Env ------------------------------------------------------------
+  [[nodiscard]] TimeUs now() const override;
+  void send(ProcessId dst, Message m) override;
+  TimerId set_timer(DurUs delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] ProcessId self() const override { return id_; }
+  [[nodiscard]] int n() const override { return n_; }
+  Rng& rng() override { return rng_; }
+  void trace(const std::string& tag, const std::string& detail) override;
+
+ private:
+  friend class ThreadSystem;
+
+  struct Work {
+    TimeUs when{};
+    std::uint64_t seq{};
+    TimerId timer{kInvalidTimer};
+    std::function<void()> fn;
+  };
+  struct WorkLater {
+    bool operator()(const Work& a, const Work& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  void run_loop();
+  void start_thread();
+  void stop_thread();
+  void deliver(const Message& m);
+
+  ThreadSystem& sys_;
+  ProcessId id_;
+  int n_;
+  Rng rng_;  // only touched from this host's thread (and pre-start setup)
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<Work, std::vector<Work>, WorkLater> queue_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_{1};
+  TimerId next_timer_{1};
+  bool stopping_{false};
+  bool crashed_{false};
+
+  std::vector<std::unique_ptr<Protocol>> owned_;
+  std::unordered_map<ProtocolId, Protocol*> by_id_;
+  std::thread thread_;
+};
+
+/// The whole threaded system: n hosts plus the message fabric.
+class ThreadSystem {
+ public:
+  struct Config {
+    int n{3};
+    std::uint64_t seed{1};
+    DurUs min_delay{usec(200)};
+    DurUs max_delay{msec(5)};
+    double loss_p{0.0};
+  };
+
+  explicit ThreadSystem(Config cfg);
+  ~ThreadSystem();
+
+  ThreadSystem(const ThreadSystem&) = delete;
+  ThreadSystem& operator=(const ThreadSystem&) = delete;
+
+  [[nodiscard]] int n() const { return cfg_.n; }
+  ThreadHost& host(ProcessId p) { return *hosts_[static_cast<std::size_t>(p)]; }
+
+  /// Starts all threads and protocol stacks.
+  void start();
+
+  /// Wall-clock microseconds since construction.
+  [[nodiscard]] TimeUs now() const;
+
+  /// Routes a message (delay/loss applied); called by hosts.
+  void route(const Message& m);
+
+ private:
+  Config cfg_;
+  std::chrono::steady_clock::time_point epoch_;
+  std::mutex route_mu_;  // guards route_rng_
+  Rng route_rng_;
+  std::vector<std::unique_ptr<ThreadHost>> hosts_;
+  bool started_{false};
+};
+
+}  // namespace ecfd::runtime

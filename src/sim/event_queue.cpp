@@ -1,0 +1,50 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace ecfd::sim {
+
+EventId EventQueue::schedule(TimeUs when, Action action) {
+  const EventId id = next_id_++;
+  auto owned = std::make_unique<Entry>(Entry{when, id, std::move(action), false});
+  heap_.push(owned.get());
+  entries_.emplace(id, std::move(owned));
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() || it->second->cancelled) return false;
+  it->second->cancelled = true;
+  it->second->action = nullptr;  // release any captured state promptly
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && heap_.top()->cancelled) {
+    Entry* e = heap_.top();
+    heap_.pop();
+    entries_.erase(e->id);
+  }
+}
+
+TimeUs EventQueue::next_time() {
+  drop_cancelled_head();
+  return heap_.empty() ? kTimeNever : heap_.top()->time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  assert(!heap_.empty() && "pop() on empty EventQueue");
+  Entry* e = heap_.top();
+  heap_.pop();
+  --live_;
+  Fired f{e->time, e->id, std::move(e->action)};
+  entries_.erase(e->id);
+  return f;
+}
+
+}  // namespace ecfd::sim

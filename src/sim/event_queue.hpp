@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file event_queue.hpp
+/// Priority queue of timed events with deterministic tie-breaking and
+/// O(1) lazy cancellation.
+
+namespace ecfd::sim {
+
+/// Identifier of a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Min-heap of (time, sequence) ordered events.
+///
+/// Two events scheduled for the same instant fire in scheduling order, which
+/// makes whole simulations bit-reproducible. Cancellation is lazy: cancelled
+/// entries stay in the heap and are skipped on pop.
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules \p action at absolute time \p when. Returns its id.
+  EventId schedule(TimeUs when, Action action);
+
+  /// Cancels a pending event. Returns false if the id is unknown, already
+  /// fired, or already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event; kTimeNever when empty.
+  [[nodiscard]] TimeUs next_time();
+
+  /// Fired event, returned by pop().
+  struct Fired {
+    TimeUs time{};
+    EventId id{kInvalidEvent};
+    Action action{};
+  };
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  Fired pop();
+
+ private:
+  struct Entry {
+    TimeUs time{};
+    EventId id{};
+    Action action{};
+    bool cancelled{false};
+  };
+
+  struct Cmp {
+    // std::priority_queue is a max-heap; invert to get (time, id) min order.
+    bool operator()(const Entry* a, const Entry* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->id > b->id;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry*, std::vector<Entry*>, Cmp> heap_;
+  std::unordered_map<EventId, std::unique_ptr<Entry>> entries_;
+  EventId next_id_{1};
+  std::size_t live_{0};
+};
+
+}  // namespace ecfd::sim

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "sim/time.hpp"
+
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// Every source of randomness in a simulation (link delays, loss decisions,
+/// workload generation) draws from an Rng seeded from the scenario seed, so a
+/// run is reproducible from (topology, scenario, seed).
+
+namespace ecfd {
+
+/// xoshiro256** by Blackman & Vigna, seeded via splitmix64.
+///
+/// Satisfies the UniformRandomBitGenerator requirements so it can also be
+/// plugged into <random> distributions when needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from a 64-bit seed (splitmix64 expansion).
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound). Returns 0 when bound == 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p of returning true.
+  bool chance(double p);
+
+  /// Exponentially distributed duration with the given mean (>= 0).
+  DurUs exponential(DurUs mean);
+
+  /// Derives an independent child generator; used to give each process /
+  /// link its own stream from one scenario seed.
+  Rng split();
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace ecfd

@@ -1,0 +1,45 @@
+#include "sim/scheduler.hpp"
+
+#include <utility>
+
+namespace ecfd::sim {
+
+EventId Scheduler::schedule_after(DurUs delay, EventQueue::Action action) {
+  if (delay < 0) delay = 0;
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Scheduler::schedule_at(TimeUs when, EventQueue::Action action) {
+  if (when < now_) when = now_;
+  return queue_.schedule(when, std::move(action));
+}
+
+std::size_t Scheduler::run_until(TimeUs deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    auto fired = queue_.pop();
+    now_ = fired.time;
+    ++fired_;
+    ++n;
+    if (fired.action) fired.action();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+bool Scheduler::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  now_ = fired.time;
+  ++fired_;
+  if (fired.action) fired.action();
+  return true;
+}
+
+}  // namespace ecfd::sim

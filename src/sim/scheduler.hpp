@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+/// \file scheduler.hpp
+/// The discrete-event simulation clock and executor.
+
+namespace ecfd::sim {
+
+/// Single-threaded discrete-event scheduler.
+///
+/// Owns the virtual clock. Events execute in (time, scheduling-order)
+/// sequence; an executing event may schedule or cancel further events.
+class Scheduler {
+ public:
+  /// Current virtual time.
+  [[nodiscard]] TimeUs now() const { return now_; }
+
+  /// Schedules \p action to run \p delay after now (delay < 0 clamps to 0).
+  EventId schedule_after(DurUs delay, EventQueue::Action action);
+
+  /// Schedules \p action at absolute time \p when (past times clamp to now).
+  EventId schedule_at(TimeUs when, EventQueue::Action action);
+
+  /// Cancels a pending event; false if already fired/cancelled/unknown.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue is empty or the virtual clock would pass
+  /// \p deadline. The clock is left at min(deadline, last event time...)
+  /// — precisely: at deadline if reached, else at the last fired event.
+  /// Returns the number of events fired.
+  std::size_t run_until(TimeUs deadline);
+
+  /// Runs until the queue is empty. Returns the number of events fired.
+  std::size_t run();
+
+  /// Fires at most one event. Returns false when the queue is empty.
+  bool step();
+
+  /// Number of live pending events.
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events fired so far.
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  EventQueue queue_;
+  TimeUs now_{0};
+  std::uint64_t fired_{0};
+};
+
+}  // namespace ecfd::sim

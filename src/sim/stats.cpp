@@ -1,0 +1,60 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace ecfd::sim {
+
+void Counters::add(const std::string& key, std::int64_t delta) {
+  values_[key] += delta;
+}
+
+std::int64_t Counters::get(const std::string& key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? 0 : it->second;
+}
+
+std::int64_t Counters::sum_prefix(const std::string& prefix) const {
+  std::int64_t total = 0;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second;
+  }
+  return total;
+}
+
+double Summary::sum() const {
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0);
+}
+
+double Summary::mean() const { return xs_.empty() ? 0.0 : sum() / count(); }
+
+void Summary::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(xs_.begin(), xs_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::min() const {
+  assert(!xs_.empty());
+  ensure_sorted();
+  return xs_.front();
+}
+
+double Summary::max() const {
+  assert(!xs_.empty());
+  ensure_sorted();
+  return xs_.back();
+}
+
+double Summary::percentile(double q) const {
+  assert(!xs_.empty());
+  ensure_sorted();
+  if (q <= 0.0) return xs_.front();
+  if (q >= 1.0) return xs_.back();
+  const auto idx = static_cast<std::size_t>(q * static_cast<double>(xs_.size() - 1) + 0.5);
+  return xs_[std::min(idx, xs_.size() - 1)];
+}
+
+}  // namespace ecfd::sim

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file stats.hpp
+/// Named counters and scalar summaries used for experiment accounting
+/// (messages per protocol/type, detection latencies, rounds to decide...).
+
+namespace ecfd::sim {
+
+/// A registry of named monotonic counters.
+///
+/// Keys are free-form strings; the networking layer uses
+/// "msg.<protocol>.<type>" so experiments can aggregate by prefix.
+class Counters {
+ public:
+  /// Adds \p delta (default 1) to counter \p key, creating it at 0.
+  void add(const std::string& key, std::int64_t delta = 1);
+
+  /// Current value; 0 for unknown keys.
+  [[nodiscard]] std::int64_t get(const std::string& key) const;
+
+  /// Sum of all counters whose key starts with \p prefix.
+  [[nodiscard]] std::int64_t sum_prefix(const std::string& prefix) const;
+
+  /// All counters, sorted by key.
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const {
+    return values_;
+  }
+
+  void reset() { values_.clear(); }
+
+ private:
+  std::map<std::string, std::int64_t> values_;
+};
+
+/// Online summary of a stream of scalar observations.
+///
+/// Stores the observations so min/max/mean/percentiles are all exact; the
+/// volumes in this project (thousands of samples) make that the right
+/// trade-off.
+class Summary {
+ public:
+  void add(double x) { xs_.push_back(x); sorted_ = false; }
+
+  [[nodiscard]] std::size_t count() const { return xs_.size(); }
+  [[nodiscard]] bool empty() const { return xs_.empty(); }
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// q in [0,1]; nearest-rank percentile. Requires !empty().
+  [[nodiscard]] double percentile(double q) const;
+
+  void reset() { xs_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> xs_;
+  mutable bool sorted_{false};
+};
+
+}  // namespace ecfd::sim

@@ -1,0 +1,37 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace ecfd::sim {
+
+void Trace::emit(TimeUs time, int process, std::string tag,
+                 std::string detail) {
+  if (!enabled_) return;
+  events_.push_back(TraceEvent{time, process, std::move(tag), std::move(detail)});
+}
+
+void Trace::for_tag(const std::string& tag,
+                    const std::function<void(const TraceEvent&)>& fn) const {
+  for (const auto& e : events_) {
+    if (e.tag == tag) fn(e);
+  }
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : events_) {
+    os << '[' << e.time << "us] ";
+    if (e.process >= 0) {
+      os << 'p' << e.process << ' ';
+    } else {
+      os << "sys ";
+    }
+    os << e.tag;
+    if (!e.detail.empty()) os << ' ' << e.detail;
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ecfd::sim

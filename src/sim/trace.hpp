@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file trace.hpp
+/// Optional structured run trace. Disabled by default; examples and
+/// debugging sessions enable it to print protocol timelines.
+
+namespace ecfd::sim {
+
+/// One trace record.
+struct TraceEvent {
+  TimeUs time{};
+  int process{-1};           ///< emitting process id, -1 for system events
+  std::string tag;           ///< short category, e.g. "fd.suspect"
+  std::string detail;        ///< free-form description
+};
+
+/// Collects trace events when enabled; no-ops (and allocates nothing)
+/// otherwise.
+class Trace {
+ public:
+  void enable(bool on = true) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void emit(TimeUs time, int process, std::string tag, std::string detail);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const {
+    return events_;
+  }
+
+  /// Invokes \p fn on every event with the given tag.
+  void for_tag(const std::string& tag,
+               const std::function<void(const TraceEvent&)>& fn) const;
+
+  /// Renders events as "[time] p<id> tag detail" lines.
+  [[nodiscard]] std::string to_string() const;
+
+  void clear() { events_.clear(); }
+
+ private:
+  bool enabled_{false};
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace ecfd::sim

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "fd/probe.hpp"
+#include "fd/properties.hpp"
+#include "net/scenario.hpp"
+
+/// \file fd_test_util.hpp
+/// Shared scaffolding for failure-detector property tests: build a system
+/// from a scenario, install a detector stack on every process, sample it
+/// with FdProbe, and evaluate fd/properties over the run.
+
+namespace ecfd::testutil {
+
+/// What the per-process installer hands back for probing. Either pointer
+/// may be null when the detector has no such output.
+struct OracleRefs {
+  const SuspectOracle* suspect{nullptr};
+  const LeaderOracle* leader{nullptr};
+};
+
+/// Installs a detector on host \p host (process \p p). Adapters that are
+/// not protocols can be kept alive by pushing them into \p keepalive.
+using Installer = std::function<OracleRefs(
+    ProcessHost& host, ProcessId p,
+    std::vector<std::shared_ptr<void>>& keepalive)>;
+
+struct FdRunResult {
+  FdReport report;
+  RunFacts facts;
+  TimeUs horizon{};
+  std::int64_t messages_sent{};
+};
+
+/// Runs one FD scenario end to end.
+inline FdRunResult run_fd_scenario(const ScenarioConfig& cfg,
+                                   const Installer& install, TimeUs horizon,
+                                   DurUs probe_period = msec(5)) {
+  auto sys = make_system(cfg);
+  std::vector<std::shared_ptr<void>> keepalive;
+  FdProbe probe(*sys, probe_period);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    OracleRefs refs = install(sys->host(p), p, keepalive);
+    probe.attach(p, refs.suspect, refs.leader);
+  }
+  probe.start(horizon);
+  sys->start();
+  sys->run_until(horizon);
+
+  FdRunResult out;
+  out.facts.n = cfg.n;
+  out.facts.correct = ProcessSet::full(cfg.n);
+  for (const CrashPlan& c : cfg.crashes) out.facts.correct.remove(c.process);
+  out.facts.end_time = horizon;
+  out.horizon = horizon;
+  out.report = check_fd_properties(out.facts, probe.samples());
+  out.messages_sent = sys->network().sent_total();
+  return out;
+}
+
+/// Asserts helper: the property must hold and have stabilized at least
+/// \p margin before the end of the run (guards against "stabilized on the
+/// last sample" flukes).
+inline bool holds_with_margin(const Eventually& e, TimeUs end, DurUs margin) {
+  return e.holds && e.from <= end - margin;
+}
+
+}  // namespace ecfd::testutil

@@ -1,0 +1,128 @@
+// Tests for the two baseline consensus algorithms (Chandra-Toueg ◇S and
+// the MR-style Omega baseline) plus the paper's comparative claims.
+#include <gtest/gtest.h>
+
+#include "consensus/harness.hpp"
+
+namespace ecfd::consensus {
+namespace {
+
+HarnessConfig base(int n, std::uint64_t seed) {
+  HarnessConfig cfg;
+  cfg.scenario.n = n;
+  cfg.scenario.seed = seed;
+  cfg.scenario.links = LinkKind::kPartialSync;
+  cfg.scenario.gst = msec(200);
+  cfg.scenario.delta = msec(5);
+  cfg.scenario.pre_gst_max = msec(50);
+  cfg.fd = FdStack::kScriptedStable;
+  return cfg;
+}
+
+void expect_all_good(const HarnessResult& r, const char* what) {
+  EXPECT_TRUE(r.every_correct_decided) << what << ": " << summarize(r);
+  EXPECT_TRUE(r.uniform_agreement) << what << ": " << summarize(r);
+  EXPECT_TRUE(r.validity) << what << ": " << summarize(r);
+}
+
+// --- Chandra-Toueg ------------------------------------------------------
+
+TEST(ChandraToueg, DecidesFailureFree) {
+  auto cfg = base(5, 1);
+  cfg.algo = Algo::kChandraTouegS;
+  cfg.fd_stable_at = 0;
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "CT stable");
+  EXPECT_EQ(r.max_decision_round, 1) << "round-1 coordinator p0 unsuspected";
+}
+
+TEST(ChandraToueg, DecidesWithCrashes) {
+  auto cfg = base(5, 2);
+  cfg.algo = Algo::kChandraTouegS;
+  cfg.scenario.with_crash(0, msec(100)).with_crash(1, msec(150));
+  cfg.fd_stable_at = msec(300);
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "CT crashes");
+}
+
+TEST(ChandraToueg, DecidesWithRealHeartbeatFd) {
+  auto cfg = base(5, 3);
+  cfg.algo = Algo::kChandraTouegS;
+  cfg.fd = FdStack::kHeartbeatP;
+  cfg.scenario.with_crash(2, msec(250));
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "CT heartbeat");
+}
+
+TEST(ChandraToueg, RotationPaysForDistantLeader) {
+  // Theorem 3's contrast: EWA-only detector whose witness is p_k. CT must
+  // grind through the rounds of suspected coordinators; ◇C goes straight
+  // to the leader.
+  const ProcessId k = 4;  // leader is the LAST process in rotation order
+  auto ct_cfg = base(5, 4);
+  ct_cfg.algo = Algo::kChandraTouegS;
+  ct_cfg.scripted_ewa_only = true;
+  ct_cfg.scripted_leader = k;
+  ct_cfg.fd_stable_at = 0;
+  auto ct = run_consensus(ct_cfg);
+  expect_all_good(ct, "CT ewa-only");
+  EXPECT_GE(ct.max_decision_round, static_cast<int>(k + 1))
+      << "rotation cannot decide before the leader's turn";
+
+  auto c_cfg = ct_cfg;
+  c_cfg.algo = Algo::kEcfdC;
+  auto c = run_consensus(c_cfg);
+  expect_all_good(c, "◇C ewa-only");
+  EXPECT_EQ(c.max_decision_round, 1);
+}
+
+// --- MR-style Omega baseline -------------------------------------------
+
+TEST(MrOmega, DecidesFailureFree) {
+  auto cfg = base(5, 5);
+  cfg.algo = Algo::kMrOmega;
+  cfg.fd_stable_at = 0;
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "MR stable");
+  EXPECT_EQ(r.max_decision_round, 1) << "leader-based: one round in stability";
+}
+
+TEST(MrOmega, DecidesWithCrashes) {
+  auto cfg = base(5, 6);
+  cfg.algo = Algo::kMrOmega;
+  cfg.scenario.with_crash(0, msec(120)).with_crash(2, msec(240));
+  cfg.fd_stable_at = msec(350);
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "MR crashes");
+}
+
+TEST(MrOmega, DecidesWithRealLeaderCandidateOmega) {
+  auto cfg = base(5, 7);
+  cfg.algo = Algo::kMrOmega;
+  cfg.fd = FdStack::kOmegaPlusHeartbeat;  // MR uses only its leader output
+  cfg.scenario.with_crash(4, msec(250));
+  auto r = run_consensus(cfg);
+  expect_all_good(r, "MR real omega");
+}
+
+TEST(MrOmega, QuadraticMessagePattern) {
+  // Each round of the merged layout scatters estimates to everyone:
+  // Θ(n²) versus the ◇C algorithm's Θ(n).
+  auto mr = base(7, 8);
+  mr.algo = Algo::kMrOmega;
+  mr.fd_stable_at = 0;
+  auto rm = run_consensus(mr);
+  expect_all_good(rm, "MR msgs");
+
+  auto c = base(7, 8);
+  c.algo = Algo::kEcfdC;
+  c.fd_stable_at = 0;
+  auto rc = run_consensus(c);
+  expect_all_good(rc, "C msgs");
+
+  EXPECT_GT(rm.consensus_msgs, 2 * rc.consensus_msgs)
+      << "MR=" << rm.consensus_msgs << " C=" << rc.consensus_msgs;
+}
+
+}  // namespace
+}  // namespace ecfd::consensus

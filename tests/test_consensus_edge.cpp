@@ -1,0 +1,241 @@
+// Edge cases and robustness tests for the ◇C-consensus engine beyond the
+// main suites: value extremes, tiny systems, windowed stability (the
+// Section 2.2 remark), the tie-break refinement, and the EfficientP stack
+// end to end.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "consensus/harness.hpp"
+#include "core/consensus_c.hpp"
+#include "core/ecfd_compose.hpp"
+#include "fd/efficient_p.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "fd/omega_from_s.hpp"
+#include "fd/scripted_fd.hpp"
+
+namespace ecfd::consensus {
+namespace {
+
+struct Cluster {
+  std::unique_ptr<System> sys;
+  std::vector<std::shared_ptr<void>> keepalive;
+  std::vector<core::ConsensusC*> cons;
+};
+
+/// Stable-from-t0 scripted ◇C cluster.
+Cluster make_stable_cluster(int n, std::uint64_t seed,
+                            core::ConsensusC::Config cc = {}) {
+  ScenarioConfig sc;
+  sc.n = n;
+  sc.seed = seed;
+  sc.links = LinkKind::kPartialSync;
+  sc.gst = 0;
+  sc.delta = msec(5);
+  Cluster c;
+  c.sys = make_system(sc);
+  for (ProcessId p = 0; p < n; ++p) {
+    auto& scripted = c.sys->host(p).emplace<fd::ScriptedFd>(
+        fd::stable_script(n, p, ProcessSet(n), 0, 0));
+    auto oracle =
+        std::make_shared<core::EcfdFromSAndOmega>(&scripted, &scripted);
+    c.keepalive.push_back(oracle);
+    auto& rb = c.sys->host(p).emplace<broadcast::ReliableBroadcast>();
+    c.cons.push_back(
+        &c.sys->host(p).emplace<core::ConsensusC>(oracle.get(), &rb, cc));
+  }
+  return c;
+}
+
+TEST(ConsensusEdge, ExtremeValuesSurviveTheProtocol) {
+  const Value extremes[] = {std::numeric_limits<Value>::min(),
+                            std::numeric_limits<Value>::max(), 0, -1};
+  auto c = make_stable_cluster(4, 1);
+  c.sys->start();
+  for (ProcessId p = 0; p < 4; ++p) c.cons[p]->propose(extremes[p]);
+  c.sys->run_until(sec(5));
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(c.cons[p]->has_decided());
+    EXPECT_EQ(c.cons[p]->decision()->value, c.cons[0]->decision()->value);
+  }
+  // Validity: the decision is one of the proposals.
+  bool found = false;
+  for (Value v : extremes) {
+    if (v == c.cons[0]->decision()->value) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ConsensusEdge, TwoProcessSystemDecides) {
+  // n=2: majority is 2, so f < n/2 means NO crash tolerance — but the
+  // failure-free run must decide.
+  auto c = make_stable_cluster(2, 2);
+  c.sys->start();
+  c.cons[0]->propose(1);
+  c.cons[1]->propose(2);
+  c.sys->run_until(sec(5));
+  ASSERT_TRUE(c.cons[0]->has_decided() && c.cons[1]->has_decided());
+  EXPECT_EQ(c.cons[0]->decision()->value, c.cons[1]->decision()->value);
+}
+
+TEST(ConsensusEdge, SingleProcessSystemDecidesAlone) {
+  auto c = make_stable_cluster(1, 3);
+  c.sys->start();
+  c.cons[0]->propose(7);
+  c.sys->run_until(sec(1));
+  ASSERT_TRUE(c.cons[0]->has_decided());
+  EXPECT_EQ(c.cons[0]->decision()->value, 7);
+}
+
+TEST(ConsensusEdge, DeprioritizedValueLosesTimestampTies) {
+  core::ConsensusC::Config cc;
+  cc.deprioritized = 0;  // "no-op" stand-in
+  auto c = make_stable_cluster(4, 4, cc);
+  c.sys->start();
+  // The leader proposes the deprioritized value; someone else proposes a
+  // real one. The real one must win the round-1 tie.
+  c.cons[0]->propose(0);
+  c.cons[1]->propose(42);
+  c.cons[2]->propose(0);
+  c.cons[3]->propose(0);
+  c.sys->run_until(sec(5));
+  for (ProcessId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(c.cons[p]->has_decided());
+    EXPECT_EQ(c.cons[p]->decision()->value, 42);
+  }
+}
+
+TEST(ConsensusEdge, WithoutDeprioritizationLeaderValueWins) {
+  auto c = make_stable_cluster(4, 5);
+  c.sys->start();
+  c.cons[0]->propose(0);
+  c.cons[1]->propose(42);
+  c.cons[2]->propose(0);
+  c.cons[3]->propose(0);
+  c.sys->run_until(sec(5));
+  ASSERT_TRUE(c.cons[0]->has_decided());
+  // Default tie-break keeps the first recorded estimate — the leader's
+  // own — so the decision is 0 (documents the behaviour LogReplica fixes).
+  EXPECT_EQ(c.cons[0]->decision()->value, 0);
+}
+
+TEST(ConsensusEdge, WindowedStabilityEventuallySuffices) {
+  // Section 2.2: a unique leader "for long enough periods" is enough even
+  // if permanent stability never happens. 60ms stable / 60ms chaos.
+  const int n = 5;
+  ScenarioConfig sc;
+  sc.n = n;
+  sc.seed = 6;
+  sc.links = LinkKind::kPartialSync;
+  sc.gst = 0;
+  sc.delta = msec(5);
+  auto sys = make_system(sc);
+  std::vector<std::shared_ptr<void>> keepalive;
+  std::vector<core::ConsensusC*> cons;
+  for (ProcessId p = 0; p < n; ++p) {
+    std::vector<fd::ScriptedFd::Step> steps;
+    ProcessSet none(n);
+    ProcessSet chaos = ProcessSet::full(n);
+    chaos.remove(p);
+    for (TimeUs t = 0; t < sec(10); t += msec(120)) {
+      steps.push_back({t, none, 0});
+      steps.push_back({t + msec(60), chaos, p});
+    }
+    auto& scripted = sys->host(p).emplace<fd::ScriptedFd>(steps);
+    auto oracle =
+        std::make_shared<core::EcfdFromSAndOmega>(&scripted, &scripted);
+    keepalive.push_back(oracle);
+    auto& rb = sys->host(p).emplace<broadcast::ReliableBroadcast>();
+    cons.push_back(&sys->host(p).emplace<core::ConsensusC>(oracle.get(), &rb));
+  }
+  sys->start();
+  for (ProcessId p = 0; p < n; ++p) cons[static_cast<std::size_t>(p)]->propose(100 + p);
+  sys->run_until(sec(10));
+  for (ProcessId p = 0; p < n; ++p) {
+    ASSERT_TRUE(cons[static_cast<std::size_t>(p)]->has_decided()) << "p" << p;
+    EXPECT_EQ(cons[static_cast<std::size_t>(p)]->decision()->value,
+              cons[0]->decision()->value);
+  }
+}
+
+TEST(ConsensusEdge, EfficientPStackEndToEnd) {
+  // The §4 piggyback detector driving the paper's consensus: the whole
+  // "cheapest possible" stack.
+  const int n = 5;
+  ScenarioConfig sc;
+  sc.n = n;
+  sc.seed = 7;
+  sc.links = LinkKind::kPartialSync;
+  sc.gst = msec(150);
+  sc.delta = msec(5);
+  sc.with_crash(0, msec(400));
+  auto sys = make_system(sc);
+  std::vector<core::ConsensusC*> cons;
+  std::vector<fd::EfficientP*> fds;
+  for (ProcessId p = 0; p < n; ++p) {
+    fds.push_back(&sys->host(p).emplace<fd::EfficientP>());
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    auto& rb = sys->host(p).emplace<broadcast::ReliableBroadcast>();
+    cons.push_back(&sys->host(p).emplace<core::ConsensusC>(
+        fds[static_cast<std::size_t>(p)], &rb));
+  }
+  sys->start();
+  for (ProcessId p = 0; p < n; ++p) cons[static_cast<std::size_t>(p)]->propose(100 + p);
+  sys->run_until(sec(30));
+  for (ProcessId p = 1; p < n; ++p) {
+    ASSERT_TRUE(cons[static_cast<std::size_t>(p)]->has_decided()) << "p" << p;
+    EXPECT_EQ(cons[static_cast<std::size_t>(p)]->decision()->value,
+              cons[1]->decision()->value);
+  }
+}
+
+TEST(ConsensusEdge, FullAsynchronousConstructionChain) {
+  // Section 3's asynchronous route end to end: a ◇S detector (heartbeat),
+  // the Chu-style ◇S→Omega reduction, the ◇S+Omega→◇C composition, and
+  // the Figs. 3-4 consensus on top — four layers, no scripting.
+  const int n = 5;
+  ScenarioConfig sc;
+  sc.n = n;
+  sc.seed = 9;
+  sc.links = LinkKind::kPartialSync;
+  sc.gst = msec(150);
+  sc.delta = msec(5);
+  sc.with_crash(1, msec(300));
+  auto sys = make_system(sc);
+  std::vector<std::shared_ptr<void>> keepalive;
+  std::vector<core::ConsensusC*> cons;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto& hb = sys->host(p).emplace<fd::HeartbeatP>();
+    auto& omega = sys->host(p).emplace<fd::OmegaFromS>(&hb);
+    auto oracle = std::make_shared<core::EcfdFromSAndOmega>(&hb, &omega);
+    keepalive.push_back(oracle);
+    auto& rb = sys->host(p).emplace<broadcast::ReliableBroadcast>();
+    cons.push_back(&sys->host(p).emplace<core::ConsensusC>(oracle.get(), &rb));
+  }
+  sys->start();
+  for (ProcessId p = 0; p < n; ++p) cons[static_cast<std::size_t>(p)]->propose(100 + p);
+  sys->run_until(sec(30));
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == 1) continue;
+    ASSERT_TRUE(cons[static_cast<std::size_t>(p)]->has_decided()) << "p" << p;
+    EXPECT_EQ(cons[static_cast<std::size_t>(p)]->decision()->value,
+              cons[0]->decision()->value);
+  }
+}
+
+TEST(ConsensusEdge, RepeatedProposeIsIgnored) {
+  auto c = make_stable_cluster(3, 8);
+  c.sys->start();
+  c.cons[0]->propose(1);
+  c.cons[0]->propose(99);  // must be a no-op
+  c.cons[1]->propose(2);
+  c.cons[2]->propose(3);
+  c.sys->run_until(sec(5));
+  ASSERT_TRUE(c.cons[0]->has_decided());
+  EXPECT_NE(c.cons[0]->decision()->value, 99);
+}
+
+}  // namespace
+}  // namespace ecfd::consensus

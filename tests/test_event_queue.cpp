@@ -1,0 +1,147 @@
+#include "sim/event_queue.hpp"
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecfd::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(5, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.schedule(5, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEvent));
+  EXPECT_FALSE(q.cancel(999));
+}
+
+TEST(EventQueue, CancelFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.pop();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(1, [] {});
+  q.schedule(9, [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Scheduler, RunUntilExecutesDueEventsAndAdvancesClock) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(10, [&] { ++count; });
+  s.schedule_at(20, [&] { ++count; });
+  s.schedule_at(30, [&] { ++count; });
+  EXPECT_EQ(s.run_until(20), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.now(), 100);  // clock reaches deadline even past last event
+}
+
+TEST(Scheduler, EventsCanScheduleEvents) {
+  Scheduler s;
+  std::vector<TimeUs> fired;
+  s.schedule_at(5, [&] {
+    fired.push_back(s.now());
+    s.schedule_after(7, [&] { fired.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(fired, (std::vector<TimeUs>{5, 12}));
+}
+
+TEST(Scheduler, ScheduleAfterNegativeClampsToNow) {
+  Scheduler s;
+  s.run_until(50);
+  bool ran = false;
+  s.schedule_after(-10, [&] { ran = true; });
+  s.run_until(50);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(Scheduler, CancelInsideEvent) {
+  Scheduler s;
+  bool ran = false;
+  EventId later = s.schedule_at(10, [&] { ran = true; });
+  s.schedule_at(5, [&] { s.cancel(later); });
+  s.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Scheduler, FiredCounter) {
+  Scheduler s;
+  for (int i = 0; i < 4; ++i) s.schedule_at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.fired(), 4u);
+}
+
+TEST(Scheduler, RecurringEventChain) {
+  Scheduler s;
+  int ticks = 0;
+  std::function<void()> tick = [&] {
+    ++ticks;
+    if (ticks < 10) s.schedule_after(100, tick);
+  };
+  s.schedule_after(100, tick);
+  s.run_until(sec(1));
+  EXPECT_EQ(ticks, 10);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ecfd::sim

@@ -1,0 +1,222 @@
+// Unit tests for the property checkers themselves, on hand-built sample
+// timelines (no simulation involved).
+#include "fd/properties.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecfd {
+namespace {
+
+constexpr int kN = 4;
+
+FdSample sample_at(TimeUs t) {
+  FdSample s;
+  s.time = t;
+  s.suspected.resize(kN);
+  s.trusted.resize(kN);
+  return s;
+}
+
+RunFacts facts_with_faulty(std::initializer_list<ProcessId> faulty,
+                           TimeUs end = 1000) {
+  RunFacts f;
+  f.n = kN;
+  f.correct = ProcessSet::full(kN);
+  for (ProcessId q : faulty) f.correct.remove(q);
+  f.end_time = end;
+  return f;
+}
+
+// Everyone correct outputs `susp` and trusts `leader` at every sample.
+std::vector<FdSample> uniform_timeline(const RunFacts& f,
+                                       const ProcessSet& susp,
+                                       ProcessId leader, int count = 5) {
+  std::vector<FdSample> out;
+  for (int i = 0; i < count; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p : f.correct.members()) {
+      s.suspected[static_cast<std::size_t>(p)] = susp;
+      s.trusted[static_cast<std::size_t>(p)] = leader;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+TEST(FdProperties, PerfectDetectorIsEverything) {
+  RunFacts f = facts_with_faulty({3});
+  ProcessSet susp(kN);
+  susp.add(3);
+  auto samples = uniform_timeline(f, susp, 0);
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.is_eventually_perfect());
+  EXPECT_TRUE(r.is_eventually_strong());
+  EXPECT_TRUE(r.is_eventually_weak());
+  EXPECT_TRUE(r.is_omega());
+  EXPECT_EQ(r.omega_leader, 0);
+  EXPECT_TRUE(r.is_eventually_consistent());
+  EXPECT_EQ(r.ewa_witness, 0);
+}
+
+TEST(FdProperties, MissingCrashedSuspectBreaksCompleteness) {
+  RunFacts f = facts_with_faulty({3});
+  ProcessSet empty(kN);
+  auto samples = uniform_timeline(f, empty, 0);
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_FALSE(r.strong_completeness.holds);
+  EXPECT_FALSE(r.weak_completeness.holds);
+  EXPECT_TRUE(r.eventual_strong_accuracy.holds);
+}
+
+TEST(FdProperties, SuspectingACorrectProcessForeverBreaksStrongAccuracy) {
+  RunFacts f = facts_with_faulty({});
+  ProcessSet susp(kN);
+  susp.add(1);  // p1 is correct but permanently suspected
+  auto samples = uniform_timeline(f, susp, 0);
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_FALSE(r.eventual_strong_accuracy.holds);
+  // Weak accuracy survives: p0 (for instance) is never suspected.
+  EXPECT_TRUE(r.eventual_weak_accuracy.holds);
+  EXPECT_NE(r.ewa_witness, 1);
+}
+
+TEST(FdProperties, WeakCompletenessAllowsDifferentWitnesses) {
+  RunFacts f = facts_with_faulty({2, 3});
+  std::vector<FdSample> samples;
+  for (int i = 0; i < 5; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    // p0 suspects only p2; p1 suspects only p3: weak but not strong.
+    ProcessSet s0(kN), s1(kN);
+    s0.add(2);
+    s1.add(3);
+    s.suspected[0] = s0;
+    s.suspected[1] = s1;
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.weak_completeness.holds);
+  EXPECT_FALSE(r.strong_completeness.holds);
+}
+
+TEST(FdProperties, EventualMeansSuffixNotAlways) {
+  RunFacts f = facts_with_faulty({3});
+  ProcessSet good(kN);
+  good.add(3);
+  ProcessSet chaotic = ProcessSet::full(kN);
+  chaotic.remove(0);
+  std::vector<FdSample> samples;
+  // Chaos for 3 samples, then stable for 4.
+  for (int i = 0; i < 7; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p : f.correct.members()) {
+      s.suspected[static_cast<std::size_t>(p)] = (i < 3) ? chaotic : good;
+      s.trusted[static_cast<std::size_t>(p)] = (i < 3) ? p : 1;
+    }
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.is_eventually_perfect());
+  EXPECT_EQ(r.eventual_strong_accuracy.from, 400);
+  EXPECT_TRUE(r.omega.holds);
+  EXPECT_EQ(r.omega_leader, 1);
+  EXPECT_EQ(r.omega.from, 400);
+}
+
+TEST(FdProperties, OmegaFailsWhenLeadersDisagreeForever) {
+  RunFacts f = facts_with_faulty({});
+  std::vector<FdSample> samples;
+  for (int i = 0; i < 5; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p = 0; p < kN; ++p) {
+      s.trusted[static_cast<std::size_t>(p)] = p % 2;  // p0/p2 vs p1/p3
+      s.suspected[static_cast<std::size_t>(p)] = ProcessSet(kN);
+    }
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_FALSE(r.omega.holds);
+}
+
+TEST(FdProperties, OmegaFailsWhenCommonLeaderIsFaulty) {
+  RunFacts f = facts_with_faulty({3});
+  ProcessSet susp(kN);
+  susp.add(3);
+  auto samples = uniform_timeline(f, susp, /*leader=*/3);
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_FALSE(r.omega.holds) << "trusting a crashed process is not Omega";
+}
+
+TEST(FdProperties, CouplingClauseDetected) {
+  RunFacts f = facts_with_faulty({});
+  // Everyone trusts p0 but also suspects p0: ◇S + Omega hold, ◇C fails.
+  ProcessSet susp(kN);
+  susp.add(0);
+  std::vector<FdSample> samples;
+  for (int i = 0; i < 5; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p = 1; p < kN; ++p) {
+      s.suspected[static_cast<std::size_t>(p)] = susp;
+      s.trusted[static_cast<std::size_t>(p)] = 0;
+    }
+    s.suspected[0] = ProcessSet(kN);
+    s.trusted[0] = 0;
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.omega.holds);
+  EXPECT_FALSE(r.ecfd_coupling.holds);
+  EXPECT_FALSE(r.is_eventually_consistent());
+}
+
+TEST(FdProperties, NoSamplesMeansNothingHolds) {
+  RunFacts f = facts_with_faulty({});
+  FdReport r = check_fd_properties(f, {});
+  EXPECT_FALSE(r.strong_completeness.holds);
+  EXPECT_FALSE(r.omega.holds);
+}
+
+TEST(FdProperties, NoFaultyProcessesCompletenessVacuous) {
+  RunFacts f = facts_with_faulty({});
+  auto samples = uniform_timeline(f, ProcessSet(kN), 0);
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.strong_completeness.holds);
+  EXPECT_TRUE(r.weak_completeness.holds);
+}
+
+TEST(FdProperties, LeaderOnlyDetectorEvaluatesOmegaOnly) {
+  RunFacts f = facts_with_faulty({});
+  std::vector<FdSample> samples;
+  for (int i = 0; i < 4; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p = 0; p < kN; ++p) {
+      s.trusted[static_cast<std::size_t>(p)] = 2;
+    }
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.omega.holds);
+  EXPECT_EQ(r.omega_leader, 2);
+  EXPECT_FALSE(r.strong_completeness.holds);  // unevaluated -> false
+}
+
+TEST(FdProperties, StableFromReportsLatestStabilization) {
+  RunFacts f = facts_with_faulty({3});
+  ProcessSet susp(kN);
+  susp.add(3);
+  std::vector<FdSample> samples;
+  for (int i = 0; i < 6; ++i) {
+    FdSample s = sample_at((i + 1) * 100);
+    for (ProcessId p : f.correct.members()) {
+      s.suspected[static_cast<std::size_t>(p)] = susp;
+      // Leaders agree only from sample 3 (t=400).
+      s.trusted[static_cast<std::size_t>(p)] = (i < 3) ? p : 0;
+    }
+    samples.push_back(std::move(s));
+  }
+  FdReport r = check_fd_properties(f, samples);
+  EXPECT_TRUE(r.is_eventually_consistent());
+  EXPECT_EQ(r.ecfd_stable_from(), 400);
+}
+
+}  // namespace
+}  // namespace ecfd

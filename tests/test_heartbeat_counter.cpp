@@ -1,0 +1,86 @@
+// Tests for the timeout-free Heartbeat detector (fd/heartbeat_counter.hpp,
+// Aguilera-Chen-Toueg, the paper's reference [1]).
+#include "fd/heartbeat_counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scenario.hpp"
+
+namespace ecfd {
+namespace {
+
+struct World {
+  std::unique_ptr<System> sys;
+  std::vector<fd::HeartbeatCounter*> hb;
+};
+
+World make(int n, std::uint64_t seed, LinkKind links) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.links = links;
+  cfg.loss_p = 0.3;  // only used by kFairLossy
+  World w;
+  w.sys = make_system(cfg);
+  for (ProcessId p = 0; p < n; ++p) {
+    w.hb.push_back(&w.sys->host(p).emplace<fd::HeartbeatCounter>());
+  }
+  w.sys->start();
+  return w;
+}
+
+TEST(HeartbeatCounter, CorrectCountersKeepIncreasing) {
+  auto w = make(4, 1, LinkKind::kReliable);
+  w.sys->run_until(sec(1));
+  const auto mid = w.hb[0]->counters();
+  w.sys->run_until(sec(2));
+  for (ProcessId q = 0; q < 4; ++q) {
+    EXPECT_GT(w.hb[0]->counter(q), mid[static_cast<std::size_t>(q)])
+        << "p" << q << " counter must keep growing (HB-accuracy)";
+  }
+}
+
+TEST(HeartbeatCounter, CrashedCounterStopsIncreasing) {
+  auto w = make(4, 2, LinkKind::kReliable);
+  w.sys->crash_at(3, sec(1));
+  w.sys->run_until(sec(2));  // generous margin past in-flight beats
+  const auto frozen = w.hb[0]->counter(3);
+  w.sys->run_until(sec(4));
+  EXPECT_EQ(w.hb[0]->counter(3), frozen) << "HB-completeness";
+  EXPECT_GT(w.hb[0]->counter(1), 0u);
+}
+
+TEST(HeartbeatCounter, NoTimingAssumptionsAsyncLinks) {
+  // Exponential unbounded delays: HB still works — counters of correct
+  // processes grow, no notion of "mistake" exists.
+  auto w = make(3, 3, LinkKind::kAsync);
+  w.sys->run_until(sec(2));
+  for (ProcessId p = 0; p < 3; ++p) {
+    for (ProcessId q = 0; q < 3; ++q) {
+      EXPECT_GT(w.hb[p]->counter(q), 50u) << "p" << p << " about p" << q;
+    }
+  }
+}
+
+TEST(HeartbeatCounter, WorksOverFairLossyLinks) {
+  // Loss merely slows counters: growth continues (the quiescent-
+  // communication use case from [1]).
+  auto w = make(3, 4, LinkKind::kFairLossy);
+  w.sys->run_until(sec(1));
+  const auto mid = w.hb[0]->counter(1);
+  EXPECT_GT(mid, 0u);
+  w.sys->run_until(sec(2));
+  EXPECT_GT(w.hb[0]->counter(1), mid);
+}
+
+TEST(HeartbeatCounter, OwnCounterTracksOwnBeats) {
+  auto w = make(2, 5, LinkKind::kReliable);
+  w.sys->run_until(sec(1));
+  fd::HeartbeatCounter::Config defaults;
+  const double expected = static_cast<double>(sec(1)) / defaults.period;
+  EXPECT_NEAR(static_cast<double>(w.hb[0]->counter(0)), expected,
+              expected * 0.05);
+}
+
+}  // namespace
+}  // namespace ecfd

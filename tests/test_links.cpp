@@ -1,0 +1,100 @@
+#include "net/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecfd {
+namespace {
+
+TEST(ReliableLink, DelayWithinBoundsAndNoLoss) {
+  Rng rng(1);
+  ReliableLink link(100, 500);
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.sample_delay(0, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_GE(*d, 100);
+    EXPECT_LE(*d, 500);
+  }
+}
+
+TEST(PartialSyncLink, BoundedAfterGst) {
+  Rng rng(2);
+  PartialSyncLink::Config cfg;
+  cfg.gst = msec(100);
+  cfg.delta = msec(5);
+  cfg.pre_min = usec(10);
+  cfg.pre_max = msec(400);
+  PartialSyncLink link(cfg);
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.sample_delay(msec(100) + i, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LE(*d, msec(5));
+    EXPECT_GE(*d, 1);
+  }
+}
+
+TEST(PartialSyncLink, ArbitraryBeforeGst) {
+  Rng rng(3);
+  PartialSyncLink::Config cfg;
+  cfg.gst = msec(100);
+  cfg.delta = msec(5);
+  cfg.pre_min = usec(10);
+  cfg.pre_max = msec(400);
+  PartialSyncLink link(cfg);
+  bool slow_seen = false;
+  for (int i = 0; i < 1000; ++i) {
+    auto d = link.sample_delay(0, rng);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_LE(*d, msec(400));
+    if (*d > msec(5)) slow_seen = true;
+  }
+  EXPECT_TRUE(slow_seen) << "pre-GST delays should exceed delta sometimes";
+}
+
+TEST(FairLossyLink, LosesButNotForever) {
+  Rng rng(4);
+  FairLossyLink::Config cfg;
+  cfg.loss_p = 0.5;
+  cfg.force_deliver_every = 4;
+  FairLossyLink link(cfg);
+  int losses = 0;
+  int gap = 0;
+  int max_gap = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto d = link.sample_delay(0, rng);
+    if (!d.has_value()) {
+      ++losses;
+      ++gap;
+      max_gap = std::max(max_gap, gap);
+    } else {
+      gap = 0;
+    }
+  }
+  EXPECT_GT(losses, 0);
+  EXPECT_LT(max_gap, 4) << "deterministic fairness: every 4th must deliver";
+}
+
+TEST(FairLossyLink, ZeroLossDeliversEverything) {
+  Rng rng(5);
+  FairLossyLink::Config cfg;
+  cfg.loss_p = 0.0;
+  FairLossyLink link(cfg);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(link.sample_delay(0, rng).has_value());
+  }
+}
+
+TEST(AsyncLink, PositiveUnboundedDelaysNoLoss) {
+  Rng rng(6);
+  AsyncLink link(msec(2));
+  DurUs max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto d = link.sample_delay(0, rng);
+    ASSERT_TRUE(d.has_value());
+    ASSERT_GT(*d, 0);
+    max_seen = std::max(max_seen, *d);
+  }
+  EXPECT_GT(max_seen, msec(8)) << "exponential tail should exceed 4x mean";
+}
+
+}  // namespace
+}  // namespace ecfd

@@ -1,0 +1,164 @@
+// Randomized property tests pitting core data structures against simple
+// reference models (parameterized over seeds).
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "net/process_set.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ecfd {
+namespace {
+
+// --- EventQueue vs a multimap reference ---------------------------------
+
+class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  sim::EventQueue q;
+  // Reference: (time, id) -> live?, mirroring lazy cancellation.
+  std::map<sim::EventId, TimeUs> live;  // id -> time
+  std::vector<sim::EventId> ids;
+
+  std::vector<std::pair<TimeUs, sim::EventId>> popped;
+  for (int step = 0; step < 3000; ++step) {
+    const auto op = rng.below(10);
+    if (op < 5) {  // schedule
+      const TimeUs t = rng.range(0, 200);
+      const sim::EventId id = q.schedule(t, [] {});
+      live[id] = t;
+      ids.push_back(id);
+    } else if (op < 8 && !live.empty()) {  // pop
+      // Reference expectation: earliest (time, id) among live events.
+      auto best = live.begin();
+      for (auto it = live.begin(); it != live.end(); ++it) {
+        if (it->second < best->second ||
+            (it->second == best->second && it->first < best->first)) {
+          best = it;
+        }
+      }
+      ASSERT_FALSE(q.empty());
+      auto fired = q.pop();
+      EXPECT_EQ(fired.time, best->second);
+      EXPECT_EQ(fired.id, best->first);
+      live.erase(fired.id);
+    } else if (!ids.empty()) {  // cancel a random id (may be dead already)
+      const sim::EventId id = ids[rng.below(ids.size())];
+      const bool was_live = live.count(id) > 0;
+      EXPECT_EQ(q.cancel(id), was_live);
+      live.erase(id);
+    }
+    ASSERT_EQ(q.size(), live.size());
+  }
+  // Drain; must come out in (time, id) order.
+  TimeUs last_t = -1;
+  sim::EventId last_id = 0;
+  while (!q.empty()) {
+    auto fired = q.pop();
+    ASSERT_TRUE(fired.time > last_t ||
+                (fired.time == last_t && fired.id > last_id));
+    last_t = fired.time;
+    last_id = fired.id;
+    ASSERT_EQ(live.erase(fired.id), 1u);
+  }
+  EXPECT_TRUE(live.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// --- ProcessSet vs std::set reference ------------------------------------
+
+class ProcessSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProcessSetFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam() * 7919);
+  const int n = 1 + static_cast<int>(rng.below(150));
+  ProcessSet s(n);
+  std::set<ProcessId> ref;
+  for (int step = 0; step < 2000; ++step) {
+    const ProcessId p = static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(n)));
+    switch (rng.below(3)) {
+      case 0:
+        s.add(p);
+        ref.insert(p);
+        break;
+      case 1:
+        s.remove(p);
+        ref.erase(p);
+        break;
+      default:
+        EXPECT_EQ(s.contains(p), ref.count(p) > 0);
+        break;
+    }
+    ASSERT_EQ(s.size(), static_cast<int>(ref.size()));
+  }
+  // Full agreement at the end.
+  const auto members = s.members();
+  EXPECT_TRUE(std::equal(members.begin(), members.end(), ref.begin(),
+                         ref.end()));
+  EXPECT_EQ(s.first(), ref.empty() ? kNoProcess : *ref.begin());
+  ProcessId expected_excluded = kNoProcess;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (ref.count(p) == 0) {
+      expected_excluded = p;
+      break;
+    }
+  }
+  EXPECT_EQ(s.first_excluded(), expected_excluded);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProcessSetFuzz,
+                         ::testing::Values(11, 12, 13, 14, 15, 16));
+
+// --- Scheduler timer storm ------------------------------------------------
+
+class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerFuzz, EventsFireExactlyOnceInOrder) {
+  Rng rng(GetParam() * 104729);
+  sim::Scheduler sched;
+  int fired = 0;
+  TimeUs last_fire_time = 0;
+  int expected = 0;
+  // Events recursively schedule more events, some cancel others.
+  std::vector<sim::EventId> cancellable;
+  std::function<void(int)> spawn = [&](int depth) {
+    ++fired;
+    EXPECT_GE(sched.now(), last_fire_time) << "time must be monotone";
+    last_fire_time = sched.now();
+    if (depth <= 0) return;
+    const int children = static_cast<int>(rng.below(3));
+    for (int c = 0; c < children; ++c) {
+      ++expected;
+      cancellable.push_back(
+          sched.schedule_after(rng.range(1, 50), [&spawn, depth] {
+            spawn(depth - 1);
+          }));
+    }
+    if (!cancellable.empty() && rng.chance(0.2)) {
+      // Cancel something (may already have fired; both fine, but the
+      // expected count must track live cancellations).
+      const auto idx = rng.below(cancellable.size());
+      if (sched.cancel(cancellable[idx])) --expected;
+      cancellable.erase(cancellable.begin() + static_cast<long>(idx));
+    }
+  };
+  for (int i = 0; i < 20; ++i) {
+    ++expected;
+    sched.schedule_after(rng.range(0, 100), [&spawn] { spawn(4); });
+  }
+  sched.run();
+  EXPECT_EQ(fired, expected);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
+                         ::testing::Values(21, 22, 23, 24, 25));
+
+}  // namespace
+}  // namespace ecfd

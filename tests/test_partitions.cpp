@@ -1,0 +1,129 @@
+// Partition / heal behaviour: failure detectors are defined for crash
+// faults, but a production detector must re-converge after a transient
+// partition (which looks like a mass "crash" that un-happens). These
+// tests document and verify that recovery.
+#include <gtest/gtest.h>
+
+#include "core/c_to_p.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "fd/leader_candidate.hpp"
+#include "fd/ring_fd.hpp"
+#include "fd/stable_leader.hpp"
+#include "net/scenario.hpp"
+
+namespace ecfd {
+namespace {
+
+ScenarioConfig base_scenario(int n, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = 0;
+  cfg.delta = msec(5);
+  return cfg;
+}
+
+ProcessSet minority(int n, int k) {
+  ProcessSet s(n);
+  for (int i = 0; i < k; ++i) s.add(i);
+  return s;
+}
+
+TEST(Partitions, HeartbeatSuspectsAcrossTheCutAndRecovers) {
+  const int n = 6;
+  auto sys = make_system(base_scenario(n, 1));
+  std::vector<fd::HeartbeatP*> hbs;
+  for (ProcessId p = 0; p < n; ++p) {
+    hbs.push_back(&sys->host(p).emplace<fd::HeartbeatP>());
+  }
+  sys->start();
+  sys->run_until(msec(500));
+  EXPECT_TRUE(hbs[0]->suspected().empty());
+
+  sys->network().partition(minority(n, 2));  // {p0,p1} | {p2..p5}
+  sys->run_until(sec(1));
+  // Each side suspects the other.
+  EXPECT_TRUE(hbs[0]->suspected().contains(3));
+  EXPECT_TRUE(hbs[3]->suspected().contains(0));
+  EXPECT_FALSE(hbs[0]->suspected().contains(1));
+
+  sys->network().heal();
+  sys->run_until(sec(4));
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_TRUE(hbs[p]->suspected().empty())
+        << "p" << p << " still suspects " << hbs[p]->suspected().to_string();
+  }
+}
+
+TEST(Partitions, RingLeaderSplitsAndReunifies) {
+  const int n = 6;
+  auto sys = make_system(base_scenario(n, 2));
+  std::vector<fd::RingFd*> rings;
+  for (ProcessId p = 0; p < n; ++p) {
+    rings.push_back(&sys->host(p).emplace<fd::RingFd>());
+  }
+  sys->start();
+  sys->run_until(msec(500));
+  EXPECT_EQ(rings[4]->trusted(), 0);
+
+  sys->network().partition(minority(n, 2));
+  sys->run_until(sec(3));
+  // The majority side can no longer reach p0/p1: its ring leader moves.
+  EXPECT_EQ(rings[4]->trusted(), 2);
+  // The minority side still believes in p0.
+  EXPECT_EQ(rings[1]->trusted(), 0);
+
+  sys->network().heal();
+  sys->run_until(sec(8));
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(rings[p]->trusted(), 0) << "p" << p << " after heal";
+    EXPECT_TRUE(rings[p]->suspected().empty()) << "p" << p;
+  }
+}
+
+TEST(Partitions, LeaderCandidateReconvergesAfterHeal) {
+  const int n = 5;
+  auto sys = make_system(base_scenario(n, 3));
+  std::vector<fd::LeaderCandidate*> lcs;
+  for (ProcessId p = 0; p < n; ++p) {
+    lcs.push_back(&sys->host(p).emplace<fd::LeaderCandidate>());
+  }
+  sys->start();
+  sys->run_until(msec(400));
+  sys->network().partition(minority(n, 1));  // isolate p0
+  sys->run_until(sec(2));
+  for (ProcessId p = 1; p < n; ++p) EXPECT_EQ(lcs[p]->trusted(), 1);
+
+  sys->network().heal();
+  sys->run_until(sec(5));
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_EQ(lcs[p]->trusted(), 0) << "lowest-id rule reinstates p0";
+  }
+}
+
+TEST(Partitions, CToPListRecoversAfterHeal) {
+  const int n = 5;
+  auto sys = make_system(base_scenario(n, 4));
+  std::vector<core::CToP*> ctps;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto& omega = sys->host(p).emplace<fd::LeaderCandidate>();
+    ctps.push_back(&sys->host(p).emplace<core::CToP>(&omega));
+  }
+  sys->start();
+  sys->run_until(msec(500));
+  sys->network().partition(minority(n, 2));
+  sys->run_until(sec(2));
+  // Majority side's acting leader (p2) suspects the minority.
+  EXPECT_TRUE(ctps[3]->suspected().contains(0));
+
+  sys->network().heal();
+  sys->run_until(sec(6));
+  for (ProcessId p = 0; p < n; ++p) {
+    EXPECT_TRUE(ctps[p]->suspected().empty())
+        << "p" << p << ": " << ctps[p]->suspected().to_string();
+  }
+}
+
+}  // namespace
+}  // namespace ecfd

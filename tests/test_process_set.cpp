@@ -1,0 +1,126 @@
+#include "net/process_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecfd {
+namespace {
+
+TEST(ProcessSet, StartsEmpty) {
+  ProcessSet s(8);
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_TRUE(s.empty());
+  for (ProcessId p = 0; p < 8; ++p) EXPECT_FALSE(s.contains(p));
+}
+
+TEST(ProcessSet, AddRemoveContains) {
+  ProcessSet s(10);
+  s.add(3);
+  s.add(7);
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_TRUE(s.contains(7));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_EQ(s.size(), 2);
+  s.remove(3);
+  EXPECT_FALSE(s.contains(3));
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSet, AddIsIdempotent) {
+  ProcessSet s(5);
+  s.add(2);
+  s.add(2);
+  EXPECT_EQ(s.size(), 1);
+}
+
+TEST(ProcessSet, ContainsOutOfRangeIsFalse) {
+  ProcessSet s(4);
+  EXPECT_FALSE(s.contains(-1));
+  EXPECT_FALSE(s.contains(4));
+  EXPECT_FALSE(s.contains(kNoProcess));
+}
+
+TEST(ProcessSet, FullUniverse) {
+  ProcessSet s = ProcessSet::full(70);  // spans two words
+  EXPECT_EQ(s.size(), 70);
+  for (ProcessId p = 0; p < 70; ++p) EXPECT_TRUE(s.contains(p));
+  EXPECT_EQ(s.first_excluded(), kNoProcess);
+}
+
+TEST(ProcessSet, FirstAndFirstExcluded) {
+  ProcessSet s(6);
+  EXPECT_EQ(s.first(), kNoProcess);
+  EXPECT_EQ(s.first_excluded(), 0);
+  s.add(0);
+  s.add(1);
+  s.add(3);
+  EXPECT_EQ(s.first(), 0);
+  EXPECT_EQ(s.first_excluded(), 2);
+}
+
+TEST(ProcessSet, MembersSortedAscending) {
+  ProcessSet s(66);
+  s.add(65);
+  s.add(0);
+  s.add(33);
+  const auto m = s.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 33);
+  EXPECT_EQ(m[2], 65);
+}
+
+TEST(ProcessSet, UnionIntersectionDifference) {
+  ProcessSet a(8), b(8);
+  a.add(1);
+  a.add(2);
+  b.add(2);
+  b.add(3);
+  ProcessSet u = a | b;
+  EXPECT_EQ(u.size(), 3);
+  EXPECT_TRUE(u.contains(1) && u.contains(2) && u.contains(3));
+  ProcessSet i = a & b;
+  EXPECT_EQ(i.size(), 1);
+  EXPECT_TRUE(i.contains(2));
+  ProcessSet d = a - b;
+  EXPECT_EQ(d.size(), 1);
+  EXPECT_TRUE(d.contains(1));
+}
+
+TEST(ProcessSet, EqualityIsValueBased) {
+  ProcessSet a(8), b(8);
+  a.add(5);
+  b.add(5);
+  EXPECT_EQ(a, b);
+  b.add(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(ProcessSet, ClearEmpties) {
+  ProcessSet s = ProcessSet::full(12);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.universe_size(), 12);
+}
+
+TEST(ProcessSet, ToStringRendersMembers) {
+  ProcessSet s(8);
+  s.add(0);
+  s.add(4);
+  EXPECT_EQ(s.to_string(), "{p0,p4}");
+  EXPECT_EQ(ProcessSet(3).to_string(), "{}");
+}
+
+TEST(ProcessSet, WordBoundary) {
+  ProcessSet s(128);
+  s.add(63);
+  s.add(64);
+  EXPECT_TRUE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  s.remove(63);
+  EXPECT_FALSE(s.contains(63));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_EQ(s.first(), 64);
+}
+
+}  // namespace
+}  // namespace ecfd

@@ -1,0 +1,141 @@
+// Tests for the failure-detector QoS metrics (fd/qos.hpp): unit tests on
+// synthetic sample timelines plus an integration check on a live run.
+#include "fd/qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fd/heartbeat_p.hpp"
+#include "fd_test_util.hpp"
+
+namespace ecfd {
+namespace {
+
+constexpr int kN = 3;
+
+FdSample sample(TimeUs t, std::initializer_list<ProcessSet> susp) {
+  FdSample s;
+  s.time = t;
+  s.trusted.resize(kN);
+  for (const auto& sp : susp) s.suspected.emplace_back(sp);
+  return s;
+}
+
+RunFacts facts(std::initializer_list<ProcessId> faulty, TimeUs end) {
+  RunFacts f;
+  f.n = kN;
+  f.correct = ProcessSet::full(kN);
+  for (ProcessId q : faulty) f.correct.remove(q);
+  f.end_time = end;
+  return f;
+}
+
+ProcessSet set_of(std::initializer_list<ProcessId> ids) {
+  ProcessSet s(kN);
+  for (ProcessId p : ids) s.add(p);
+  return s;
+}
+
+TEST(Qos, DetectionDelays) {
+  // p2 crashes at t=100. p0 suspects it from t=200, p1 from t=400.
+  auto f = facts({2}, 500);
+  std::vector<FdSample> samples = {
+      sample(100, {set_of({}), set_of({}), set_of({})}),
+      sample(200, {set_of({2}), set_of({}), set_of({})}),
+      sample(300, {set_of({2}), set_of({}), set_of({})}),
+      sample(400, {set_of({2}), set_of({2}), set_of({})}),
+  };
+  auto q = compute_qos(f, {{2, 100}}, samples);
+  ASSERT_EQ(q.detections.size(), 1u);
+  ASSERT_TRUE(q.detections[0].first_suspect_delay.has_value());
+  ASSERT_TRUE(q.detections[0].all_suspect_delay.has_value());
+  EXPECT_EQ(*q.detections[0].first_suspect_delay, 100);
+  EXPECT_EQ(*q.detections[0].all_suspect_delay, 300);
+}
+
+TEST(Qos, UndetectedCrashHasNoDelay) {
+  auto f = facts({2}, 300);
+  std::vector<FdSample> samples = {
+      sample(100, {set_of({}), set_of({}), set_of({})}),
+      sample(200, {set_of({}), set_of({}), set_of({})}),
+  };
+  auto q = compute_qos(f, {{2, 50}}, samples);
+  EXPECT_FALSE(q.detections[0].all_suspect_delay.has_value());
+  EXPECT_FALSE(q.detections[0].first_suspect_delay.has_value());
+}
+
+TEST(Qos, MistakeEpisodesAndDuration) {
+  // All correct; p0 falsely suspects p1 during [200, 400): one episode of
+  // 200us.
+  auto f = facts({}, 600);
+  std::vector<FdSample> samples = {
+      sample(100, {set_of({}), set_of({}), set_of({})}),
+      sample(200, {set_of({1}), set_of({}), set_of({})}),
+      sample(300, {set_of({1}), set_of({}), set_of({})}),
+      sample(400, {set_of({}), set_of({}), set_of({})}),
+      sample(500, {set_of({}), set_of({}), set_of({})}),
+  };
+  auto q = compute_qos(f, {}, samples);
+  EXPECT_EQ(q.mistake_episodes, 1);
+  EXPECT_DOUBLE_EQ(q.mean_mistake_duration_us, 200.0);
+  // 15 (sample,observer) pairs, 2 of them dirty.
+  EXPECT_NEAR(q.query_accuracy, 13.0 / 15.0, 1e-9);
+}
+
+TEST(Qos, RepeatedFlappingCountsEachEpisode) {
+  auto f = facts({}, 600);
+  std::vector<FdSample> samples = {
+      sample(100, {set_of({1}), set_of({}), set_of({})}),
+      sample(200, {set_of({}), set_of({}), set_of({})}),
+      sample(300, {set_of({1}), set_of({}), set_of({})}),
+      sample(400, {set_of({}), set_of({}), set_of({})}),
+  };
+  auto q = compute_qos(f, {}, samples);
+  EXPECT_EQ(q.mistake_episodes, 2);
+  EXPECT_GT(q.mistakes_per_second, 0);
+}
+
+TEST(Qos, SuspectingAFaultyProcessIsNotAMistake) {
+  auto f = facts({2}, 300);
+  std::vector<FdSample> samples = {
+      sample(100, {set_of({2}), set_of({2}), set_of({})}),
+      sample(200, {set_of({2}), set_of({2}), set_of({})}),
+  };
+  auto q = compute_qos(f, {{2, 50}}, samples);
+  EXPECT_EQ(q.mistake_episodes, 0);
+  EXPECT_DOUBLE_EQ(q.query_accuracy, 1.0);
+}
+
+TEST(Qos, LiveHeartbeatRunHasCleanMetricsAfterGst) {
+  // Integration: heartbeat ◇P, one crash, synchrony from the start. No
+  // false suspicions expected at all; detection within a few periods.
+  ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.seed = 5;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = 0;
+  cfg.delta = msec(5);
+  auto sys = make_system(cfg);
+  FdProbe probe(*sys, msec(5));
+  for (ProcessId p = 0; p < 4; ++p) {
+    auto& hb = sys->host(p).emplace<fd::HeartbeatP>();
+    probe.attach(p, &hb, nullptr);
+  }
+  sys->crash_at(2, sec(1));
+  probe.start(sec(3));
+  sys->start();
+  sys->run_until(sec(3));
+
+  RunFacts f;
+  f.n = 4;
+  f.correct = ProcessSet::full(4);
+  f.correct.remove(2);
+  f.end_time = sec(3);
+  auto q = compute_qos(f, {{2, sec(1)}}, probe.samples());
+  EXPECT_EQ(q.mistake_episodes, 0);
+  EXPECT_DOUBLE_EQ(q.query_accuracy, 1.0);
+  ASSERT_TRUE(q.detections[0].all_suspect_delay.has_value());
+  EXPECT_LT(*q.detections[0].all_suspect_delay, msec(100));
+}
+
+}  // namespace
+}  // namespace ecfd

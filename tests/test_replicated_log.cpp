@@ -1,0 +1,161 @@
+// Tests for state-machine replication on repeated ◇C-consensus
+// (core/replicated_log.hpp).
+#include "core/replicated_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/ecfd_compose.hpp"
+#include "fd/ring_fd.hpp"
+#include "fd/scripted_fd.hpp"
+#include "net/scenario.hpp"
+
+namespace ecfd::core {
+namespace {
+
+struct Cluster {
+  std::unique_ptr<System> sys;
+  std::vector<std::unique_ptr<EcfdOracle>> oracles;
+  std::vector<std::unique_ptr<LogReplica>> replicas;
+};
+
+Cluster make_cluster(int n, std::uint64_t seed, int capacity,
+                     std::vector<CrashPlan> crashes = {}) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = msec(100);
+  cfg.delta = msec(5);
+  cfg.crashes = std::move(crashes);
+
+  Cluster c;
+  c.sys = make_system(cfg);
+  std::vector<fd::RingFd*> rings;
+  for (ProcessId p = 0; p < n; ++p) {
+    rings.push_back(&c.sys->host(p).emplace<fd::RingFd>());
+  }
+  for (ProcessId p = 0; p < n; ++p) {
+    c.oracles.push_back(std::make_unique<EcfdFromRing>(rings[p]));
+    LogReplica::Config lc;
+    lc.capacity = capacity;
+    c.replicas.push_back(std::make_unique<LogReplica>(
+        c.sys->host(p), c.oracles.back().get(), lc));
+  }
+  return c;
+}
+
+std::vector<consensus::Value> commands_of(const LogReplica& r) {
+  std::vector<consensus::Value> out;
+  for (const auto& e : r.log()) out.push_back(e.command);
+  return out;
+}
+
+TEST(LogReplica, AllReplicasApplyIdenticalLogs) {
+  auto c = make_cluster(4, 1, 8);
+  c.sys->start();
+  // Two clients submit interleaved commands.
+  c.replicas[0]->submit(101);
+  c.replicas[0]->submit(102);
+  c.replicas[2]->submit(201);
+  c.sys->run_until(sec(10));
+
+  const auto reference = commands_of(*c.replicas[0]);
+  EXPECT_EQ(reference.size(), 3u);
+  for (int p = 1; p < 4; ++p) {
+    EXPECT_EQ(commands_of(*c.replicas[p]), reference) << "replica " << p;
+  }
+  // Every submitted command made it in.
+  for (consensus::Value v : {101, 102, 201}) {
+    EXPECT_NE(std::find(reference.begin(), reference.end(), v),
+              reference.end())
+        << v;
+  }
+}
+
+TEST(LogReplica, NoOpsFillSlotsWithoutAppearingInTheLog) {
+  auto c = make_cluster(3, 2, 5);
+  c.sys->start();
+  c.sys->run_until(sec(10));  // nobody submits anything
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(c.replicas[p]->applied_slots(), 5) << "slots all decided";
+    EXPECT_TRUE(c.replicas[p]->log().empty()) << "but nothing applied";
+  }
+}
+
+TEST(LogReplica, SlotsAreAppliedInOrder) {
+  auto c = make_cluster(4, 3, 8);
+  std::vector<int> applied_slots;
+  c.replicas[1]->set_apply([&applied_slots](const LogReplica::Entry& e) {
+    applied_slots.push_back(e.slot);
+  });
+  c.sys->start();
+  for (int i = 0; i < 5; ++i) c.replicas[3]->submit(900 + i);
+  c.sys->run_until(sec(12));
+  ASSERT_GE(applied_slots.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(applied_slots.begin(), applied_slots.end()));
+  // Commands from one submitter preserve their submission order.
+  const auto cmds = commands_of(*c.replicas[1]);
+  std::vector<consensus::Value> mine;
+  for (auto v : cmds) {
+    if (v >= 900) mine.push_back(v);
+  }
+  EXPECT_EQ(mine, (std::vector<consensus::Value>{900, 901, 902, 903, 904}));
+}
+
+TEST(LogReplica, SurvivesLeaderCrashMidLog) {
+  auto c = make_cluster(5, 4, 10, {{0, msec(150)}});
+  c.sys->start();
+  for (ProcessId p = 1; p < 5; ++p) c.replicas[p]->submit(1000 + p);
+  c.sys->run_until(sec(20));
+  const auto reference = commands_of(*c.replicas[1]);
+  for (int p = 2; p < 5; ++p) {
+    EXPECT_EQ(commands_of(*c.replicas[p]), reference);
+  }
+  // All four survivor commands eventually decided.
+  EXPECT_EQ(c.replicas[1]->pending(), 0u);
+  EXPECT_GE(reference.size(), 4u);
+}
+
+TEST(LogReplica, CapacityBoundsTheRun) {
+  auto c = make_cluster(3, 5, 2);
+  c.sys->start();
+  for (int i = 0; i < 5; ++i) c.replicas[0]->submit(10 + i);
+  c.sys->run_until(sec(10));
+  EXPECT_EQ(c.replicas[0]->applied_slots(), 2);
+  EXPECT_LE(c.replicas[0]->log().size(), 2u);
+  EXPECT_GE(c.replicas[0]->pending(), 3u) << "overflow stays pending";
+}
+
+TEST(LogReplica, ScriptedStableClusterIsFast) {
+  // With a detector that is stable from the start, every slot should
+  // close in a single round; 8 slots complete within a few hundred ms.
+  const int n = 4;
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = 6;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = 0;
+  cfg.delta = msec(5);
+  auto sys = make_system(cfg);
+  std::vector<std::unique_ptr<EcfdOracle>> oracles;
+  std::vector<std::unique_ptr<LogReplica>> replicas;
+  for (ProcessId p = 0; p < n; ++p) {
+    auto& scripted = sys->host(p).emplace<fd::ScriptedFd>(
+        fd::stable_script(n, p, ProcessSet(n), 0, 0));
+    oracles.push_back(
+        std::make_unique<EcfdFromSAndOmega>(&scripted, &scripted));
+    LogReplica::Config lc;
+    lc.capacity = 8;
+    replicas.push_back(std::make_unique<LogReplica>(
+        sys->host(p), oracles.back().get(), lc));
+  }
+  sys->start();
+  replicas[1]->submit(42);
+  sys->run_until(msec(800));
+  EXPECT_EQ(replicas[0]->applied_slots(), 8);
+  ASSERT_EQ(replicas[0]->log().size(), 1u);
+  EXPECT_EQ(replicas[0]->log()[0].command, 42);
+}
+
+}  // namespace
+}  // namespace ecfd::core

@@ -1,0 +1,128 @@
+#include "fd/ring_fd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fd_test_util.hpp"
+
+namespace ecfd {
+namespace {
+
+using testutil::holds_with_margin;
+using testutil::run_fd_scenario;
+
+testutil::Installer ring_installer() {
+  return [](ProcessHost& host, ProcessId,
+            std::vector<std::shared_ptr<void>>&) {
+    auto& ring = host.emplace<fd::RingFd>();
+    return testutil::OracleRefs{&ring, &ring};
+  };
+}
+
+ScenarioConfig base_scenario(int n, std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = msec(300);
+  cfg.delta = msec(5);
+  cfg.pre_gst_max = msec(60);
+  return cfg;
+}
+
+TEST(RingFd, FailureFreeConvergesToNoSuspicionsAndLeaderP0) {
+  auto res = run_fd_scenario(base_scenario(5, 1), ring_installer(), sec(8));
+  EXPECT_TRUE(res.report.eventual_strong_accuracy.holds);
+  EXPECT_TRUE(res.report.omega.holds);
+  EXPECT_EQ(res.report.omega_leader, 0) << "ring leader is first in order";
+  EXPECT_TRUE(res.report.is_eventually_consistent());
+}
+
+TEST(RingFd, CrashDetectedAndPropagatedAroundRing) {
+  auto cfg = base_scenario(6, 2);
+  cfg.with_crash(2, sec(1));
+  auto res = run_fd_scenario(cfg, ring_installer(), sec(10));
+  EXPECT_TRUE(res.report.is_eventually_perfect())
+      << "SC holds=" << res.report.strong_completeness.holds
+      << " from=" << res.report.strong_completeness.from
+      << " ESA holds=" << res.report.eventual_strong_accuracy.holds
+      << " from=" << res.report.eventual_strong_accuracy.from;
+}
+
+TEST(RingFd, LeaderFallsToFirstCorrectWhenP0Crashes) {
+  auto cfg = base_scenario(5, 3);
+  cfg.with_crash(0, sec(1)).with_crash(1, sec(2));
+  auto res = run_fd_scenario(cfg, ring_installer(), sec(12));
+  EXPECT_TRUE(res.report.omega.holds);
+  EXPECT_EQ(res.report.omega_leader, 2)
+      << "first correct process in ring order";
+  EXPECT_TRUE(res.report.is_eventually_consistent());
+}
+
+TEST(RingFd, LinearMessageCost) {
+  // 2n messages per period (n QUERY + n REPLY) in the steady state, plus
+  // the occasional recovery poll.
+  ScenarioConfig cfg = base_scenario(8, 4);
+  cfg.gst = 0;
+  auto sys = make_system(cfg);
+  for (ProcessId p = 0; p < cfg.n; ++p) sys->host(p).emplace<fd::RingFd>();
+  sys->start();
+  sys->run_until(sec(2));
+  const auto queries = sys->counters().get("msg.ring.query.sent");
+  const auto replies = sys->counters().get("msg.ring.reply.sent");
+  fd::RingFd::Config defaults;
+  const double periods = static_cast<double>(sec(2)) / defaults.period;
+  EXPECT_NEAR(static_cast<double>(queries), periods * cfg.n,
+              periods * cfg.n * 0.10);
+  EXPECT_NEAR(static_cast<double>(replies), periods * cfg.n,
+              periods * cfg.n * 0.10);
+}
+
+TEST(RingFd, TargetSkipsSuspectedProcesses) {
+  ScenarioConfig cfg = base_scenario(4, 5);
+  cfg.gst = 0;
+  auto sys = make_system(cfg);
+  std::vector<fd::RingFd*> rings;
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    rings.push_back(&sys->host(p).emplace<fd::RingFd>());
+  }
+  sys->crash_at(1, msec(100));
+  sys->start();
+  sys->run_until(sec(3));
+  EXPECT_EQ(rings[0]->target(), 2) << "p0 must skip crashed p1";
+  EXPECT_TRUE(rings[0]->suspected().contains(1));
+}
+
+struct SweepParam {
+  std::uint64_t seed;
+  int n;
+  int crashes;
+};
+
+class RingFdSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(RingFdSweep, EventuallyConsistent) {
+  const SweepParam param = GetParam();
+  auto cfg = base_scenario(param.n, param.seed);
+  for (int i = 0; i < param.crashes; ++i) {
+    // Crash from the middle of the ring, staggered.
+    cfg.with_crash((param.n / 2 + i) % param.n, msec(400) + i * msec(500));
+  }
+  auto res = run_fd_scenario(cfg, ring_installer(), sec(15));
+  EXPECT_TRUE(res.report.is_eventually_consistent())
+      << "seed=" << param.seed << " n=" << param.n
+      << " crashes=" << param.crashes
+      << " SC=" << res.report.strong_completeness.holds
+      << " EWA=" << res.report.eventual_weak_accuracy.holds
+      << " omega=" << res.report.omega.holds
+      << " couple=" << res.report.ecfd_coupling.holds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RingFdSweep,
+    ::testing::Values(SweepParam{21, 4, 1}, SweepParam{22, 5, 2},
+                      SweepParam{23, 6, 1}, SweepParam{24, 7, 3},
+                      SweepParam{25, 5, 0}, SweepParam{26, 3, 1},
+                      SweepParam{27, 8, 2}));
+
+}  // namespace
+}  // namespace ecfd

@@ -1,0 +1,114 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ecfd {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  EXPECT_EQ(r.below(0), 0u);
+  EXPECT_EQ(r.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusiveBounds) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values hit
+}
+
+TEST(Rng, RangeDegenerate) {
+  Rng r(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.range(5, 5), 5);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(17);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(19);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng r(23);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const DurUs d = r.exponential(1000);
+    ASSERT_GE(d, 0);
+    sum += static_cast<double>(d);
+  }
+  EXPECT_NEAR(sum / kSamples, 1000.0, 60.0);
+}
+
+TEST(Rng, ExponentialZeroMean) {
+  Rng r(29);
+  EXPECT_EQ(r.exponential(0), 0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.split();
+  // The child stream should differ from the parent continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == child.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SplitIsDeterministic) {
+  Rng a(37), b(37);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+}  // namespace
+}  // namespace ecfd

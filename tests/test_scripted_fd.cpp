@@ -1,0 +1,69 @@
+#include "fd/scripted_fd.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/system.hpp"
+
+namespace ecfd {
+namespace {
+
+TEST(ScriptedFd, FollowsTimeline) {
+  System sys(3, 1);
+  ProcessSet s1(3), s2(3);
+  s1.add(2);
+  s2.add(1);
+  std::vector<fd::ScriptedFd::Step> steps;
+  steps.push_back({0, s1, 0});
+  steps.push_back({msec(100), s2, 1});
+  auto& fd = sys.host(0).emplace<fd::ScriptedFd>(steps);
+  sys.start();
+
+  EXPECT_EQ(fd.suspected(), s1);
+  EXPECT_EQ(fd.trusted(), 0);
+  sys.run_until(msec(150));
+  EXPECT_EQ(fd.suspected(), s2);
+  EXPECT_EQ(fd.trusted(), 1);
+}
+
+TEST(ScriptedFd, ExactBoundaryUsesNewStep) {
+  System sys(2, 1);
+  std::vector<fd::ScriptedFd::Step> steps;
+  steps.push_back({0, ProcessSet(2), 0});
+  steps.push_back({msec(50), ProcessSet::full(2), 1});
+  auto& fd = sys.host(0).emplace<fd::ScriptedFd>(steps);
+  sys.start();
+  sys.run_until(msec(50));
+  EXPECT_EQ(fd.trusted(), 1);
+}
+
+TEST(StableScript, ChaosThenStable) {
+  const int n = 4;
+  ProcessSet crashed(n);
+  crashed.add(3);
+  auto steps = fd::stable_script(n, /*self=*/1, crashed, /*leader=*/0,
+                                 msec(200));
+  ASSERT_EQ(steps.size(), 2u);
+  // Chaos phase: suspect everyone but self, trust self.
+  EXPECT_EQ(steps[0].at, 0);
+  EXPECT_FALSE(steps[0].suspected.contains(1));
+  EXPECT_EQ(steps[0].suspected.size(), n - 1);
+  EXPECT_EQ(steps[0].trusted, 1);
+  // Stable phase: exactly the crashed set, common leader.
+  EXPECT_EQ(steps[1].at, msec(200));
+  EXPECT_TRUE(steps[1].suspected.contains(3));
+  EXPECT_EQ(steps[1].suspected.size(), 1);
+  EXPECT_EQ(steps[1].trusted, 0);
+}
+
+TEST(StableScript, SelfNeverSuspected) {
+  const int n = 3;
+  ProcessSet crashed(n);
+  crashed.add(1);
+  auto steps = fd::stable_script(n, /*self=*/1, crashed, 0, msec(10));
+  // Even if the script says p1 crashes, p1's own module must not suspect
+  // itself (a crashed process's output is never consulted anyway).
+  EXPECT_FALSE(steps[1].suspected.contains(1));
+}
+
+}  // namespace
+}  // namespace ecfd

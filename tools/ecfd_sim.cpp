@@ -1,0 +1,150 @@
+// ecfd_sim — command-line scenario runner.
+//
+// Runs a consensus experiment on the deterministic simulator and prints
+// the outcome, so users can explore the algorithms without writing code:
+//
+//   ecfd_sim [--n N] [--seed S] [--algo c|c-merged|ct|mr]
+//            [--fd ring|heartbeat|mix|effp|scripted] [--crash P@MS ...]
+//            [--gst MS] [--delta MS] [--stable-at MS] [--horizon MS]
+//            [--max-rounds R] [--ewa-only] [--leader K] [--verbose]
+//
+// Examples:
+//   ecfd_sim --n 7 --algo c --fd ring --crash 0@300 --crash 5@500
+//   ecfd_sim --n 9 --algo ct --fd scripted --ewa-only --leader 8
+//
+// Exit code: 0 when every correct process decided and all consensus
+// properties held; 1 otherwise.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "consensus/harness.hpp"
+
+using namespace ecfd;
+using namespace ecfd::consensus;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      "ecfd_sim — consensus on eventually consistent failure detectors\n"
+      "\n"
+      "  --n N            processes (default 5)\n"
+      "  --seed S         rng seed (default 1)\n"
+      "  --algo A         c | c-merged | ct | mr   (default c)\n"
+      "  --fd F           ring | heartbeat | mix | effp | scripted (default ring)\n"
+      "  --crash P@MS     crash process P at MS milliseconds (repeatable)\n"
+      "  --gst MS         global stabilization time (default 200)\n"
+      "  --delta MS       post-GST delay bound (default 5)\n"
+      "  --stable-at MS   scripted detector stabilization time (default 300)\n"
+      "  --ewa-only       scripted detector suspects everyone but the leader\n"
+      "  --leader K       scripted leader (default: first correct)\n"
+      "  --horizon MS     stop the run after MS ms (default 30000)\n"
+      "  --max-rounds R   give up after R rounds (default unlimited)\n"
+      "  --verbose        print the per-process outcome table\n";
+}
+
+bool parse_crash(const std::string& arg, ScenarioConfig& sc) {
+  const auto at = arg.find('@');
+  if (at == std::string::npos) return false;
+  sc.with_crash(std::stoi(arg.substr(0, at)),
+                msec(std::stoll(arg.substr(at + 1))));
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  HarnessConfig cfg;
+  cfg.scenario.n = 5;
+  cfg.scenario.seed = 1;
+  cfg.scenario.links = LinkKind::kPartialSync;
+  cfg.scenario.gst = msec(200);
+  cfg.scenario.delta = msec(5);
+  cfg.algo = Algo::kEcfdC;
+  cfg.fd = FdStack::kRing;
+  cfg.fd_stable_at = msec(300);
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--n") {
+      cfg.scenario.n = std::stoi(next());
+    } else if (a == "--seed") {
+      cfg.scenario.seed = std::stoull(next());
+    } else if (a == "--algo") {
+      const std::string v = next();
+      if (v == "c") cfg.algo = Algo::kEcfdC;
+      else if (v == "c-merged") cfg.algo = Algo::kEcfdCMerged;
+      else if (v == "ct") cfg.algo = Algo::kChandraTouegS;
+      else if (v == "mr") cfg.algo = Algo::kMrOmega;
+      else { std::cerr << "unknown algo " << v << "\n"; return 2; }
+    } else if (a == "--fd") {
+      const std::string v = next();
+      if (v == "ring") cfg.fd = FdStack::kRing;
+      else if (v == "heartbeat") cfg.fd = FdStack::kHeartbeatP;
+      else if (v == "mix") cfg.fd = FdStack::kOmegaPlusHeartbeat;
+      else if (v == "effp") cfg.fd = FdStack::kEfficientP;
+      else if (v == "scripted") cfg.fd = FdStack::kScriptedStable;
+      else { std::cerr << "unknown fd " << v << "\n"; return 2; }
+    } else if (a == "--crash") {
+      if (!parse_crash(next(), cfg.scenario)) {
+        std::cerr << "--crash expects P@MS\n";
+        return 2;
+      }
+    } else if (a == "--gst") {
+      cfg.scenario.gst = msec(std::stoll(next()));
+    } else if (a == "--delta") {
+      cfg.scenario.delta = msec(std::stoll(next()));
+    } else if (a == "--stable-at") {
+      cfg.fd_stable_at = msec(std::stoll(next()));
+    } else if (a == "--ewa-only") {
+      cfg.scripted_ewa_only = true;
+    } else if (a == "--leader") {
+      cfg.scripted_leader = std::stoi(next());
+    } else if (a == "--horizon") {
+      cfg.horizon = msec(std::stoll(next()));
+    } else if (a == "--max-rounds") {
+      cfg.max_rounds = std::stoi(next());
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else {
+      std::cerr << "unknown flag " << a << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  const HarnessResult r = run_consensus(cfg);
+
+  std::cout << "result: " << summarize(r) << "\n";
+  std::cout << "decision round (earliest broadcast): " << r.min_decision_round
+            << "\n";
+  std::cout << "messages: consensus=" << r.consensus_msgs
+            << " rb=" << r.rb_msgs << " fd=" << r.fd_msgs << "\n";
+  if (verbose) {
+    std::cout << "\nprocess | decided | value | round | at_ms | last_round\n";
+    for (ProcessId p = 0; p < cfg.scenario.n; ++p) {
+      const auto& o = r.outcomes[static_cast<std::size_t>(p)];
+      std::cout << "   p" << p << "    |   " << (o.decided ? "yes" : " - ")
+                << "   | " << (o.decided ? std::to_string(o.value) : "-")
+                << " | " << o.round << " | " << o.at / 1000 << " | "
+                << o.last_round
+                << (r.correct.contains(p) ? "" : "  (crashed)") << "\n";
+    }
+  }
+
+  const bool ok = r.every_correct_decided && r.uniform_agreement && r.validity;
+  std::cout << (ok ? "OK" : "FAILED") << "\n";
+  return ok ? 0 : 1;
+}
