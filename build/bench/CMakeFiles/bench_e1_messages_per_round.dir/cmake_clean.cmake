@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_messages_per_round.dir/bench_e1_messages_per_round.cpp.o"
+  "CMakeFiles/bench_e1_messages_per_round.dir/bench_e1_messages_per_round.cpp.o.d"
+  "bench_e1_messages_per_round"
+  "bench_e1_messages_per_round.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_messages_per_round.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_rounds_after_stabilization.dir/bench_e2_rounds_after_stabilization.cpp.o"
+  "CMakeFiles/bench_e2_rounds_after_stabilization.dir/bench_e2_rounds_after_stabilization.cpp.o.d"
+  "bench_e2_rounds_after_stabilization"
+  "bench_e2_rounds_after_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_rounds_after_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

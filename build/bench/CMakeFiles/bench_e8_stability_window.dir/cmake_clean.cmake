@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_stability_window.dir/bench_e8_stability_window.cpp.o"
+  "CMakeFiles/bench_e8_stability_window.dir/bench_e8_stability_window.cpp.o.d"
+  "bench_e8_stability_window"
+  "bench_e8_stability_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_stability_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_comparison.dir/fd_comparison.cpp.o"
+  "CMakeFiles/fd_comparison.dir/fd_comparison.cpp.o.d"
+  "fd_comparison"
+  "fd_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_service.dir/membership_service.cpp.o"
+  "CMakeFiles/membership_service.dir/membership_service.cpp.o.d"
+  "membership_service"
+  "membership_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

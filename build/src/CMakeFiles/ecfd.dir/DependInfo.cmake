@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/broadcast/reliable_broadcast.cpp" "src/CMakeFiles/ecfd.dir/broadcast/reliable_broadcast.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/broadcast/reliable_broadcast.cpp.o.d"
+  "/root/repo/src/consensus/chandra_toueg.cpp" "src/CMakeFiles/ecfd.dir/consensus/chandra_toueg.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/consensus/chandra_toueg.cpp.o.d"
+  "/root/repo/src/consensus/consensus.cpp" "src/CMakeFiles/ecfd.dir/consensus/consensus.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/consensus/consensus.cpp.o.d"
+  "/root/repo/src/consensus/harness.cpp" "src/CMakeFiles/ecfd.dir/consensus/harness.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/consensus/harness.cpp.o.d"
+  "/root/repo/src/consensus/mr_omega.cpp" "src/CMakeFiles/ecfd.dir/consensus/mr_omega.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/consensus/mr_omega.cpp.o.d"
+  "/root/repo/src/core/c_to_p.cpp" "src/CMakeFiles/ecfd.dir/core/c_to_p.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/core/c_to_p.cpp.o.d"
+  "/root/repo/src/core/consensus_c.cpp" "src/CMakeFiles/ecfd.dir/core/consensus_c.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/core/consensus_c.cpp.o.d"
+  "/root/repo/src/core/ecfd_compose.cpp" "src/CMakeFiles/ecfd.dir/core/ecfd_compose.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/core/ecfd_compose.cpp.o.d"
+  "/root/repo/src/core/ecfd_oracle.cpp" "src/CMakeFiles/ecfd.dir/core/ecfd_oracle.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/core/ecfd_oracle.cpp.o.d"
+  "/root/repo/src/core/replicated_log.cpp" "src/CMakeFiles/ecfd.dir/core/replicated_log.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/core/replicated_log.cpp.o.d"
+  "/root/repo/src/fd/efficient_p.cpp" "src/CMakeFiles/ecfd.dir/fd/efficient_p.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/efficient_p.cpp.o.d"
+  "/root/repo/src/fd/heartbeat_counter.cpp" "src/CMakeFiles/ecfd.dir/fd/heartbeat_counter.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/heartbeat_counter.cpp.o.d"
+  "/root/repo/src/fd/heartbeat_p.cpp" "src/CMakeFiles/ecfd.dir/fd/heartbeat_p.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/heartbeat_p.cpp.o.d"
+  "/root/repo/src/fd/leader_candidate.cpp" "src/CMakeFiles/ecfd.dir/fd/leader_candidate.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/leader_candidate.cpp.o.d"
+  "/root/repo/src/fd/omega_from_s.cpp" "src/CMakeFiles/ecfd.dir/fd/omega_from_s.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/omega_from_s.cpp.o.d"
+  "/root/repo/src/fd/oracle.cpp" "src/CMakeFiles/ecfd.dir/fd/oracle.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/oracle.cpp.o.d"
+  "/root/repo/src/fd/probe.cpp" "src/CMakeFiles/ecfd.dir/fd/probe.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/probe.cpp.o.d"
+  "/root/repo/src/fd/properties.cpp" "src/CMakeFiles/ecfd.dir/fd/properties.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/properties.cpp.o.d"
+  "/root/repo/src/fd/qos.cpp" "src/CMakeFiles/ecfd.dir/fd/qos.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/qos.cpp.o.d"
+  "/root/repo/src/fd/ring_fd.cpp" "src/CMakeFiles/ecfd.dir/fd/ring_fd.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/ring_fd.cpp.o.d"
+  "/root/repo/src/fd/scripted_fd.cpp" "src/CMakeFiles/ecfd.dir/fd/scripted_fd.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/scripted_fd.cpp.o.d"
+  "/root/repo/src/fd/stable_leader.cpp" "src/CMakeFiles/ecfd.dir/fd/stable_leader.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/stable_leader.cpp.o.d"
+  "/root/repo/src/fd/w_to_s.cpp" "src/CMakeFiles/ecfd.dir/fd/w_to_s.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/fd/w_to_s.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/ecfd.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/message.cpp" "src/CMakeFiles/ecfd.dir/net/message.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/message.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/ecfd.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/process_host.cpp" "src/CMakeFiles/ecfd.dir/net/process_host.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/process_host.cpp.o.d"
+  "/root/repo/src/net/process_set.cpp" "src/CMakeFiles/ecfd.dir/net/process_set.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/process_set.cpp.o.d"
+  "/root/repo/src/net/scenario.cpp" "src/CMakeFiles/ecfd.dir/net/scenario.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/scenario.cpp.o.d"
+  "/root/repo/src/net/system.cpp" "src/CMakeFiles/ecfd.dir/net/system.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/net/system.cpp.o.d"
+  "/root/repo/src/runtime/thread_env.cpp" "src/CMakeFiles/ecfd.dir/runtime/thread_env.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/runtime/thread_env.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/ecfd.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/ecfd.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/scheduler.cpp" "src/CMakeFiles/ecfd.dir/sim/scheduler.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/sim/scheduler.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/ecfd.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/ecfd.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/ecfd.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_c_to_p.dir/test_c_to_p.cpp.o"
+  "CMakeFiles/test_c_to_p.dir/test_c_to_p.cpp.o.d"
+  "test_c_to_p"
+  "test_c_to_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_c_to_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

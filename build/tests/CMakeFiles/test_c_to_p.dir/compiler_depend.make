@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_c_to_p.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_c.dir/test_consensus_c.cpp.o"
+  "CMakeFiles/test_consensus_c.dir/test_consensus_c.cpp.o.d"
+  "test_consensus_c"
+  "test_consensus_c.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_c.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_edge.dir/test_consensus_edge.cpp.o"
+  "CMakeFiles/test_consensus_edge.dir/test_consensus_edge.cpp.o.d"
+  "test_consensus_edge"
+  "test_consensus_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

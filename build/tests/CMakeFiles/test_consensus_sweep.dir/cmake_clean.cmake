@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consensus_sweep.dir/test_consensus_sweep.cpp.o"
+  "CMakeFiles/test_consensus_sweep.dir/test_consensus_sweep.cpp.o.d"
+  "test_consensus_sweep"
+  "test_consensus_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consensus_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecfd_compose.dir/test_ecfd_compose.cpp.o"
+  "CMakeFiles/test_ecfd_compose.dir/test_ecfd_compose.cpp.o.d"
+  "test_ecfd_compose"
+  "test_ecfd_compose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecfd_compose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

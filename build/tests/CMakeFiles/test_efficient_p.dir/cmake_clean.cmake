@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efficient_p.dir/test_efficient_p.cpp.o"
+  "CMakeFiles/test_efficient_p.dir/test_efficient_p.cpp.o.d"
+  "test_efficient_p"
+  "test_efficient_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efficient_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

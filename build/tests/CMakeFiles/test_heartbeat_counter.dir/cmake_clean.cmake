@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heartbeat_counter.dir/test_heartbeat_counter.cpp.o"
+  "CMakeFiles/test_heartbeat_counter.dir/test_heartbeat_counter.cpp.o.d"
+  "test_heartbeat_counter"
+  "test_heartbeat_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heartbeat_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

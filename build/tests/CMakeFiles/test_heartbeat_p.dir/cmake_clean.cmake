@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heartbeat_p.dir/test_heartbeat_p.cpp.o"
+  "CMakeFiles/test_heartbeat_p.dir/test_heartbeat_p.cpp.o.d"
+  "test_heartbeat_p"
+  "test_heartbeat_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heartbeat_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

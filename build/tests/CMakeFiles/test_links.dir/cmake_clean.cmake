@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_links.dir/test_links.cpp.o"
+  "CMakeFiles/test_links.dir/test_links.cpp.o.d"
+  "test_links"
+  "test_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_fuzz.dir/test_model_fuzz.cpp.o"
+  "CMakeFiles/test_model_fuzz.dir/test_model_fuzz.cpp.o.d"
+  "test_model_fuzz"
+  "test_model_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partitions.dir/test_partitions.cpp.o"
+  "CMakeFiles/test_partitions.dir/test_partitions.cpp.o.d"
+  "test_partitions"
+  "test_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replicated_log.dir/test_replicated_log.cpp.o"
+  "CMakeFiles/test_replicated_log.dir/test_replicated_log.cpp.o.d"
+  "test_replicated_log"
+  "test_replicated_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replicated_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ring_fd.dir/test_ring_fd.cpp.o"
+  "CMakeFiles/test_ring_fd.dir/test_ring_fd.cpp.o.d"
+  "test_ring_fd"
+  "test_ring_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ring_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

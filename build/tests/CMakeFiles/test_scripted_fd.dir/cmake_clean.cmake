@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scripted_fd.dir/test_scripted_fd.cpp.o"
+  "CMakeFiles/test_scripted_fd.dir/test_scripted_fd.cpp.o.d"
+  "test_scripted_fd"
+  "test_scripted_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scripted_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stable_leader.dir/test_stable_leader.cpp.o"
+  "CMakeFiles/test_stable_leader.dir/test_stable_leader.cpp.o.d"
+  "test_stable_leader"
+  "test_stable_leader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stable_leader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_trace.dir/test_stats_trace.cpp.o"
+  "CMakeFiles/test_stats_trace.dir/test_stats_trace.cpp.o.d"
+  "test_stats_trace"
+  "test_stats_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

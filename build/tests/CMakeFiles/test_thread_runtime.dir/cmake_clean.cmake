@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_runtime.dir/test_thread_runtime.cpp.o"
+  "CMakeFiles/test_thread_runtime.dir/test_thread_runtime.cpp.o.d"
+  "test_thread_runtime"
+  "test_thread_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

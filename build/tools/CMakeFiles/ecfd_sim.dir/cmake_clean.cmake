@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecfd_sim.dir/ecfd_sim.cpp.o"
+  "CMakeFiles/ecfd_sim.dir/ecfd_sim.cpp.o.d"
+  "ecfd_sim"
+  "ecfd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecfd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
