@@ -1,0 +1,82 @@
+// Smallest possible real-network example: two SocketEnvs in one program
+// (each on its own thread, each bound to a real loopback UDP port) running
+// the Section 4 EfficientP detector against each other — then one of them
+// goes silent and the survivor's ◇P output flips.
+//
+// This is the in-process twin of the multi-process demo in
+// examples/cluster_demo.sh; see tools/ecfd_node.cpp for the daemon form.
+//
+//   $ ./socket_pair
+//   [p0] trusts p0, suspects {}
+//   ...
+//   p1 goes silent (simulated kill -9)
+//   [p0] trusts p0, suspects {p1}
+//   detection confirmed after ~xxx ms
+
+#include <atomic>
+#include <iostream>
+#include <thread>
+
+#include "fd/efficient_p.hpp"
+#include "transport/socket_env.hpp"
+
+using namespace ecfd;
+using transport::SocketEnv;
+
+int main() {
+  const std::vector<transport::PeerAddr> peers{{"127.0.0.1", 19880},
+                                               {"127.0.0.1", 19881}};
+
+  auto make_opts = [&](ProcessId self) {
+    SocketEnv::Options o;
+    o.self = self;
+    o.peers = peers;
+    o.seed = 1;
+    return o;
+  };
+  SocketEnv a(make_opts(0));
+  SocketEnv b(make_opts(1));
+  std::string error;
+  if (!a.open(&error) || !b.open(&error)) {
+    std::cerr << "socket setup failed: " << error << "\n";
+    return 1;
+  }
+
+  fd::EfficientP::Config cfg;
+  cfg.period = msec(25);
+  cfg.initial_timeout = msec(120);
+  cfg.timeout_increment = msec(60);
+  auto& fda = a.emplace<fd::EfficientP>(cfg);
+  b.emplace<fd::EfficientP>(cfg);
+  a.start();
+  b.start();
+
+  auto show = [&]() {
+    std::cout << "[p0] trusts p" << fda.trusted() << ", suspects "
+              << fda.suspected().to_string() << "\n";
+  };
+
+  // Phase 1: both loops run; p0 should come to trust the pair.
+  std::atomic<bool> b_alive{true};
+  std::thread tb([&] {
+    while (b_alive.load()) b.run_for(msec(20));
+  });
+  a.run_until([&] { return !fda.suspected().contains(1); }, sec(5));
+  show();
+
+  std::cout << "p1 goes silent (simulated kill -9)\n";
+  b_alive.store(false);
+  tb.join();
+
+  const TimeUs t0 = a.now();
+  const bool detected =
+      a.run_until([&] { return fda.suspected().contains(1); }, sec(5));
+  show();
+  if (!detected) {
+    std::cerr << "p0 never suspected the silent p1\n";
+    return 1;
+  }
+  std::cout << "detection confirmed after ~" << (a.now() - t0) / 1000
+            << " ms\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+#pragma once
+
+#include "consensus/consensus.hpp"
+
+/// \file bodies.hpp
+/// The message bodies exchanged by the consensus engines (core/consensus_c
+/// and consensus/chandra_toueg share these exact shapes — both are rounds
+/// of timestamped estimates, propositions and ack/nacks).
+///
+/// They are public (rather than nested in the protocol classes) so the
+/// wire codec (wire/codec.hpp) can serialize them for the real-network
+/// transport without befriending every engine.
+
+namespace ecfd::consensus {
+
+/// Phase 1: a participant's timestamped estimate for a round.
+struct EstimateBody {
+  int round{};
+  Value value{};
+  int ts{};
+};
+
+/// Phase 2: a coordinator's (non-null) proposition.
+struct ProposeBody {
+  int round{};
+  Value value{};
+};
+
+/// Round-only bodies: coordinator announcements, null estimates, null
+/// propositions, acks and nacks.
+struct RoundOnly {
+  int round{};
+};
+
+/// R-broadcast decision payload.
+struct DecideBody {
+  int round{};
+  Value value{};
+};
+
+}  // namespace ecfd::consensus

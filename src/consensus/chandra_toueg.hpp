@@ -3,6 +3,7 @@
 #include <map>
 
 #include "broadcast/reliable_broadcast.hpp"
+#include "consensus/bodies.hpp"
 #include "consensus/consensus.hpp"
 #include "fd/oracle.hpp"
 #include "net/protocol_ids.hpp"
@@ -63,22 +64,11 @@ class ChandraTouegConsensus final : public ConsensusProtocol {
     kNack = 4,
   };
 
-  struct EstimateBody {
-    int round{};
-    Value value{};
-    int ts{};
-  };
-  struct ProposeBody {
-    int round{};
-    Value value{};
-  };
-  struct RoundOnly {
-    int round{};
-  };
-  struct DecideBody {
-    int round{};
-    Value value{};
-  };
+  // Message bodies are the shared consensus wire shapes (consensus/bodies.hpp).
+  using EstimateBody = consensus::EstimateBody;
+  using ProposeBody = consensus::ProposeBody;
+  using RoundOnly = consensus::RoundOnly;
+  using DecideBody = consensus::DecideBody;
 
   struct EstimateTally {
     int total{0};

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "broadcast/reliable_broadcast.hpp"
+#include "consensus/bodies.hpp"
 #include "consensus/consensus.hpp"
 #include "core/ecfd_oracle.hpp"
 #include "net/protocol_ids.hpp"
@@ -122,22 +123,11 @@ class ConsensusC final : public consensus::ConsensusProtocol {
     kNack = 7,
   };
 
-  struct EstimateBody {
-    int round{};
-    Value value{};
-    int ts{};
-  };
-  struct ProposeBody {
-    int round{};
-    Value value{};
-  };
-  struct RoundOnly {
-    int round{};
-  };
-  struct DecideBody {
-    int round{};
-    Value value{};
-  };
+  // Message bodies are the shared consensus wire shapes (consensus/bodies.hpp).
+  using EstimateBody = consensus::EstimateBody;
+  using ProposeBody = consensus::ProposeBody;
+  using RoundOnly = consensus::RoundOnly;
+  using DecideBody = consensus::DecideBody;
 
   /// Per-round reply bookkeeping for a coordinator.
   struct EstimateTally {

@@ -64,12 +64,14 @@ class RingFd final : public Protocol, public SuspectOracle, public LeaderOracle 
   /// Current poll target (exposed for tests).
   [[nodiscard]] ProcessId target() const;
 
- private:
+  /// The circulated QUERY/REPLY body (public so the wire codec can
+  /// serialize it for the real-network transport).
   struct Body {
     std::vector<std::uint64_t> seq;
     ProcessSet susp;
   };
 
+ private:
   void poll();
   void merge(const Body& body);
   [[nodiscard]] Body make_body() const;

@@ -68,4 +68,9 @@ struct Message {
   [[nodiscard]] bool has_payload() const { return payload != nullptr; }
 };
 
+/// Counter key for a message: "msg.<label>" with a numeric fallback when a
+/// protocol did not label its messages. Shared by the simulated network and
+/// the socket transport so experiment accounting aggregates identically.
+std::string message_counter_key(const Message& m);
+
 }  // namespace ecfd

@@ -5,9 +5,6 @@
 
 namespace ecfd {
 
-// Defined in message.cpp.
-std::string message_counter_key(const Message& m);
-
 Network::Network(sim::Scheduler& sched, int n, Rng rng,
                  sim::Counters& counters, sim::Trace& trace)
     : sched_(sched),

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file node_config.hpp
+/// Cluster configuration for the real-network transport: a static peer
+/// table (ProcessId -> host:port) plus protocol timing and chaos knobs,
+/// loaded from a small INI-style file shared by every node of a cluster.
+///
+/// Format (comments with '#' or ';', case-sensitive keys):
+///
+///   [cluster]
+///   seed = 1
+///   fd = efficient_p          ; heartbeat_p | efficient_p | stable_leader | ecfd
+///   period_ms = 50
+///   initial_timeout_ms = 250
+///   timeout_increment_ms = 100
+///   consensus = false
+///
+///   [peers]
+///   0 = 127.0.0.1:9100
+///   1 = 127.0.0.1:9101
+///   2 = 127.0.0.1:9102
+///
+///   [chaos]                   ; optional injected faults, applied on send
+///   loss = 0.0
+///   min_delay_ms = 0
+///   max_delay_ms = 0
+///
+/// Peer ids must be exactly 0..n-1; every node of the cluster loads the
+/// same file and is told which row is "self" on its command line.
+
+namespace ecfd::transport {
+
+/// One row of the peer table.
+struct PeerAddr {
+  std::string host;
+  std::uint16_t port{0};
+};
+
+struct NodeConfig {
+  std::vector<PeerAddr> peers;  ///< indexed by ProcessId, size n
+
+  std::uint64_t seed{1};
+  std::string fd{"efficient_p"};
+  bool consensus{false};
+
+  DurUs period{msec(50)};
+  DurUs initial_timeout{msec(250)};
+  DurUs timeout_increment{msec(100)};
+
+  double loss{0.0};
+  DurUs min_delay{0};
+  DurUs max_delay{0};
+
+  [[nodiscard]] int n() const { return static_cast<int>(peers.size()); }
+};
+
+/// Parses config text. Returns std::nullopt and sets \p error on malformed
+/// input (unknown section/key, bad peer table, out-of-range values).
+std::optional<NodeConfig> parse_node_config(const std::string& text,
+                                            std::string* error = nullptr);
+
+/// Reads and parses a config file.
+std::optional<NodeConfig> load_node_config(const std::string& path,
+                                           std::string* error = nullptr);
+
+/// Parses "host:port"; used for the peer table and for CLI overrides.
+std::optional<PeerAddr> parse_peer_addr(const std::string& s);
+
+}  // namespace ecfd::transport

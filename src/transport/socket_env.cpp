@@ -1,0 +1,278 @@
+#include "transport/socket_env.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "wire/codec.hpp"
+
+namespace ecfd::transport {
+
+namespace {
+
+/// Builds an IPv4 sockaddr for a peer row; stored type-erased so the
+/// header stays free of <netinet/in.h>.
+std::vector<std::uint8_t> make_sockaddr(const PeerAddr& peer) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(peer.port);
+  if (::inet_pton(AF_INET, peer.host.c_str(), &sa.sin_addr) != 1) {
+    return {};  // caught in open(): the transport is numeric-IPv4 only
+  }
+  std::vector<std::uint8_t> out(sizeof(sa));
+  std::memcpy(out.data(), &sa, sizeof(sa));
+  return out;
+}
+
+}  // namespace
+
+SocketEnv::SocketEnv(Options opts)
+    : opts_(std::move(opts)),
+      rng_(opts_.seed * 0x9E3779B97F4A7C15ULL +
+           static_cast<std::uint64_t>(opts_.self) + 1),
+      epoch_(std::chrono::steady_clock::now()) {
+  assert(!opts_.peers.empty());
+  assert(opts_.self >= 0 && opts_.self < n());
+}
+
+SocketEnv::~SocketEnv() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SocketEnv::open(std::string* error) {
+  const auto fail = [&](const std::string& reason) {
+    if (error) *error = reason;
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return false;
+  };
+
+  peer_sockaddrs_.clear();
+  for (const auto& peer : opts_.peers) {
+    auto sa = make_sockaddr(peer);
+    if (sa.empty()) {
+      return fail("bad peer host (numeric IPv4 required): " + peer.host);
+    }
+    peer_sockaddrs_.push_back(std::move(sa));
+  }
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
+
+  // Deliberately no SO_REUSEADDR: UDP has no TIME_WAIT to work around, and
+  // on Linux the option would let a second process bind the same unicast
+  // port and silently steal datagrams. A duplicate --id must fail loudly.
+  sockaddr_in self_sa{};
+  std::memcpy(&self_sa, peer_sockaddrs_[static_cast<std::size_t>(opts_.self)].data(),
+              sizeof(self_sa));
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&self_sa),
+             sizeof(self_sa)) != 0) {
+    return fail("bind(" + opts_.peers[static_cast<std::size_t>(opts_.self)].host +
+                ":" +
+                std::to_string(opts_.peers[static_cast<std::size_t>(opts_.self)].port) +
+                "): " + std::strerror(errno));
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    bound_port_ = ntohs(bound.sin_port);
+  }
+
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return fail(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
+  }
+  return true;
+}
+
+void SocketEnv::add_protocol(std::unique_ptr<Protocol> proto) {
+  assert(!started_ && "register protocols before start()");
+  Protocol* p = proto.get();
+  const bool inserted = by_id_.emplace(p->protocol_id(), p).second;
+  assert(inserted && "duplicate protocol id on this node");
+  (void)inserted;
+  owned_.push_back(std::move(proto));
+}
+
+void SocketEnv::start() {
+  assert(fd_ >= 0 && "open() must succeed before start()");
+  started_ = true;
+  for (auto& p : owned_) p->start();
+}
+
+TimeUs SocketEnv::now() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+void SocketEnv::send(ProcessId dst, Message m) {
+  assert(dst >= 0 && dst < n());
+  m.src = opts_.self;
+  m.dst = dst;
+
+  if (dst == opts_.self) {
+    // Self-sends never touch the wire (mirrors the other backends'
+    // minimal-delay local delivery).
+    set_timer(0, [this, m = std::move(m)]() { deliver(m); });
+    return;
+  }
+
+  const std::string key = message_counter_key(m);
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  if (!wire::encode_message(m, &frame, &error)) {
+    counters_.add("net.encode_error");
+    trace("net.encode_error", key + ": " + error);
+    return;
+  }
+
+  // Injected chaos: drop, or hold the encoded frame back for a while.
+  if (opts_.loss > 0.0 && rng_.chance(opts_.loss)) {
+    counters_.add(key + ".dropped");
+    return;
+  }
+  counters_.add(key + ".sent");
+  if (opts_.max_extra_delay > 0) {
+    const DurUs delay =
+        rng_.range(opts_.min_extra_delay, opts_.max_extra_delay);
+    set_timer(delay, [this, dst, frame = std::move(frame)]() {
+      transmit(dst, frame);
+    });
+    return;
+  }
+  transmit(dst, frame);
+}
+
+void SocketEnv::transmit(ProcessId dst, const std::vector<std::uint8_t>& frame) {
+  const auto& sa = peer_sockaddrs_[static_cast<std::size_t>(dst)];
+  const auto sent =
+      ::sendto(fd_, frame.data(), frame.size(), 0,
+               reinterpret_cast<const sockaddr*>(sa.data()),
+               static_cast<socklen_t>(sa.size()));
+  if (sent < 0) {
+    // UDP is lossy by contract; ENOBUFS/ECONNREFUSED etc. are just drops.
+    counters_.add("net.send_error");
+    return;
+  }
+  counters_.add("net.sent.p" + std::to_string(dst));
+}
+
+TimerId SocketEnv::set_timer(DurUs delay, std::function<void()> fn) {
+  const TimerId id = next_timer_++;
+  timers_.push(Timer{now() + (delay < 0 ? 0 : delay), next_seq_++, id,
+                     std::move(fn)});
+  return id;
+}
+
+void SocketEnv::cancel_timer(TimerId id) {
+  if (id != kInvalidTimer) cancelled_.insert(id);
+}
+
+void SocketEnv::trace(const std::string& tag, const std::string& detail) {
+  if (!opts_.trace_to_stderr) return;
+  std::fprintf(stderr, "[%lld] p%d %s %s\n",
+               static_cast<long long>(now()), opts_.self, tag.c_str(),
+               detail.c_str());
+}
+
+TimeUs SocketEnv::next_timer_at() const {
+  return timers_.empty() ? kTimeNever : timers_.top().when;
+}
+
+void SocketEnv::fire_due_timers() {
+  while (!timers_.empty() && timers_.top().when <= now() && !stopping_) {
+    Timer t = timers_.top();
+    timers_.pop();
+    const auto cancelled = cancelled_.find(t.id);
+    if (cancelled != cancelled_.end()) {
+      cancelled_.erase(cancelled);
+      continue;
+    }
+    t.fn();
+  }
+}
+
+void SocketEnv::deliver(const Message& m) {
+  const auto it = by_id_.find(m.protocol);
+  if (it == by_id_.end()) {
+    counters_.add("net.unknown_protocol");
+    return;
+  }
+  it->second->on_message(m);
+}
+
+void SocketEnv::drain_socket() {
+  std::uint8_t buf[wire::kMaxFrameBytes];
+  for (;;) {
+    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (got < 0) {
+      // EAGAIN/EWOULDBLOCK: drained. Anything else on UDP is transient;
+      // either way this read pass is over.
+      return;
+    }
+    std::string error;
+    auto decoded = wire::decode_message(buf, static_cast<std::size_t>(got), &error);
+    if (!decoded) {
+      counters_.add("net.decode_error");
+      trace("net.decode_error", error);
+      continue;
+    }
+    // A frame for another node (misconfigured peer table, stale sender)
+    // is rejected here — protocols only ever see their own traffic.
+    if (decoded->dst != opts_.self || decoded->src < 0 || decoded->src >= n()) {
+      counters_.add("net.misaddressed");
+      continue;
+    }
+    counters_.add("net.recv.p" + std::to_string(decoded->src));
+    deliver(*decoded);
+  }
+}
+
+void SocketEnv::poll_once(DurUs max_wait) {
+  fire_due_timers();
+  if (stopping_) return;
+
+  DurUs wait = max_wait;
+  const TimeUs next = next_timer_at();
+  if (next != kTimeNever) {
+    const DurUs until_timer = next - now();
+    if (until_timer < wait) wait = until_timer;
+  }
+  if (wait < 0) wait = 0;
+
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  // +1ms so a timer due mid-millisecond is not busy-polled.
+  const int timeout_ms = static_cast<int>(wait / 1000 + 1);
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
+  fire_due_timers();
+}
+
+void SocketEnv::run_for(DurUs dur) {
+  stopping_ = false;
+  const TimeUs end = now() + dur;
+  while (!stopping_ && now() < end) poll_once(end - now());
+}
+
+bool SocketEnv::run_until(const std::function<bool()>& pred, DurUs deadline) {
+  stopping_ = false;
+  const TimeUs end = now() + deadline;
+  while (!stopping_ && !pred() && now() < end) poll_once(msec(20));
+  return pred();
+}
+
+}  // namespace ecfd::transport

@@ -1,0 +1,156 @@
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/env.hpp"
+#include "sim/stats.hpp"
+#include "transport/node_config.hpp"
+
+/// \file socket_env.hpp
+/// The third Env backend: a real-network runtime over nonblocking UDP.
+///
+/// One SocketEnv is one process of the universe. It binds the UDP port of
+/// its own peer-table row and runs a single-threaded poll(2) event loop that
+/// interleaves datagram receipt with wall-clock timers — the same
+/// deadline-heap discipline as the other two backends, so identical
+/// protocol code runs unchanged on the simulator, the thread runtime, and
+/// real sockets.
+///
+/// Transport semantics are exactly what the paper's asynchronous model
+/// asks for: messages can be dropped (UDP, plus optional injected loss),
+/// delayed (network, plus optional injected delay), and a crashed process
+/// is just a killed OS process. Frames are encoded with wire/codec.hpp;
+/// undecodable or misaddressed datagrams are counted and dropped, never
+/// delivered.
+///
+/// Threading: everything — protocol callbacks, timers, sends — happens on
+/// the thread that calls run_for()/run_until(). The class is not
+/// thread-safe; cross-process concurrency comes from running one SocketEnv
+/// per OS process (tools/ecfd_node.cpp) or per thread (tests).
+
+namespace ecfd::transport {
+
+class SocketEnv final : public Env {
+ public:
+  struct Options {
+    ProcessId self{0};
+    std::vector<PeerAddr> peers;  ///< indexed by ProcessId, size n
+
+    std::uint64_t seed{1};
+
+    /// Injected chaos, applied on send (on top of whatever the real
+    /// network does): drop probability and uniform extra delay.
+    double loss{0.0};
+    DurUs min_extra_delay{0};
+    DurUs max_extra_delay{0};
+
+    /// When set, trace() lines go to stderr as "[t_us] pK tag detail".
+    bool trace_to_stderr{false};
+  };
+
+  explicit SocketEnv(Options opts);
+  ~SocketEnv() override;
+
+  SocketEnv(const SocketEnv&) = delete;
+  SocketEnv& operator=(const SocketEnv&) = delete;
+
+  /// Binds self's UDP port (nonblocking). Must succeed before start().
+  bool open(std::string* error = nullptr);
+
+  /// Registers a protocol (before start()).
+  void add_protocol(std::unique_ptr<Protocol> proto);
+
+  template <class P, class... Args>
+  P& emplace(Args&&... args) {
+    auto owned = std::make_unique<P>(*this, std::forward<Args>(args)...);
+    P& ref = *owned;
+    add_protocol(std::move(owned));
+    return ref;
+  }
+
+  /// Invokes Protocol::start() on every registered protocol.
+  void start();
+
+  /// Runs the event loop for \p dur of wall-clock time (or until stop()).
+  void run_for(DurUs dur);
+
+  /// Runs until \p pred holds (checked after every loop iteration) or
+  /// \p deadline elapses; returns pred's final value.
+  bool run_until(const std::function<bool()>& pred, DurUs deadline);
+
+  /// Makes the current run_for/run_until return promptly; callable from a
+  /// timer or message callback.
+  void stop() { stopping_ = true; }
+
+  /// Per-peer and per-label traffic counters:
+  ///   "msg.<label>.sent/.dropped", "net.sent.p<dst>", "net.recv.p<src>",
+  ///   "net.decode_error", "net.misaddressed", "net.unknown_protocol".
+  [[nodiscard]] sim::Counters& counters() { return counters_; }
+
+  /// Local UDP port actually bound (differs from the peer table when the
+  /// configured port was 0 = ephemeral; used by tests).
+  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
+
+  // --- Env --------------------------------------------------------------
+  [[nodiscard]] TimeUs now() const override;
+  void send(ProcessId dst, Message m) override;
+  TimerId set_timer(DurUs delay, std::function<void()> fn) override;
+  void cancel_timer(TimerId id) override;
+  [[nodiscard]] ProcessId self() const override { return opts_.self; }
+  [[nodiscard]] int n() const override {
+    return static_cast<int>(opts_.peers.size());
+  }
+  Rng& rng() override { return rng_; }
+  void trace(const std::string& tag, const std::string& detail) override;
+
+ private:
+  struct Timer {
+    TimeUs when{};
+    std::uint64_t seq{};
+    TimerId id{kInvalidTimer};
+    std::function<void()> fn;
+  };
+  struct TimerLater {
+    bool operator()(const Timer& a, const Timer& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// One loop iteration: fire due timers, then block in poll(2) for at
+  /// most \p max_wait waiting for datagrams.
+  void poll_once(DurUs max_wait);
+  void drain_socket();
+  void fire_due_timers();
+  [[nodiscard]] TimeUs next_timer_at() const;
+  void transmit(ProcessId dst, const std::vector<std::uint8_t>& frame);
+  void deliver(const Message& m);
+
+  Options opts_;
+  sim::Counters counters_;
+  Rng rng_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  int fd_{-1};
+  std::uint16_t bound_port_{0};
+  std::vector<std::vector<std::uint8_t>> peer_sockaddrs_;  ///< opaque sockaddr_in
+
+  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
+  std::unordered_set<TimerId> cancelled_;
+  std::uint64_t next_seq_{1};
+  TimerId next_timer_{1};
+  bool stopping_{false};
+
+  std::vector<std::unique_ptr<Protocol>> owned_;
+  std::unordered_map<ProtocolId, Protocol*> by_id_;
+  bool started_{false};
+};
+
+}  // namespace ecfd::transport

@@ -1,0 +1,343 @@
+#include "wire/codec.hpp"
+
+#include <memory>
+#include <mutex>
+#include <typeindex>
+#include <unordered_set>
+#include <vector>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "consensus/bodies.hpp"
+#include "fd/ring_fd.hpp"
+#include "net/process_set.hpp"
+#include "wire/buffer.hpp"
+#include "wire/crc32.hpp"
+
+namespace ecfd::wire {
+
+namespace {
+
+using broadcast::RbEnvelope;
+using consensus::DecideBody;
+using consensus::EstimateBody;
+using consensus::ProposeBody;
+using consensus::RoundOnly;
+using RingBody = fd::RingFd::Body;
+
+constexpr int kMaxNesting = 4;  ///< RbEnvelope payloads nest one level deep
+
+bool set_error(std::string* error, const char* reason) {
+  if (error) *error = reason;
+  return false;
+}
+
+/// Message::label is a `const char*` that protocols treat as static; a
+/// decoded label comes off the wire, so it is interned here once and the
+/// pooled c_str handed out forever after.
+const char* intern_label(const std::string& s) {
+  static std::mutex mu;
+  static std::unordered_set<std::string> pool;
+  std::lock_guard<std::mutex> lock(mu);
+  return pool.insert(s).first->c_str();
+}
+
+// --- payload encoders -----------------------------------------------------
+
+void encode_process_set(const ProcessSet& s, WireWriter& w) {
+  w.i32(s.universe_size());
+  const auto members = s.members();
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const ProcessId p : members) w.i32(p);
+}
+
+void encode_u64_vector(const std::vector<std::uint64_t>& v, WireWriter& w) {
+  w.u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::uint64_t x : v) w.u64(x);
+}
+
+/// Flattens one typed payload; returns false for types not in the registry.
+bool encode_payload(const std::type_info* type, const void* body,
+                    PayloadKind* kind, WireWriter& w, std::string* error) {
+  if (type == nullptr || body == nullptr) {
+    *kind = PayloadKind::kNone;
+    return true;
+  }
+  const std::type_index t(*type);
+  if (t == std::type_index(typeid(ProcessSet))) {
+    *kind = PayloadKind::kProcessSet;
+    encode_process_set(*static_cast<const ProcessSet*>(body), w);
+  } else if (t == std::type_index(typeid(std::vector<std::uint64_t>))) {
+    *kind = PayloadKind::kU64Vector;
+    encode_u64_vector(*static_cast<const std::vector<std::uint64_t>*>(body), w);
+  } else if (t == std::type_index(typeid(RingBody))) {
+    *kind = PayloadKind::kRingBody;
+    const auto& b = *static_cast<const RingBody*>(body);
+    encode_u64_vector(b.seq, w);
+    encode_process_set(b.susp, w);
+  } else if (t == std::type_index(typeid(EstimateBody))) {
+    *kind = PayloadKind::kEstimate;
+    const auto& b = *static_cast<const EstimateBody*>(body);
+    w.i32(b.round);
+    w.i64(b.value);
+    w.i32(b.ts);
+  } else if (t == std::type_index(typeid(ProposeBody))) {
+    *kind = PayloadKind::kPropose;
+    const auto& b = *static_cast<const ProposeBody*>(body);
+    w.i32(b.round);
+    w.i64(b.value);
+  } else if (t == std::type_index(typeid(RoundOnly))) {
+    *kind = PayloadKind::kRoundOnly;
+    w.i32(static_cast<const RoundOnly*>(body)->round);
+  } else if (t == std::type_index(typeid(DecideBody))) {
+    *kind = PayloadKind::kDecide;
+    const auto& b = *static_cast<const DecideBody*>(body);
+    w.i32(b.round);
+    w.i64(b.value);
+  } else if (t == std::type_index(typeid(std::int64_t))) {
+    *kind = PayloadKind::kI64;
+    w.i64(*static_cast<const std::int64_t*>(body));
+  } else if (t == std::type_index(typeid(RbEnvelope))) {
+    *kind = PayloadKind::kRbEnvelope;
+    const auto& e = *static_cast<const RbEnvelope*>(body);
+    w.i32(e.origin);
+    w.u64(e.seq);
+    w.i32(e.tag);
+    PayloadKind inner{};
+    WireWriter nested;
+    if (!encode_payload(e.body_type, e.body.get(), &inner, nested, error)) {
+      return false;
+    }
+    w.u16(static_cast<std::uint16_t>(inner));
+    w.u32(static_cast<std::uint32_t>(nested.size()));
+    w.bytes(nested.data().data(), nested.size());
+  } else {
+    return set_error(error, "payload type not in wire registry");
+  }
+  return true;
+}
+
+// --- payload decoders -----------------------------------------------------
+
+/// Decoded payload: an owning pointer plus the typeid Message::as<T> checks.
+struct DecodedPayload {
+  std::shared_ptr<const void> body;
+  const std::type_info* type{nullptr};
+};
+
+bool decode_payload(PayloadKind kind, WireReader& r, int depth,
+                    DecodedPayload* out, std::string* error);
+
+bool decode_process_set(WireReader& r, ProcessSet* out, std::string* error) {
+  const std::int32_t n = r.i32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || n < 0 || n > kMaxUniverse || count > kMaxElements ||
+      count > static_cast<std::uint32_t>(n)) {
+    return set_error(error, "bad process set header");
+  }
+  ProcessSet s(n);
+  ProcessId prev = kNoProcess;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::int32_t p = r.i32();
+    if (!r.ok() || p < 0 || p >= n || p <= prev) {
+      return set_error(error, "bad process set member");
+    }
+    s.add(p);
+    prev = p;
+  }
+  *out = std::move(s);
+  return true;
+}
+
+bool decode_u64_vector(WireReader& r, std::vector<std::uint64_t>* out,
+                       std::string* error) {
+  const std::uint32_t len = r.u32();
+  // A u64 element needs 8 bytes on the wire, so a huge length field on a
+  // short frame is caught here before any allocation.
+  if (!r.ok() || len > kMaxElements || r.remaining() < 8u * len) {
+    return set_error(error, "bad u64 vector length");
+  }
+  out->clear();
+  out->reserve(len);
+  for (std::uint32_t i = 0; i < len; ++i) out->push_back(r.u64());
+  return r.ok();
+}
+
+template <class T>
+void emplace_payload(DecodedPayload* out, T body) {
+  out->body = std::make_shared<const T>(std::move(body));
+  out->type = &typeid(T);
+}
+
+bool decode_payload(PayloadKind kind, WireReader& r, int depth,
+                    DecodedPayload* out, std::string* error) {
+  if (depth > kMaxNesting) return set_error(error, "payload nesting too deep");
+  switch (kind) {
+    case PayloadKind::kNone:
+      out->body = nullptr;
+      out->type = nullptr;
+      return true;
+    case PayloadKind::kProcessSet: {
+      ProcessSet s;
+      if (!decode_process_set(r, &s, error)) return false;
+      emplace_payload(out, std::move(s));
+      return true;
+    }
+    case PayloadKind::kU64Vector: {
+      std::vector<std::uint64_t> v;
+      if (!decode_u64_vector(r, &v, error)) return false;
+      emplace_payload(out, std::move(v));
+      return true;
+    }
+    case PayloadKind::kRingBody: {
+      RingBody b;
+      if (!decode_u64_vector(r, &b.seq, error)) return false;
+      if (!decode_process_set(r, &b.susp, error)) return false;
+      emplace_payload(out, std::move(b));
+      return true;
+    }
+    case PayloadKind::kEstimate: {
+      EstimateBody b;
+      b.round = r.i32();
+      b.value = r.i64();
+      b.ts = r.i32();
+      if (!r.ok()) return set_error(error, "truncated estimate body");
+      emplace_payload(out, b);
+      return true;
+    }
+    case PayloadKind::kPropose: {
+      ProposeBody b;
+      b.round = r.i32();
+      b.value = r.i64();
+      if (!r.ok()) return set_error(error, "truncated propose body");
+      emplace_payload(out, b);
+      return true;
+    }
+    case PayloadKind::kRoundOnly: {
+      RoundOnly b;
+      b.round = r.i32();
+      if (!r.ok()) return set_error(error, "truncated round body");
+      emplace_payload(out, b);
+      return true;
+    }
+    case PayloadKind::kDecide: {
+      DecideBody b;
+      b.round = r.i32();
+      b.value = r.i64();
+      if (!r.ok()) return set_error(error, "truncated decide body");
+      emplace_payload(out, b);
+      return true;
+    }
+    case PayloadKind::kI64: {
+      const std::int64_t v = r.i64();
+      if (!r.ok()) return set_error(error, "truncated i64 body");
+      emplace_payload(out, v);
+      return true;
+    }
+    case PayloadKind::kRbEnvelope: {
+      RbEnvelope e;
+      e.origin = r.i32();
+      e.seq = r.u64();
+      e.tag = r.i32();
+      const auto inner = static_cast<PayloadKind>(r.u16());
+      const std::uint32_t inner_len = r.u32();
+      if (!r.ok() || inner_len > r.remaining()) {
+        return set_error(error, "truncated rb envelope");
+      }
+      DecodedPayload nested;
+      if (!decode_payload(inner, r, depth + 1, &nested, error)) return false;
+      e.body = std::move(nested.body);
+      e.body_type = nested.type;
+      emplace_payload(out, std::move(e));
+      return true;
+    }
+  }
+  return set_error(error, "unknown payload kind");
+}
+
+}  // namespace
+
+bool encode_message(const Message& m, std::vector<std::uint8_t>* out,
+                    std::string* error) {
+  WireWriter w;
+  w.u16(kMagic);
+  w.u8(kVersion);
+  w.u8(0);  // flags, reserved
+  w.i32(m.src);
+  w.i32(m.dst);
+  w.i32(m.protocol);
+  w.i32(m.type);
+  std::string label(m.label == nullptr ? "" : m.label);
+  if (label.size() > kMaxLabelBytes) label.resize(kMaxLabelBytes);
+  w.str(label);
+
+  WireWriter payload;
+  PayloadKind kind{};
+  if (!encode_payload(m.payload_type, m.payload.get(), &kind, payload, error)) {
+    return false;
+  }
+  w.u16(static_cast<std::uint16_t>(kind));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload.data().data(), payload.size());
+
+  w.u32(crc32(w.data().data(), w.size()));
+  if (w.size() > kMaxFrameBytes) {
+    return set_error(error, "frame exceeds kMaxFrameBytes");
+  }
+  *out = w.take();
+  return true;
+}
+
+std::optional<Message> decode_message(const std::uint8_t* data,
+                                      std::size_t len, std::string* error) {
+  const auto fail = [&](const char* reason) -> std::optional<Message> {
+    set_error(error, reason);
+    return std::nullopt;
+  };
+
+  if (len < 4 || len > kMaxFrameBytes) return fail("bad frame size");
+  if (crc32(data, len - 4) !=
+      (static_cast<std::uint32_t>(data[len - 4]) |
+       static_cast<std::uint32_t>(data[len - 3]) << 8 |
+       static_cast<std::uint32_t>(data[len - 2]) << 16 |
+       static_cast<std::uint32_t>(data[len - 1]) << 24)) {
+    return fail("checksum mismatch");
+  }
+
+  WireReader r(data, len - 4);  // the checksum itself is not re-read
+  if (r.u16() != kMagic) return fail("bad magic");
+  if (r.u8() != kVersion) return fail("unsupported version");
+  if (r.u8() != 0) return fail("nonzero reserved flags");
+
+  Message m;
+  m.src = r.i32();
+  m.dst = r.i32();
+  m.protocol = r.i32();
+  m.type = r.i32();
+  if (!r.ok() || m.src < kNoProcess || m.src >= kMaxUniverse ||
+      m.dst < kNoProcess || m.dst >= kMaxUniverse) {
+    return fail("bad frame header");
+  }
+
+  const std::string label = r.str();
+  if (!r.ok() || label.size() > kMaxLabelBytes) return fail("bad label");
+  m.label = intern_label(label);
+
+  const auto kind = static_cast<PayloadKind>(r.u16());
+  const std::uint32_t payload_len = r.u32();
+  if (!r.ok() || payload_len != r.remaining()) {
+    return fail("payload length mismatch");
+  }
+  DecodedPayload payload;
+  std::string payload_error;
+  if (!decode_payload(kind, r, 0, &payload, &payload_error)) {
+    set_error(error, payload_error.empty() ? "bad payload"
+                                           : payload_error.c_str());
+    return std::nullopt;
+  }
+  if (!r.ok() || !r.exhausted()) return fail("trailing payload bytes");
+  m.payload = std::move(payload.body);
+  m.payload_type = payload.type;
+  return m;
+}
+
+}  // namespace ecfd::wire

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+///
+/// The frame codec appends this checksum so a frame corrupted in flight
+/// (bit flips, truncation at a byte boundary that still parses) is rejected
+/// deterministically instead of being delivered to a protocol.
+
+namespace ecfd::wire {
+
+/// CRC of \p len bytes at \p data, with an optional running seed for
+/// incremental computation (pass a previous result to continue).
+[[nodiscard]] std::uint32_t crc32(const std::uint8_t* data, std::size_t len,
+                                  std::uint32_t seed = 0);
+
+}  // namespace ecfd::wire

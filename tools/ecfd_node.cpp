@@ -1,0 +1,308 @@
+// ecfd_node — one process of a real failure-detector cluster, over UDP.
+//
+// Loads a shared INI config (transport/node_config.hpp), binds its own row
+// of the peer table, instantiates a failure-detector stack (optionally with
+// the paper's ◇C consensus engine on top), and periodically prints its
+// output — so a shell can launch n OS processes, `kill -9` one, and watch
+// the survivors' suspicion (and, with --consensus, a decision) happen over
+// a real lossy network:
+//
+//   ecfd_node --config cluster.ini --id 0 [--fd F] [--consensus]
+//             [--propose V] [--run-ms MS] [--report-ms MS] [--verbose]
+//
+//   --fd F       heartbeat_p   all-to-all heartbeat ◇P (n(n-1) msgs/period)
+//                efficient_p   Section 4 piggybacked 2(n-1) ◇P + Omega
+//                stable_leader ADFT stable Omega (accusation counters)
+//                ecfd          the paper's stack: stable Omega -> ◇C ->
+//                              Fig. 2 transformation to ◇P
+//                (overrides the config's `fd` key)
+//   --consensus  run ConsensusC on the ◇C view; propose --propose (default:
+//                this node's id) once the cluster has had a moment to form
+//   --run-ms     exit after this long (default: run until killed)
+//   --report-ms  output period (default 500)
+//
+// Output: one JSON line per report period on stdout,
+//   {"t_ms":1500,"node":0,"fd":"ecfd","suspected":[2],"trusted":1,
+//    "decided":null,"sent":123,"recv":119}
+//
+// Exit code: 0 on clean --run-ms exit, 2 on usage/config errors.
+// See README.md ("Real-network quickstart") and examples/cluster_demo.sh.
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "broadcast/reliable_broadcast.hpp"
+#include "core/c_to_p.hpp"
+#include "core/consensus_c.hpp"
+#include "core/ecfd_compose.hpp"
+#include "fd/efficient_p.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "fd/stable_leader.hpp"
+#include "transport/node_config.hpp"
+#include "transport/socket_env.hpp"
+
+using namespace ecfd;
+using transport::NodeConfig;
+using transport::SocketEnv;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+void usage() {
+  std::cout <<
+      "ecfd_node — failure detection over real UDP sockets\n"
+      "\n"
+      "  --config FILE   cluster config (required; see README quickstart)\n"
+      "  --id N          which peer-table row is this process (required)\n"
+      "  --fd F          heartbeat_p | efficient_p | stable_leader | ecfd\n"
+      "  --consensus     also run the ◇C consensus engine\n"
+      "  --propose V     consensus proposal (default: node id)\n"
+      "  --run-ms MS     exit after MS ms (default: until SIGINT/SIGTERM)\n"
+      "  --report-ms MS  report period (default 500)\n"
+      "  --verbose       trace protocol events to stderr\n";
+}
+
+/// The assembled detector stack; all protocols are owned by the env, the
+/// oracles by this struct.
+struct Stack {
+  const SuspectOracle* suspects{nullptr};     ///< may be null (pure Omega)
+  const LeaderOracle* leader{nullptr};        ///< may be null (pure ◇P)
+  const core::EcfdOracle* ecfd{nullptr};      ///< set when consensus-capable
+  std::unique_ptr<core::EcfdOracle> adapter;  ///< owns any composition glue
+};
+
+Stack build_fd(SocketEnv& env, const NodeConfig& cfg, const std::string& fd) {
+  Stack s;
+  if (fd == "heartbeat_p") {
+    fd::HeartbeatP::Config c;
+    c.period = cfg.period;
+    c.initial_timeout = cfg.initial_timeout;
+    c.timeout_increment = cfg.timeout_increment;
+    auto& hb = env.emplace<fd::HeartbeatP>(c);
+    s.suspects = &hb;
+    s.adapter = std::make_unique<core::EcfdFromP>(&hb);
+    s.ecfd = s.adapter.get();
+    s.leader = s.adapter.get();
+  } else if (fd == "efficient_p") {
+    fd::EfficientP::Config c;
+    c.period = cfg.period;
+    c.initial_timeout = cfg.initial_timeout;
+    c.timeout_increment = cfg.timeout_increment;
+    auto& eff = env.emplace<fd::EfficientP>(c);
+    s.suspects = &eff;
+    s.leader = &eff;
+    s.ecfd = &eff;
+  } else if (fd == "stable_leader") {
+    fd::StableLeader::Config c;
+    c.period = cfg.period;
+    c.initial_timeout = cfg.initial_timeout;
+    c.timeout_increment = cfg.timeout_increment;
+    auto& sl = env.emplace<fd::StableLeader>(c);
+    s.leader = &sl;
+    s.adapter = std::make_unique<core::EcfdFromOmega>(env.n(), env.self(), &sl);
+    s.ecfd = s.adapter.get();
+    s.suspects = s.adapter.get();
+  } else if (fd == "ecfd") {
+    // The paper's composition: a stable Omega, lifted to ◇C, transformed
+    // to ◇P by the Fig. 2 algorithm (2(n-1) messages per period total),
+    // and re-packaged as a ◇C with the transformed (accurate) lists.
+    fd::StableLeader::Config c;
+    c.period = cfg.period;
+    c.initial_timeout = cfg.initial_timeout;
+    c.timeout_increment = cfg.timeout_increment;
+    auto& sl = env.emplace<fd::StableLeader>(c);
+    core::CToP::Config tc;
+    tc.alive_period = cfg.period;
+    tc.list_period = cfg.period;
+    tc.initial_timeout = cfg.initial_timeout;
+    tc.timeout_increment = cfg.timeout_increment;
+    auto& ctp = env.emplace<core::CToP>(&sl, tc);
+    s.suspects = &ctp;
+    s.leader = &sl;
+    s.adapter = std::make_unique<core::EcfdFromSAndOmega>(&ctp, &sl);
+    s.ecfd = s.adapter.get();
+  }
+  return s;
+}
+
+std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
+                        const Stack& stack,
+                        const consensus::ConsensusProtocol* cons,
+                        sim::Counters& counters, int n) {
+  std::string out = "{\"t_ms\":" + std::to_string(t / 1000) +
+                    ",\"node\":" + std::to_string(self) + ",\"fd\":\"" + fd +
+                    "\"";
+  out += ",\"suspected\":[";
+  if (stack.suspects != nullptr) {
+    bool first = true;
+    for (const ProcessId q : stack.suspects->suspected().members()) {
+      if (!first) out += ",";
+      out += std::to_string(q);
+      first = false;
+    }
+  }
+  out += "]";
+  out += ",\"trusted\":";
+  out += stack.leader != nullptr ? std::to_string(stack.leader->trusted())
+                                 : std::string("null");
+  out += ",\"decided\":";
+  out += (cons != nullptr && cons->has_decided())
+             ? std::to_string(cons->decision()->value)
+             : std::string("null");
+  std::int64_t sent = 0;
+  std::int64_t recv = 0;
+  for (ProcessId q = 0; q < n; ++q) {
+    sent += counters.get("net.sent.p" + std::to_string(q));
+    recv += counters.get("net.recv.p" + std::to_string(q));
+  }
+  out += ",\"sent\":" + std::to_string(sent) +
+         ",\"recv\":" + std::to_string(recv) + "}";
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  int id = -1;
+  std::string fd_override;
+  bool consensus_flag = false;
+  std::optional<consensus::Value> propose;
+  std::int64_t run_ms = -1;
+  std::int64_t report_ms = 500;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--config") {
+      config_path = next();
+    } else if (a == "--id") {
+      id = std::stoi(next());
+    } else if (a == "--fd") {
+      fd_override = next();
+    } else if (a == "--consensus") {
+      consensus_flag = true;
+    } else if (a == "--propose") {
+      propose = std::stoll(next());
+    } else if (a == "--run-ms") {
+      run_ms = std::stoll(next());
+    } else if (a == "--report-ms") {
+      report_ms = std::stoll(next());
+    } else if (a == "--verbose") {
+      verbose = true;
+    } else {
+      std::cerr << "unknown argument: " << a << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (config_path.empty() || id < 0) {
+    usage();
+    return 2;
+  }
+
+  std::string error;
+  const auto cfg = transport::load_node_config(config_path, &error);
+  if (!cfg) {
+    std::cerr << "ecfd_node: " << error << "\n";
+    return 2;
+  }
+  if (id >= cfg->n()) {
+    std::cerr << "ecfd_node: --id " << id << " out of range (n=" << cfg->n()
+              << ")\n";
+    return 2;
+  }
+  const std::string fd_name = fd_override.empty() ? cfg->fd : fd_override;
+  const bool want_consensus = consensus_flag || cfg->consensus;
+
+  SocketEnv::Options opts;
+  opts.self = id;
+  opts.peers = cfg->peers;
+  opts.seed = cfg->seed;
+  opts.loss = cfg->loss;
+  opts.min_extra_delay = cfg->min_delay;
+  opts.max_extra_delay = cfg->max_delay;
+  opts.trace_to_stderr = verbose;
+
+  SocketEnv env(opts);
+  if (!env.open(&error)) {
+    std::cerr << "ecfd_node: " << error << "\n";
+    return 2;
+  }
+
+  Stack stack = build_fd(env, *cfg, fd_name);
+  if (stack.suspects == nullptr && stack.leader == nullptr) {
+    std::cerr << "ecfd_node: unknown fd '" << fd_name
+              << "' (heartbeat_p | efficient_p | stable_leader | ecfd)\n";
+    return 2;
+  }
+
+  core::ConsensusC* cons = nullptr;
+  if (want_consensus) {
+    auto& rb = env.emplace<broadcast::ReliableBroadcast>();
+    core::ConsensusC::Config cc;
+    cc.poll_period = cfg->period / 2 > 0 ? cfg->period / 2 : msec(1);
+    cons = &env.emplace<core::ConsensusC>(stack.ecfd, &rb, cc);
+  }
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  env.start();
+
+  // Report timer: one JSON line per period, re-armed forever.
+  std::function<void()> report = [&]() {
+    std::cout << report_line(env.now(), id, fd_name, stack, cons,
+                             env.counters(), env.n())
+              << std::endl;  // flush: readers are pipes and demo scripts
+    env.set_timer(msec(report_ms), report);
+  };
+  env.set_timer(msec(report_ms), report);
+
+  if (cons != nullptr) {
+    // Propose after a grace period so the detector has formed an opinion;
+    // the engine copes either way, this just reduces round churn.
+    env.set_timer(msec(500), [&]() {
+      cons->propose(propose.value_or(static_cast<consensus::Value>(id)));
+    });
+  }
+
+  // Signal poller: SocketEnv is single-threaded, so a timer is the clean
+  // place to notice SIGINT/SIGTERM and stop the loop.
+  std::function<void()> watch_signals = [&]() {
+    if (g_stop) {
+      env.stop();
+      return;
+    }
+    env.set_timer(msec(50), watch_signals);
+  };
+  env.set_timer(msec(50), watch_signals);
+
+  if (run_ms >= 0) {
+    env.run_for(msec(run_ms));
+  } else {
+    while (!g_stop) env.run_for(sec(3600));
+  }
+
+  std::cout << report_line(env.now(), id, fd_name, stack, cons,
+                           env.counters(), env.n())
+            << std::endl;
+  return 0;
+}
