@@ -71,7 +71,8 @@ Metrics run(std::uint64_t seed, InstallFn install) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "a1_adaptivity_ablation");
   ecfd::bench::section("A1: adaptivity ablation (timeout widening, ring recovery)");
   std::cout << "n=5, failure-free, post-GST delta=40ms vs initial timeout "
                "30ms, 20s run. QoS over sampled outputs.\n";
@@ -115,5 +116,5 @@ int main() {
                "washes itself clean through its own outgoing polls, so the "
                "mechanism is belt-and-braces for gossip-path corner "
                "cases.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

@@ -49,7 +49,8 @@ struct AlgoInfo {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e1_messages_per_round");
   ecfd::bench::section(
       "E1: phases and messages per round (failure-free, stable FD)");
   std::cout << "Paper (Sec. 5.4): C=5 phases/Theta(n) msgs, CT=4/Theta(n), "
@@ -77,5 +78,5 @@ int main() {
   }
   std::cout << "\nShape check: C and CT grow linearly in n; MR and the "
                "merged variant grow quadratically.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

@@ -37,7 +37,8 @@ HarnessResult run(Algo algo, int n, ProcessId leader, std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e2_rounds_after_stabilization");
   ecfd::bench::section("E2: decision round vs leader position (Theorem 3)");
   std::cout << "Adversarial stable ◇S: everyone suspects everyone except "
                "the leader p_k.\nPaper: ecfd-C decides in round 1 for every "
@@ -59,5 +60,5 @@ int main() {
   }
   std::cout << "\nCT worst case over leader positions: " << ct_worst
             << " rounds (paper: Omega(n), here n=" << n << ").\n";
-  return 0;
+  return ecfd::bench::finish();
 }

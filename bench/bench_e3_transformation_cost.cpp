@@ -48,7 +48,8 @@ double msgs_per_period(int n, std::uint64_t seed, DurUs period,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e3_transformation_cost");
   ecfd::bench::section("E3: periodic message cost of ◇P implementations");
   std::cout << "Paper (Sec. 4): Fig.2 transformation 2(n-1) beats "
                "Chandra-Toueg's n^2 and the ring's 2n, with no ring "
@@ -85,5 +86,5 @@ int main() {
   }
   std::cout << "\nShape check: ctp ~ 2(n-1) << hb ~ n(n-1); ring ~ 2n plus "
                "its recovery polls.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

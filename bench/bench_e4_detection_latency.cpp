@@ -74,7 +74,8 @@ double mean_delay_ms(int n, InstallFn install) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e4_detection_latency");
   ecfd::bench::section("E4: crash-detection latency to ALL correct processes");
   std::cout << "Paper (Sec. 4): the ring ◇P suffers high latency (list "
                "travels around the ring); the Fig.2 transformation does "
@@ -111,5 +112,5 @@ int main() {
   }
   std::cout << "\nShape check: ring latency grows with n (hop-by-hop "
                "gossip); ctp and hb stay roughly flat.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

@@ -58,7 +58,8 @@ Agg run_many(Algo algo, int n, int crashes, bool crash_low_ids) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e5_decision_latency");
   ecfd::bench::section(
       "E5: decision latency under crashes (live heartbeat+Omega stack)");
   std::cout << "mean over 5 seeds; time = last correct decision; crashes "
@@ -88,5 +89,5 @@ int main() {
   std::cout << "\nShape check: leader-based algorithms (C, MR) keep low "
                "round counts even when low ids crash; CT pays extra rounds "
                "when rotation meets crashed coordinators.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

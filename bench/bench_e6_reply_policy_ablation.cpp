@@ -119,7 +119,8 @@ Agg run_many(ReplyPolicy policy, int n, int nackers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e6_reply_policy_ablation");
   ecfd::bench::section("E6: reply-policy ablation (nacks vs decisions)");
   std::cout << "n=5, leader p0, k processes falsely suspect the leader and "
                "nack every round (6 seeds, cap 200 rounds).\n"
@@ -151,5 +152,5 @@ int main() {
                "decides in round ~1; first-majority and n-f policies need "
                "many retry rounds (they decide only when the nacks happen "
                "to arrive late).\n";
-  return 0;
+  return ecfd::bench::finish();
 }

@@ -8,6 +8,7 @@
 #include "fd/heartbeat_p.hpp"
 #include "net/scenario.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
 
 namespace {
 
@@ -25,6 +26,88 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+// Steady-state churn: keep `pending` events live and repeatedly pop the
+// earliest + schedule a replacement. This is the simulator's real hot loop
+// (a sim holds a near-constant working set of timers); fresh-queue
+// schedule-then-drain above measures warm-up instead. Range spans 1e3-1e6
+// pending to expose the heap's depth scaling.
+void BM_EventQueueSteadyStateChurn(benchmark::State& state) {
+  const int pending = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  Rng rng(42);
+  TimeUs now = 0;
+  for (int i = 0; i < pending; ++i) {
+    q.schedule(static_cast<TimeUs>(rng.below(1000)), [] {});
+  }
+  for (auto _ : state) {
+    q.pop_run([&](TimeUs t, sim::EventId) { now = t; });
+    q.schedule(now + 1 + static_cast<TimeUs>(rng.below(1000)), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueSteadyStateChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+// Schedule + true-cancel churn at a steady working set. The old queue
+// paid an unordered_map erase plus a tombstone that still percolated
+// through the heap on pop; the indexed heap removes the entry outright.
+void BM_EventQueueScheduleCancelChurn(benchmark::State& state) {
+  const int pending = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  Rng rng(43);
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(pending));
+  TimeUs now = 0;
+  for (int i = 0; i < pending; ++i) {
+    ids.push_back(q.schedule(static_cast<TimeUs>(rng.below(1000)), [] {}));
+  }
+  for (auto _ : state) {
+    // Cancel a random live event, schedule a replacement (a timer reset —
+    // exactly what every heartbeat/timeout protocol does per message).
+    const auto idx = rng.below(ids.size());
+    benchmark::DoNotOptimize(q.cancel(ids[idx]));
+    now += 1;
+    ids[idx] = q.schedule(now + static_cast<TimeUs>(rng.below(1000)), [] {});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleCancelChurn)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Arg(1000000);
+
+// Broadcast fan-out through the simulated Network: one shared payload
+// body, n-1 sends, run to delivery. Items = messages delivered.
+void BM_NetworkSendFanOut(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = 11;
+  cfg.links = LinkKind::kReliable;
+  auto sys = make_system(cfg);
+  sys->start();
+  struct Ping {
+    int round{0};
+  };
+  int round = 0;
+  for (auto _ : state) {
+    Message m = Message::make<Ping>(900, 1, "bench.fanout", Ping{round++});
+    m.src = 0;
+    for (ProcessId q = 1; q < n; ++q) {
+      m.dst = q;
+      sys->network().send(m);
+    }
+    m.payload.reset();
+    sys->run_for(msec(50));
+  }
+  state.SetItemsProcessed(state.iterations() * (n - 1));
+}
+BENCHMARK(BM_NetworkSendFanOut)->Arg(8)->Arg(32)->Arg(128);
 
 void BM_ProcessSetOps(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));

@@ -91,7 +91,8 @@ Outcome run_window(int n, DurUs window, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "e8_stability_window");
   ecfd::bench::section(
       "E8: decision vs leader-stability window (Sec. 2.2 remark)");
   std::cout << "◇C detector alternates stable/chaos windows of width W; "
@@ -112,5 +113,5 @@ int main() {
   std::cout << "\nShape check: decisions appear once the stable window "
                "exceeds a few round-trips and become universal shortly "
                "after — permanent stability is NOT required.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

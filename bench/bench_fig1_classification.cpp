@@ -77,7 +77,8 @@ const char* yn(bool b) { return b ? "yes" : "-"; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  ecfd::bench::init(argc, argv, "fig1_classification");
   ecfd::bench::section("Fig. 1: measured class membership of every detector");
   std::cout << "scenario: n=6, crashes of p2@700ms and p5@1s, GST=250ms; "
                "10s sampled run.\nSC/WC = strong/weak completeness, "
@@ -207,5 +208,5 @@ int main() {
                "detectors satisfy Property 1 only; Omega->dC is dC but NOT "
                "dP (worst accuracy); WtoS lifts weak to strong "
                "completeness.\n";
-  return 0;
+  return ecfd::bench::finish();
 }

@@ -1,16 +1,129 @@
 #pragma once
 
+#include <cstdio>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 /// \file table.hpp
 /// Minimal fixed-width table printer shared by the experiment binaries, so
-/// every bench emits its results in the same readable layout.
+/// every bench emits its results in the same readable layout — and, when
+/// run with `--json FILE`, the same results as a machine-readable document
+/// (schema "ecfd.bench.v1": one object per table, headers + typed rows,
+/// grouped under the section titles). Usage in a bench main:
+///
+///   int main(int argc, char** argv) {
+///     ecfd::bench::init(argc, argv, "e4_detection_latency");
+///     ...print tables as before...
+///     return ecfd::bench::finish();
+///   }
+///
+/// Everything printed through Table/section is mirrored into the JSON
+/// sink; plain std::cout prose is console-only by design.
 
 namespace ecfd::bench {
+
+namespace detail {
+
+/// Collects the JSON mirror of everything the bench prints.
+struct JsonSink {
+  bool active{false};
+  std::string bench;
+  std::string path;
+  std::string section;     ///< current section title
+  std::string body;        ///< accumulated "tables" array contents
+  bool any_table{false};
+  bool in_table{false};    ///< a table object is open (awaiting rows)
+  bool any_row{false};
+};
+
+inline JsonSink& sink() {
+  static JsonSink s;
+  return s;
+}
+
+inline void json_escape(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+inline void close_open_table() {
+  JsonSink& s = sink();
+  if (s.in_table) {
+    s.body += "\n      ]\n    }";
+    s.in_table = false;
+  }
+}
+
+/// One cell as a JSON token: arithmetic values stay numbers, everything
+/// else becomes a string.
+template <class T>
+std::string json_cell(const T& value) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  } else {
+    std::ostringstream os;
+    os << value;
+    std::string out = "\"";
+    json_escape(&out, os.str());
+    out += "\"";
+    return out;
+  }
+}
+
+}  // namespace detail
+
+/// Parses bench-wide flags (currently `--json FILE`; "-" = stdout).
+/// Call first in main(); unknown arguments are ignored so binaries keep
+/// tolerating ad-hoc flags.
+inline void init(int argc, char** argv, const std::string& bench_name) {
+  auto& s = detail::sink();
+  s.bench = bench_name;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      s.active = true;
+      s.path = argv[i + 1];
+    }
+  }
+}
+
+/// Writes the JSON document if --json was given. Returns the process exit
+/// code (0, or 2 when the output file cannot be written).
+inline int finish() {
+  auto& s = detail::sink();
+  if (!s.active) return 0;
+  detail::close_open_table();
+  std::string j = "{\n  \"schema\": \"ecfd.bench.v1\",\n  \"bench\": \"";
+  detail::json_escape(&j, s.bench);
+  j += "\",\n  \"tables\": [";
+  j += s.body;
+  j += s.any_table ? "\n  ]\n}\n" : "]\n}\n";
+  if (s.path == "-") {
+    std::fputs(j.c_str(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", s.path.c_str());
+    return 2;
+  }
+  std::fputs(j.c_str(), f);
+  std::fclose(f);
+  return 0;
+}
 
 class Table {
  public:
@@ -24,12 +137,43 @@ class Table {
     std::cout << '\n';
     std::cout << std::string(headers_.size() * static_cast<std::size_t>(width_), '-')
               << '\n';
+    auto& s = detail::sink();
+    if (!s.active) return;
+    detail::close_open_table();
+    if (s.any_table) s.body += ",";
+    s.any_table = true;
+    s.in_table = true;
+    s.any_row = false;
+    s.body += "\n    {\n      \"section\": \"";
+    detail::json_escape(&s.body, s.section);
+    s.body += "\",\n      \"headers\": [";
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      if (i) s.body += ", ";
+      s.body += "\"";
+      detail::json_escape(&s.body, headers_[i]);
+      s.body += "\"";
+    }
+    s.body += "],\n      \"rows\": [";
   }
 
   template <class... Cells>
   void print_row(const Cells&... cells) const {
     (print_cell(cells), ...);
     std::cout << '\n';
+    auto& s = detail::sink();
+    if (!s.active || !s.in_table) return;
+    if (s.any_row) s.body += ",";
+    s.any_row = true;
+    s.body += "\n        [";
+    bool first = true;
+    (
+        [&] {
+          if (!first) s.body += ", ";
+          first = false;
+          s.body += detail::json_cell(cells);
+        }(),
+        ...);
+    s.body += "]";
   }
 
  private:
@@ -50,6 +194,7 @@ class Table {
 
 inline void section(const std::string& title) {
   std::cout << "\n== " << title << " ==\n";
+  detail::sink().section = title;
 }
 
 }  // namespace ecfd::bench

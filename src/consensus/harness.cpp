@@ -211,6 +211,10 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
     }
   }
 
+  r.events_fired = sys->scheduler().fired();
+  r.sim_end = sys->now();
+  r.counters = sys->counters();
+
   const auto& counters = sys->counters();
   r.consensus_msgs =
       sum_sent(counters, "msg.cons_c.") + sum_sent(counters, "msg.ct.");

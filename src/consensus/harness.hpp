@@ -86,6 +86,11 @@ struct HarnessResult {
 
   /// Largest round number any correct process entered.
   int max_round_entered{0};
+
+  /// Simulator accounting, for throughput reporting and run fingerprints.
+  std::uint64_t events_fired{0};  ///< scheduler events executed
+  TimeUs sim_end{0};              ///< virtual time when the run stopped
+  sim::Counters counters;         ///< full counter registry at end of run
 };
 
 /// Runs one configured consensus experiment.

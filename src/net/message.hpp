@@ -6,6 +6,7 @@
 #include <typeinfo>
 #include <utility>
 
+#include "net/payload_pool.hpp"
 #include "net/process_set.hpp"
 
 /// \file message.hpp
@@ -32,7 +33,10 @@ struct Message {
   std::shared_ptr<const void> payload{};
   const std::type_info* payload_type{nullptr};
 
-  /// Builds a message with a typed payload.
+  /// Builds a message with a typed payload. The body comes from the
+  /// per-type freelist (payload_pool.hpp) and is shared, never copied, by
+  /// every downstream send of this Message — a broadcast fan-out costs one
+  /// pooled allocation total.
   template <class T>
   static Message make(ProtocolId protocol, int type, const char* label,
                       T body) {
@@ -40,9 +44,8 @@ struct Message {
     m.protocol = protocol;
     m.type = type;
     m.label = label;
-    auto owned = std::make_shared<const T>(std::move(body));
     m.payload_type = &typeid(T);
-    m.payload = std::move(owned);
+    m.payload = make_pooled_payload<T>(std::move(body));
     return m;
   }
 

@@ -54,11 +54,30 @@ void Network::heal() {
   for (auto& b : blocked_) b = 0;
 }
 
+Network::LabelCells& Network::cells_for(const Message& m) {
+  // Keyed by label pointer identity; see the declaration for why the empty
+  // label is excluded (handled by the caller).
+  auto [it, inserted] = label_cells_.try_emplace(m.label);
+  if (inserted) {
+    // The ".dropped" cell stays null until the first drop: creating the
+    // counter eagerly would materialize zero-valued keys that the seed
+    // behavior (and the determinism fingerprints) never had.
+    it->second.sent = counters_.slot(message_counter_key(m) + ".sent");
+  }
+  return it->second;
+}
+
 void Network::send(const Message& m) {
   assert(m.src >= 0 && m.src < n_ && m.dst >= 0 && m.dst < n_);
   assert(sink_ && "Network sink not installed");
   ++sent_total_;
-  counters_.add(message_counter_key(m) + ".sent");
+  const bool interned = m.label != nullptr && m.label[0] != '\0';
+  LabelCells* cells = interned ? &cells_for(m) : nullptr;
+  if (interned) {
+    ++*cells->sent;
+  } else {
+    counters_.add(message_counter_key(m) + ".sent");
+  }
 
   std::optional<DurUs> delay;
   if (m.src == m.dst) {
@@ -73,7 +92,14 @@ void Network::send(const Message& m) {
 
   if (!delay.has_value()) {
     ++dropped_total_;
-    counters_.add(message_counter_key(m) + ".dropped");
+    if (interned) {
+      if (cells->dropped == nullptr) {
+        cells->dropped = counters_.slot(message_counter_key(m) + ".dropped");
+      }
+      ++*cells->dropped;
+    } else {
+      counters_.add(message_counter_key(m) + ".dropped");
+    }
     return;
   }
 
@@ -82,9 +108,10 @@ void Network::send(const Message& m) {
                 std::string(m.label) + " -> p" + std::to_string(m.dst));
   }
 
-  // Copy the message into the closure; payload is shared, so this is cheap.
-  Message copy = m;
-  sched_.schedule_after(*delay, [this, copy = std::move(copy)]() {
+  // Copy the message into the closure; the payload is shared (one pooled
+  // body per Message::make, bumped refcount per destination) and the whole
+  // capture fits the queue's inline action — no allocation on this path.
+  sched_.schedule_after(*delay, [this, copy = m]() {
     ++delivered_total_;
     sink_(copy);
   });

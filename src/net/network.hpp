@@ -2,6 +2,7 @@
 
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "net/link.hpp"
@@ -64,6 +65,17 @@ class Network {
            static_cast<std::size_t>(dst);
   }
 
+  /// Interned per-label counter cells: the ".sent"/".dropped" key strings
+  /// are built once per distinct label, then every send bumps raw int64
+  /// pointers. Keyed by the label's address — labels are string literals
+  /// with stable identity. The empty label (numeric proto/type fallback
+  /// key) takes the slow path since distinct messages can share it.
+  struct LabelCells {
+    std::int64_t* sent{nullptr};
+    std::int64_t* dropped{nullptr};
+  };
+  LabelCells& cells_for(const Message& m);
+
   sim::Scheduler& sched_;
   int n_;
   Rng rng_;
@@ -76,6 +88,7 @@ class Network {
   std::int64_t sent_total_{0};
   std::int64_t delivered_total_{0};
   std::int64_t dropped_total_{0};
+  std::unordered_map<const char*, LabelCells> label_cells_;
 };
 
 }  // namespace ecfd

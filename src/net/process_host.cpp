@@ -53,15 +53,17 @@ void ProcessHost::send(ProcessId dst, Message m) {
 
 TimerId ProcessHost::set_timer(DurUs delay, std::function<void()> fn) {
   if (crashed_) return kInvalidTimer;
-  // The wrapper must remove its own id from the live set when it fires, but
-  // the id is only known after scheduling — hence the shared cell.
-  auto id_cell = std::make_shared<TimerId>(kInvalidTimer);
-  const sim::EventId id = sched_.schedule_after(
-      delay, [this, id_cell, fn = std::move(fn)]() {
-        live_timers_.erase(*id_cell);
+  // The wrapper removes its own id from the live set when it fires; the
+  // queue discloses the id it will assign, so the closure can carry it by
+  // value instead of through a heap-allocated cell.
+  const TimerId id = sched_.next_event_id();
+  const sim::EventId got =
+      sched_.schedule_after(delay, [this, id, fn = std::move(fn)]() {
+        live_timers_.erase(id);
         if (!crashed_) fn();
       });
-  *id_cell = id;
+  assert(got == id && "scheduler id prediction out of sync");
+  (void)got;
   live_timers_.insert(id);
   return id;
 }

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "consensus/harness.hpp"
+
+/// \file suite.hpp
+/// The canonical multi-seed experiment sweeps driven by tools/bench_runner
+/// and replayed (in miniature) by tests/test_determinism.cpp.
+///
+/// A case is one fully self-contained simulation: (experiment, config,
+/// seed) -> CaseMetrics. Cases never share state, so any subset can run on
+/// any thread; the per-case `hash` must come out bit-identical regardless.
+
+namespace ecfd::runner {
+
+/// What one simulation run produced.
+struct CaseMetrics {
+  std::uint64_t hash{0};      ///< order-sensitive digest of the whole run
+  std::uint64_t events{0};    ///< scheduler events fired
+  std::int64_t msgs{0};       ///< messages sent on the simulated network
+  double metric{0.0};         ///< experiment-specific headline number (ms)
+};
+
+/// E4-style: crash one process under a live all-to-all heartbeat ◇P stack
+/// and measure time until every correct process suspects it.
+CaseMetrics run_detection_case(int n, std::uint64_t seed);
+
+/// E5-style: one full consensus instance under crashes on a live
+/// heartbeat+Omega stack; metric is the last correct decision time.
+CaseMetrics run_consensus_case(int n, std::uint64_t seed,
+                               consensus::Algo algo, int crashes);
+
+/// Scheduler kernel churn: schedule/cancel/pop against a standing backlog,
+/// no network. Metric is ops executed (for events/sec accounting).
+CaseMetrics run_churn_case(std::uint64_t seed, int pending, int ops);
+
+/// One runnable case of a sweep.
+struct CaseSpec {
+  std::string experiment;  ///< sweep name, e.g. "e4_detection"
+  std::string config;      ///< human-readable point, e.g. "n=16"
+  std::uint64_t seed{0};
+  std::function<CaseMetrics()> run;
+};
+
+/// Builds the full sweep list. `quick` shrinks seed counts and sizes to a
+/// CI-friendly few-second suite; otherwise E4/E5 run 32 seeds per point.
+std::vector<CaseSpec> build_suite(bool quick);
+
+}  // namespace ecfd::runner

@@ -1,0 +1,89 @@
+// Counting replacement of the global allocator. See alloc_counter.hpp for
+// the linking contract: this TU is linked only into binaries that want
+// allocation accounting (test_alloc_counting, tools/bench_runner). It must
+// not be added to the ecfd library.
+
+#include "sim/alloc_counter.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+
+struct Activate {
+  Activate() {
+    ecfd::sim::alloc_counters().active.store(true, std::memory_order_relaxed);
+  }
+} activate;
+
+void* counted_alloc(std::size_t size) {
+  auto& c = ecfd::sim::alloc_counters();
+  c.allocs.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  // malloc(0) may return nullptr; operator new must not.
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  auto& c = ecfd::sim::alloc_counters();
+  c.allocs.fetch_add(1, std::memory_order_relaxed);
+  c.bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  ecfd::sim::alloc_counters().frees.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  counted_free(p);
+}

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+/// \file alloc_counter.hpp
+/// Opt-in global-allocation accounting.
+///
+/// The counters live here as inline atomics so any TU can read them; they
+/// only ever move when `sim/alloc_counter.cpp` — which replaces the global
+/// operator new/delete — is linked into the binary. That TU is deliberately
+/// NOT part of the ecfd library: only the allocation-regression test and
+/// tools/bench_runner link it, so ordinary binaries keep the stock
+/// allocator. Check `alloc_counting_active()` before trusting the numbers.
+///
+/// This is how the "zero heap allocations per scheduled event in the steady
+/// state" property is demonstrated: run a warmed-up schedule/pop loop and
+/// assert the counter does not advance.
+
+namespace ecfd::sim {
+
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocs{0};  ///< operator new calls
+  std::atomic<std::uint64_t> frees{0};   ///< operator delete calls
+  std::atomic<std::uint64_t> bytes{0};   ///< total bytes requested
+  std::atomic<bool> active{false};       ///< override TU linked?
+};
+
+inline AllocCounters& alloc_counters() {
+  static AllocCounters c;
+  return c;
+}
+
+/// True when the counting operator new/delete replacement is linked in.
+inline bool alloc_counting_active() {
+  return alloc_counters().active.load(std::memory_order_relaxed);
+}
+
+/// Snapshot of the allocation count (0 when not active).
+inline std::uint64_t alloc_count() {
+  return alloc_counters().allocs.load(std::memory_order_relaxed);
+}
+
+/// Snapshot of total bytes requested via operator new (0 when not active).
+inline std::uint64_t alloc_bytes() {
+  return alloc_counters().bytes.load(std::memory_order_relaxed);
+}
+
+}  // namespace ecfd::sim

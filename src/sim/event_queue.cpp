@@ -1,50 +1,112 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace ecfd::sim {
 
+EventId EventQueue::next_id() const {
+  if (!free_.empty()) {
+    const SlotIndex s = free_.back();
+    return encode(s, slab_[s].gen);
+  }
+  return encode(static_cast<SlotIndex>(slab_.size()), 0);
+}
+
 EventId EventQueue::schedule(TimeUs when, Action action) {
-  const EventId id = next_id_++;
-  auto owned = std::make_unique<Entry>(Entry{when, id, std::move(action), false});
-  heap_.push(owned.get());
-  entries_.emplace(id, std::move(owned));
-  ++live_;
-  return id;
+  SlotIndex s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+  } else {
+    assert(slab_.size() < kNoPos && "EventQueue slot space exhausted");
+    s = static_cast<SlotIndex>(slab_.grow());
+  }
+  Slot& slot = slab_[s];
+  slot.time = when;
+  slot.seq = next_seq_++;
+  slot.action = std::move(action);
+  slot.heap_pos = static_cast<SlotIndex>(heap_.size());
+  heap_.push_back(s);
+  sift_up(heap_.size() - 1);
+  return encode(s, slot.gen);
 }
 
 bool EventQueue::cancel(EventId id) {
-  auto it = entries_.find(id);
-  if (it == entries_.end() || it->second->cancelled) return false;
-  it->second->cancelled = true;
-  it->second->action = nullptr;  // release any captured state promptly
-  --live_;
+  if (id == kInvalidEvent) return false;
+  const auto raw = (id & 0xffffffffULL);
+  if (raw == 0 || raw > slab_.size()) return false;
+  const SlotIndex s = static_cast<SlotIndex>(raw - 1);
+  Slot& slot = slab_[s];
+  if (slot.heap_pos == kNoPos ||
+      slot.gen != static_cast<std::uint32_t>(id >> 32)) {
+    return false;  // already fired, already cancelled, or a recycled slot
+  }
+  heap_remove(slot.heap_pos);
+  slot.action.reset();  // release any captured state promptly
+  release(s);
   return true;
 }
 
-void EventQueue::drop_cancelled_head() {
-  while (!heap_.empty() && heap_.top()->cancelled) {
-    Entry* e = heap_.top();
-    heap_.pop();
-    entries_.erase(e->id);
-  }
-}
-
-TimeUs EventQueue::next_time() {
-  drop_cancelled_head();
-  return heap_.empty() ? kTimeNever : heap_.top()->time;
-}
-
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled_head();
   assert(!heap_.empty() && "pop() on empty EventQueue");
-  Entry* e = heap_.top();
-  heap_.pop();
-  --live_;
-  Fired f{e->time, e->id, std::move(e->action)};
-  entries_.erase(e->id);
+  const SlotIndex s = heap_[0];
+  Slot& slot = slab_[s];
+  Fired f{slot.time, encode(s, slot.gen), std::move(slot.action)};
+  heap_remove(0);
+  release(s);
   return f;
+}
+
+void EventQueue::sift_up(std::size_t pos) {
+  const SlotIndex moving = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slab_[heap_[pos]].heap_pos = static_cast<SlotIndex>(pos);
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slab_[moving].heap_pos = static_cast<SlotIndex>(pos);
+}
+
+void EventQueue::sift_down(std::size_t pos) {
+  const std::size_t n = heap_.size();
+  const SlotIndex moving = heap_[pos];
+  for (;;) {
+    const std::size_t first_child = pos * 4 + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slab_[heap_[pos]].heap_pos = static_cast<SlotIndex>(pos);
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slab_[moving].heap_pos = static_cast<SlotIndex>(pos);
+}
+
+void EventQueue::heap_remove(std::size_t pos) {
+  const SlotIndex last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;  // removed the tail entry
+  heap_[pos] = last;
+  slab_[last].heap_pos = static_cast<SlotIndex>(pos);
+  // The swapped-in entry may need to move either way.
+  sift_down(pos);
+  sift_up(slab_[last].heap_pos);
+}
+
+void EventQueue::release(SlotIndex slot) {
+  slab_[slot].heap_pos = kNoPos;
+  ++slab_[slot].gen;
+  free_.push_back(slot);
 }
 
 }  // namespace ecfd::sim

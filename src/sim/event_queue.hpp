@@ -1,33 +1,42 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/inplace_action.hpp"
 #include "sim/time.hpp"
 
 /// \file event_queue.hpp
 /// Priority queue of timed events with deterministic tie-breaking and
-/// O(1) lazy cancellation.
+/// O(log n) true cancellation, allocation-free in the steady state.
 
 namespace ecfd::sim {
 
 /// Identifier of a scheduled event; usable to cancel it.
+///
+/// Encodes (slot index, generation). Slots are reused after an event fires
+/// or is cancelled, and each reuse bumps the slot's generation, so a stale
+/// id can never cancel the event that now occupies the same slot.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEvent = 0;
 
-/// Min-heap of (time, sequence) ordered events.
+/// Indexed 4-ary min-heap of (time, sequence) ordered events.
 ///
-/// Two events scheduled for the same instant fire in scheduling order, which
-/// makes whole simulations bit-reproducible. Cancellation is lazy: cancelled
-/// entries stay in the heap and are skipped on pop.
+/// Two events scheduled for the same instant fire in scheduling order,
+/// which makes whole simulations bit-reproducible. Cancellation removes
+/// the entry from the heap immediately (O(log n) sift), so cancelled
+/// events cost nothing afterwards — no tombstones to skip on pop.
+///
+/// Storage: a chunked slot slab (time/seq/generation/action; slots are
+/// recycled through a free list and NEVER move, so actions can run in
+/// place), the heap of slot indices, and the free list. Actions are
+/// InplaceAction, stored inline in the slot. After warm-up,
+/// schedule/cancel/fire never touch the heap allocator.
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = InplaceAction;
 
   /// Schedules \p action at absolute time \p when. Returns its id.
   EventId schedule(TimeUs when, Action action);
@@ -36,14 +45,41 @@ class EventQueue {
   /// fired, or already cancelled.
   bool cancel(EventId id);
 
-  /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// True when no live event remains.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event; kTimeNever when empty.
-  [[nodiscard]] TimeUs next_time();
+  [[nodiscard]] TimeUs next_time() const {
+    return heap_.empty() ? kTimeNever : slab_[heap_[0]].time;
+  }
+
+  /// The id the next call to schedule() will return. Lets a caller embed
+  /// an event's own id in its closure without a heap-allocated cell.
+  [[nodiscard]] EventId next_id() const;
+
+  /// Fires the earliest live event IN PLACE — the hot path. Removes it
+  /// from the heap, calls `observe(time, id)` (the scheduler advances its
+  /// clock here), runs the action without moving it out of its slot, then
+  /// recycles the slot. The action may freely schedule or cancel events;
+  /// slots never move, and a slot being fired is not on the free list, so
+  /// reentrant scheduling cannot clobber it. Requires !empty().
+  template <class ObserveFn>
+  void pop_run(ObserveFn&& observe) {
+    const SlotIndex s = heap_[0];
+    heap_remove(0);
+    Slot& slot = slab_[s];
+    // Mark the slot off-heap NOW: a firing event is no longer cancellable,
+    // so cancel(own id) from inside the action must return false (and must
+    // not heap_remove whatever live entry sits at the stale position).
+    slot.heap_pos = kNoPos;
+    observe(slot.time, encode(s, slot.gen));
+    if (slot.action) slot.action();
+    slot.action.reset();
+    release(s);
+  }
 
   /// Fired event, returned by pop().
   struct Fired {
@@ -52,31 +88,78 @@ class EventQueue {
     Action action{};
   };
 
-  /// Removes and returns the earliest live event. Requires !empty().
+  /// Removes and returns the earliest live event (moving the action out).
+  /// Tests and ad-hoc drivers use this; the scheduler uses pop_run().
+  /// Requires !empty().
   Fired pop();
 
  private:
-  struct Entry {
+  using SlotIndex = std::uint32_t;
+
+  static constexpr SlotIndex kNoPos = UINT32_MAX;
+
+  struct Slot {
     TimeUs time{};
-    EventId id{};
+    std::uint64_t seq{};       ///< schedule order, the deterministic tie-break
+    std::uint32_t gen{0};      ///< bumped on release; half of the EventId
+    SlotIndex heap_pos{kNoPos};  ///< kNoPos when the slot is free
     Action action{};
-    bool cancelled{false};
   };
 
-  struct Cmp {
-    // std::priority_queue is a max-heap; invert to get (time, id) min order.
-    bool operator()(const Entry* a, const Entry* b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->id > b->id;
+  /// Fixed-chunk slab of slots. Growing appends a chunk; existing slots
+  /// never move (so in-flight actions and vector growth can coexist, and
+  /// growth never runs O(n) move-constructors like a flat vector would).
+  class SlotSlab {
+   public:
+    static constexpr std::size_t kChunkShift = 10;  // 1024 slots / chunk
+    static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+    static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+    Slot& operator[](std::size_t i) {
+      return chunks_[i >> kChunkShift][i & kChunkMask];
     }
+    const Slot& operator[](std::size_t i) const {
+      return chunks_[i >> kChunkShift][i & kChunkMask];
+    }
+    [[nodiscard]] std::size_t size() const { return size_; }
+
+    /// Appends a default-constructed slot; returns its index.
+    std::size_t grow() {
+      if (size_ == chunks_.size() * kChunkSize) {
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+      }
+      return size_++;
+    }
+
+   private:
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::size_t size_{0};
   };
 
-  void drop_cancelled_head();
+  static EventId encode(SlotIndex slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
 
-  std::priority_queue<Entry*, std::vector<Entry*>, Cmp> heap_;
-  std::unordered_map<EventId, std::unique_ptr<Entry>> entries_;
-  EventId next_id_{1};
-  std::size_t live_{0};
+  /// Earlier-fires-first order: (time, seq) lexicographic.
+  [[nodiscard]] bool before(SlotIndex a, SlotIndex b) const {
+    const Slot& sa = slab_[a];
+    const Slot& sb = slab_[b];
+    if (sa.time != sb.time) return sa.time < sb.time;
+    return sa.seq < sb.seq;
+  }
+
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  /// Detaches the heap entry at \p pos (swap-with-last + sift).
+  void heap_remove(std::size_t pos);
+  /// Returns the slot to the free list, bumping its generation.
+  void release(SlotIndex slot);
+
+  SlotSlab slab_;
+  std::vector<SlotIndex> heap_;  ///< slot indices, 4-ary min-heap
+  std::vector<SlotIndex> free_;  ///< LIFO of recycled slot indices
+  std::uint64_t next_seq_{1};
 };
 
 }  // namespace ecfd::sim

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+/// \file inplace_action.hpp
+/// A fixed-capacity, non-allocating move-only callable.
+///
+/// Every event the simulator fires is a closure; with std::function each
+/// capture larger than the small-buffer threshold costs a heap allocation
+/// on the hottest path in the system. InplaceAction stores the callable
+/// inline — always — and makes "too big to fit" a compile error
+/// (static_assert) instead of a silent allocation. The capacity is sized
+/// for the largest closure the simulator schedules: a Message delivery
+/// capture (Message + one pointer) and a ProcessHost timer wrapper
+/// (std::function + id + pointer) both fit with room to spare.
+
+namespace ecfd::sim {
+
+class InplaceAction {
+ public:
+  /// Inline storage size. If a static_assert below fires, shrink the
+  /// lambda's capture (capture pointers, not objects) — do not grow this
+  /// without re-measuring Entry size in the event queue.
+  static constexpr std::size_t kCapacity = 72;
+
+  InplaceAction() = default;
+  InplaceAction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceAction> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t>>>
+  InplaceAction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "closure too large for InplaceAction — capture less, or "
+                  "capture by pointer");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "overaligned closures are not supported");
+    static_assert(std::is_nothrow_move_constructible_v<Fn>,
+                  "InplaceAction requires nothrow-movable callables");
+    ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+    invoke_ = [](void* p) { (*static_cast<Fn*>(p))(); };
+    manage_ = [](void* dst, void* src) noexcept {
+      if (src != nullptr) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      } else {
+        static_cast<Fn*>(dst)->~Fn();
+      }
+    };
+  }
+
+  InplaceAction(InplaceAction&& other) noexcept { move_from(other); }
+
+  InplaceAction& operator=(InplaceAction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InplaceAction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InplaceAction(const InplaceAction&) = delete;
+  InplaceAction& operator=(const InplaceAction&) = delete;
+
+  ~InplaceAction() { reset(); }
+
+  /// Destroys the stored callable, releasing captured state promptly.
+  void reset() {
+    if (manage_ != nullptr) {
+      manage_(buf_, nullptr);
+      manage_ = nullptr;
+      invoke_ = nullptr;
+    }
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  using InvokeFn = void (*)(void*);
+  /// src != nullptr: move-construct *src into dst and destroy src.
+  /// src == nullptr: destroy dst.
+  using ManageFn = void (*)(void* dst, void* src) noexcept;
+
+  void move_from(InplaceAction& other) noexcept {
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    if (manage_ != nullptr) {
+      manage_(buf_, other.buf_);
+      other.invoke_ = nullptr;
+      other.manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kCapacity];
+  InvokeFn invoke_{nullptr};
+  ManageFn manage_{nullptr};
+};
+
+}  // namespace ecfd::sim

@@ -17,11 +17,11 @@ EventId Scheduler::schedule_at(TimeUs when, EventQueue::Action action) {
 std::size_t Scheduler::run_until(TimeUs deadline) {
   std::size_t n = 0;
   while (!queue_.empty() && queue_.next_time() <= deadline) {
-    auto fired = queue_.pop();
-    now_ = fired.time;
-    ++fired_;
+    queue_.pop_run([this](TimeUs t, EventId) {
+      now_ = t;
+      ++fired_;
+    });
     ++n;
-    if (fired.action) fired.action();
   }
   if (now_ < deadline) now_ = deadline;
   return n;
@@ -35,10 +35,10 @@ std::size_t Scheduler::run() {
 
 bool Scheduler::step() {
   if (queue_.empty()) return false;
-  auto fired = queue_.pop();
-  now_ = fired.time;
-  ++fired_;
-  if (fired.action) fired.action();
+  queue_.pop_run([this](TimeUs t, EventId) {
+    now_ = t;
+    ++fired_;
+  });
   return true;
 }
 

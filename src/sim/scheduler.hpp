@@ -1,7 +1,5 @@
 #pragma once
 
-#include <functional>
-
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 
@@ -28,10 +26,14 @@ class Scheduler {
   /// Cancels a pending event; false if already fired/cancelled/unknown.
   bool cancel(EventId id) { return queue_.cancel(id); }
 
-  /// Runs events until the queue is empty or the virtual clock would pass
-  /// \p deadline. The clock is left at min(deadline, last event time...)
-  /// — precisely: at deadline if reached, else at the last fired event.
-  /// Returns the number of events fired.
+  /// The id the next schedule_after/schedule_at call will return; lets a
+  /// closure carry its own event id without a heap-allocated cell.
+  [[nodiscard]] EventId next_event_id() const { return queue_.next_id(); }
+
+  /// Runs every event with time <= \p deadline (the queue may refill as
+  /// events schedule further events). On return the clock is at exactly
+  /// \p deadline, even when the last event fired earlier or no event fired
+  /// at all. Returns the number of events fired.
   std::size_t run_until(TimeUs deadline);
 
   /// Runs until the queue is empty. Returns the number of events fired.

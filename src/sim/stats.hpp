@@ -24,6 +24,14 @@ class Counters {
   /// Current value; 0 for unknown keys.
   [[nodiscard]] std::int64_t get(const std::string& key) const;
 
+  /// Stable pointer to the counter cell for \p key (created at 0). Hot
+  /// paths intern the pointer once per label and bump it directly,
+  /// skipping per-event key construction and map lookups. The pointer
+  /// stays valid until reset() — std::map nodes do not move.
+  [[nodiscard]] std::int64_t* slot(const std::string& key) {
+    return &values_[key];
+  }
+
   /// Sum of all counters whose key starts with \p prefix.
   [[nodiscard]] std::int64_t sum_prefix(const std::string& prefix) const;
 

@@ -147,26 +147,72 @@ void SocketEnv::send(ProcessId dst, Message m) {
   if (opts_.max_extra_delay > 0) {
     const DurUs delay =
         rng_.range(opts_.min_extra_delay, opts_.max_extra_delay);
-    set_timer(delay, [this, dst, frame = std::move(frame)]() {
-      transmit(dst, frame);
+    set_timer(delay, [this, dst, frame = std::move(frame)]() mutable {
+      transmit(dst, std::move(frame));
     });
     return;
   }
-  transmit(dst, frame);
+  transmit(dst, std::move(frame));
 }
 
-void SocketEnv::transmit(ProcessId dst, const std::vector<std::uint8_t>& frame) {
-  const auto& sa = peer_sockaddrs_[static_cast<std::size_t>(dst)];
-  const auto sent =
-      ::sendto(fd_, frame.data(), frame.size(), 0,
-               reinterpret_cast<const sockaddr*>(sa.data()),
-               static_cast<socklen_t>(sa.size()));
-  if (sent < 0) {
-    // UDP is lossy by contract; ENOBUFS/ECONNREFUSED etc. are just drops.
-    counters_.add("net.send_error");
-    return;
+void SocketEnv::transmit(ProcessId dst, std::vector<std::uint8_t> frame) {
+  out_.push_back(PendingSend{dst, std::move(frame)});
+}
+
+void SocketEnv::flush_sends() {
+  std::size_t done = 0;
+  while (done < out_.size()) {
+    const std::size_t batch = std::min(kSendBatch, out_.size() - done);
+    if (batch >= 2 && use_mmsg_) {
+      mmsghdr msgs[kSendBatch];
+      iovec iovs[kSendBatch];
+      std::memset(msgs, 0, batch * sizeof(mmsghdr));
+      for (std::size_t i = 0; i < batch; ++i) {
+        PendingSend& ps = out_[done + i];
+        auto& sa = peer_sockaddrs_[static_cast<std::size_t>(ps.dst)];
+        iovs[i].iov_base = ps.frame.data();
+        iovs[i].iov_len = ps.frame.size();
+        msgs[i].msg_hdr.msg_iov = &iovs[i];
+        msgs[i].msg_hdr.msg_iovlen = 1;
+        msgs[i].msg_hdr.msg_name = sa.data();
+        msgs[i].msg_hdr.msg_namelen = static_cast<socklen_t>(sa.size());
+      }
+      const int sent =
+          ::sendmmsg(fd_, msgs, static_cast<unsigned int>(batch), 0);
+      if (sent > 0) {
+        for (int i = 0; i < sent; ++i) {
+          const ProcessId dst = out_[done + static_cast<std::size_t>(i)].dst;
+          counters_.add("net.sent.p" + std::to_string(dst));
+          counters_.add("net.sent_batched.p" + std::to_string(dst));
+        }
+        done += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (errno == ENOSYS || errno == EOPNOTSUPP) {
+        use_mmsg_ = false;  // kernel without sendmmsg: per-datagram path
+        continue;
+      }
+      // UDP is lossy by contract; ENOBUFS etc. just drop the head datagram
+      // (matching the old per-datagram behaviour) and keep making progress.
+      counters_.add("net.send_error");
+      ++done;
+      continue;
+    }
+    const PendingSend& ps = out_[done];
+    const auto& sa = peer_sockaddrs_[static_cast<std::size_t>(ps.dst)];
+    const auto sent =
+        ::sendto(fd_, ps.frame.data(), ps.frame.size(), 0,
+                 reinterpret_cast<const sockaddr*>(sa.data()),
+                 static_cast<socklen_t>(sa.size()));
+    if (sent < 0) {
+      counters_.add("net.send_error");
+    } else {
+      counters_.add("net.sent.p" + std::to_string(ps.dst));
+      counters_.add("net.sent_single.p" + std::to_string(ps.dst));
+    }
+    ++done;
   }
-  counters_.add("net.sent.p" + std::to_string(dst));
+  out_.clear();
 }
 
 TimerId SocketEnv::set_timer(DurUs delay, std::function<void()> fn) {
@@ -213,35 +259,68 @@ void SocketEnv::deliver(const Message& m) {
   it->second->on_message(m);
 }
 
+void SocketEnv::handle_frame(const std::uint8_t* data, std::size_t len) {
+  std::string error;
+  auto decoded = wire::decode_message(data, len, &error);
+  if (!decoded) {
+    counters_.add("net.decode_error");
+    trace("net.decode_error", error);
+    return;
+  }
+  // A frame for another node (misconfigured peer table, stale sender)
+  // is rejected here — protocols only ever see their own traffic.
+  if (decoded->dst != opts_.self || decoded->src < 0 || decoded->src >= n()) {
+    counters_.add("net.misaddressed");
+    return;
+  }
+  counters_.add("net.recv.p" + std::to_string(decoded->src));
+  deliver(*decoded);
+}
+
 void SocketEnv::drain_socket() {
-  std::uint8_t buf[wire::kMaxFrameBytes];
-  for (;;) {
-    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+  while (use_mmsg_) {
+    if (recv_bufs_.size() < kRecvBatch * wire::kMaxFrameBytes) {
+      recv_bufs_.resize(kRecvBatch * wire::kMaxFrameBytes);
+    }
+    mmsghdr msgs[kRecvBatch];
+    iovec iovs[kRecvBatch];
+    std::memset(msgs, 0, sizeof(msgs));
+    for (std::size_t i = 0; i < kRecvBatch; ++i) {
+      iovs[i].iov_base = recv_bufs_.data() + i * wire::kMaxFrameBytes;
+      iovs[i].iov_len = wire::kMaxFrameBytes;
+      msgs[i].msg_hdr.msg_iov = &iovs[i];
+      msgs[i].msg_hdr.msg_iovlen = 1;
+    }
+    const int got =
+        ::recvmmsg(fd_, msgs, static_cast<unsigned int>(kRecvBatch), 0,
+                   nullptr);
     if (got < 0) {
+      if (errno == ENOSYS || errno == EOPNOTSUPP) {
+        use_mmsg_ = false;  // kernel without recvmmsg: per-datagram path
+        break;
+      }
       // EAGAIN/EWOULDBLOCK: drained. Anything else on UDP is transient;
       // either way this read pass is over.
       return;
     }
-    std::string error;
-    auto decoded = wire::decode_message(buf, static_cast<std::size_t>(got), &error);
-    if (!decoded) {
-      counters_.add("net.decode_error");
-      trace("net.decode_error", error);
-      continue;
+    for (int i = 0; i < got; ++i) {
+      handle_frame(recv_bufs_.data() +
+                       static_cast<std::size_t>(i) * wire::kMaxFrameBytes,
+                   msgs[i].msg_len);
     }
-    // A frame for another node (misconfigured peer table, stale sender)
-    // is rejected here — protocols only ever see their own traffic.
-    if (decoded->dst != opts_.self || decoded->src < 0 || decoded->src >= n()) {
-      counters_.add("net.misaddressed");
-      continue;
-    }
-    counters_.add("net.recv.p" + std::to_string(decoded->src));
-    deliver(*decoded);
+    if (static_cast<std::size_t>(got) < kRecvBatch) return;  // drained
+  }
+  std::uint8_t buf[wire::kMaxFrameBytes];
+  for (;;) {
+    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    if (got < 0) return;  // EAGAIN: drained (anything else: pass is over)
+    handle_frame(buf, static_cast<std::size_t>(got));
   }
 }
 
 void SocketEnv::poll_once(DurUs max_wait) {
   fire_due_timers();
+  flush_sends();  // everything queued by timers/protocol starts
   if (stopping_) return;
 
   DurUs wait = max_wait;
@@ -260,6 +339,7 @@ void SocketEnv::poll_once(DurUs max_wait) {
   const int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
   fire_due_timers();
+  flush_sends();  // replies triggered by received datagrams go out now
 }
 
 void SocketEnv::run_for(DurUs dur) {

@@ -92,6 +92,10 @@ class SocketEnv final : public Env {
   /// Per-peer and per-label traffic counters:
   ///   "msg.<label>.sent/.dropped", "net.sent.p<dst>", "net.recv.p<src>",
   ///   "net.decode_error", "net.misaddressed", "net.unknown_protocol".
+  /// Syscall batching is observable per peer: "net.sent_batched.p<dst>"
+  /// counts datagrams that left in a sendmmsg(2) batch of two or more,
+  /// "net.sent_single.p<dst>" those sent one-at-a-time (batch of one, or
+  /// the sendto(2) fallback); the two always sum to "net.sent.p<dst>".
   [[nodiscard]] sim::Counters& counters() { return counters_; }
 
   /// Local UDP port actually bound (differs from the peer table when the
@@ -124,13 +128,21 @@ class SocketEnv final : public Env {
     }
   };
 
-  /// One loop iteration: fire due timers, then block in poll(2) for at
-  /// most \p max_wait waiting for datagrams.
+  /// One loop iteration: fire due timers, flush queued sends, then block
+  /// in poll(2) for at most \p max_wait waiting for datagrams.
   void poll_once(DurUs max_wait);
   void drain_socket();
   void fire_due_timers();
   [[nodiscard]] TimeUs next_timer_at() const;
-  void transmit(ProcessId dst, const std::vector<std::uint8_t>& frame);
+  /// Queues an encoded frame for \p dst; the wire syscall happens at the
+  /// next flush_sends() (same loop iteration, batched with its neighbours).
+  void transmit(ProcessId dst, std::vector<std::uint8_t> frame);
+  /// Sends everything queued by transmit(), sendmmsg(2) up to kSendBatch
+  /// datagrams per syscall, falling back to per-datagram sendto(2) when
+  /// the kernel lacks the batched call.
+  void flush_sends();
+  /// Decodes one received datagram and routes it (counters on error).
+  void handle_frame(const std::uint8_t* data, std::size_t len);
   void deliver(const Message& m);
 
   Options opts_;
@@ -141,6 +153,16 @@ class SocketEnv final : public Env {
   int fd_{-1};
   std::uint16_t bound_port_{0};
   std::vector<std::vector<std::uint8_t>> peer_sockaddrs_;  ///< opaque sockaddr_in
+
+  static constexpr std::size_t kSendBatch = 64;  ///< datagrams per sendmmsg
+  static constexpr std::size_t kRecvBatch = 16;  ///< datagrams per recvmmsg
+  struct PendingSend {
+    ProcessId dst{};
+    std::vector<std::uint8_t> frame;
+  };
+  std::vector<PendingSend> out_;       ///< queued until flush_sends()
+  std::vector<std::uint8_t> recv_bufs_;  ///< kRecvBatch frame-sized buffers
+  bool use_mmsg_{true};  ///< cleared on ENOSYS; falls back to sendto/recvfrom
 
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
   std::unordered_set<TimerId> cancelled_;

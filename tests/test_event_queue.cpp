@@ -79,6 +79,42 @@ TEST(EventQueue, SizeCountsLiveOnly) {
   EXPECT_EQ(q.size(), 1u);
 }
 
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  // After an event fires, its slot is recycled with a bumped generation;
+  // the old id must bounce off the new occupant.
+  EventQueue q;
+  const EventId old_id = q.schedule(1, [] {});
+  (void)q.pop();
+  const EventId new_id = q.schedule(2, [] {});
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(new_id));
+}
+
+TEST(EventQueue, NextIdPredictsScheduleResult) {
+  EventQueue q;
+  const EventId fresh_predicted = q.next_id();
+  EXPECT_EQ(fresh_predicted, q.schedule(5, [] {}));
+  (void)q.pop();  // recycles the slot with a new generation
+  const EventId recycled_predicted = q.next_id();
+  EXPECT_EQ(recycled_predicted, q.schedule(6, [] {}));
+}
+
+TEST(Scheduler, SelfCancelDuringFireIsANoOp) {
+  // Regression: a firing event's slot is off the heap but not yet
+  // recycled while its action runs; cancelling its own id from inside
+  // the action must fail cleanly instead of corrupting the heap.
+  Scheduler s;
+  EventId self = kInvalidEvent;
+  bool bystander_ran = false;
+  self = s.schedule_at(5, [&] { EXPECT_FALSE(s.cancel(self)); });
+  s.schedule_at(5, [&] { bystander_ran = true; });
+  s.run();
+  EXPECT_TRUE(bystander_ran);
+  EXPECT_EQ(s.fired(), 2u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
 TEST(Scheduler, RunUntilExecutesDueEventsAndAdvancesClock) {
   Scheduler s;
   int count = 0;

@@ -20,30 +20,39 @@ class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 TEST_P(EventQueueFuzz, MatchesReferenceModel) {
   Rng rng(GetParam());
   sim::EventQueue q;
-  // Reference: (time, id) -> live?, mirroring lazy cancellation.
-  std::map<sim::EventId, TimeUs> live;  // id -> time
+  // Reference: id -> (time, schedule order). Ids are slot+generation
+  // encodings and carry no ordering, so the model tracks schedule order
+  // explicitly — ties at the same instant must fire in that order.
+  struct RefEntry {
+    TimeUs time{};
+    std::uint64_t order{};
+  };
+  std::map<sim::EventId, RefEntry> live;
   std::vector<sim::EventId> ids;
+  std::uint64_t order_counter = 0;
 
-  std::vector<std::pair<TimeUs, sim::EventId>> popped;
   for (int step = 0; step < 3000; ++step) {
     const auto op = rng.below(10);
     if (op < 5) {  // schedule
       const TimeUs t = rng.range(0, 200);
       const sim::EventId id = q.schedule(t, [] {});
-      live[id] = t;
+      // Slot reuse must never hand out an id that is still live.
+      ASSERT_EQ(live.count(id), 0u);
+      live[id] = RefEntry{t, order_counter++};
       ids.push_back(id);
     } else if (op < 8 && !live.empty()) {  // pop
-      // Reference expectation: earliest (time, id) among live events.
+      // Reference expectation: earliest (time, schedule order) among live.
       auto best = live.begin();
       for (auto it = live.begin(); it != live.end(); ++it) {
-        if (it->second < best->second ||
-            (it->second == best->second && it->first < best->first)) {
+        if (it->second.time < best->second.time ||
+            (it->second.time == best->second.time &&
+             it->second.order < best->second.order)) {
           best = it;
         }
       }
       ASSERT_FALSE(q.empty());
       auto fired = q.pop();
-      EXPECT_EQ(fired.time, best->second);
+      EXPECT_EQ(fired.time, best->second.time);
       EXPECT_EQ(fired.id, best->first);
       live.erase(fired.id);
     } else if (!ids.empty()) {  // cancel a random id (may be dead already)
@@ -54,16 +63,18 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
     }
     ASSERT_EQ(q.size(), live.size());
   }
-  // Drain; must come out in (time, id) order.
+  // Drain; must come out in (time, schedule order) order.
   TimeUs last_t = -1;
-  sim::EventId last_id = 0;
+  std::uint64_t last_order = 0;
   while (!q.empty()) {
     auto fired = q.pop();
+    auto it = live.find(fired.id);
+    ASSERT_NE(it, live.end());
     ASSERT_TRUE(fired.time > last_t ||
-                (fired.time == last_t && fired.id > last_id));
+                (fired.time == last_t && it->second.order > last_order));
     last_t = fired.time;
-    last_id = fired.id;
-    ASSERT_EQ(live.erase(fired.id), 1u);
+    last_order = it->second.order;
+    live.erase(it);
   }
   EXPECT_TRUE(live.empty());
 }

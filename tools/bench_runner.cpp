@@ -1,0 +1,271 @@
+// bench_runner — the multi-seed, multi-config experiment driver.
+//
+// Runs the canonical E4/E5/churn sweeps (src/runner/suite.hpp) twice:
+// once sequentially (the reference), once fanned across a thread pool
+// (each case is an independent single-threaded simulation). Per-case
+// digests must match bit-for-bit between the two passes — a mismatch is
+// a determinism bug and exits nonzero. Everything else is reporting:
+// wall times, speedup, events/sec, msgs/sec, and heap-allocation counts
+// from the counting operator new linked into this binary.
+//
+//   bench_runner [--quick] [--jobs N] [--json FILE]
+//
+// --quick    CI-sized suite (seconds, not minutes)
+// --jobs N   worker threads for the parallel pass (default: all cores)
+// --json F   write the machine-readable report (schema ecfd.bench_sim.v1,
+//            documented in EXPERIMENTS.md) to F; "-" means stdout
+//
+// Exit status: 0 on success, 1 on sequential-vs-parallel hash mismatch,
+// 2 on bad usage.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runner/suite.hpp"
+#include "runner/thread_pool.hpp"
+#include "sim/alloc_counter.hpp"
+
+namespace {
+
+using ecfd::runner::CaseMetrics;
+using ecfd::runner::CaseSpec;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Aggregated view of one experiment's sweep in one pass.
+struct ExperimentAgg {
+  std::size_t cases{0};
+  std::uint64_t events{0};
+  std::int64_t msgs{0};
+  double metric_sum{0.0};
+  double seq_wall{0.0};  ///< sum of per-case sequential walls
+  double par_wall{0.0};  ///< wall of the pooled parallel pass
+};
+
+void json_escape(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+std::string fmt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  unsigned jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+      if (jobs == 0) jobs = 1;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_runner [--quick] [--jobs N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<CaseSpec> suite = ecfd::runner::build_suite(quick);
+  std::fprintf(stderr, "bench_runner: %zu cases, %u jobs, %s suite\n",
+               suite.size(), jobs, quick ? "quick" : "full");
+
+  // --- Pass 1: sequential reference ------------------------------------
+  std::vector<CaseMetrics> seq(suite.size());
+  std::vector<double> seq_case_wall(suite.size(), 0.0);
+  const std::uint64_t allocs_before_seq = ecfd::sim::alloc_count();
+  const auto t_seq = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    seq[i] = suite[i].run();
+    seq_case_wall[i] = seconds_since(t0);
+  }
+  const double seq_wall = seconds_since(t_seq);
+  const std::uint64_t seq_allocs = ecfd::sim::alloc_count() - allocs_before_seq;
+
+  // --- Pass 2: parallel, grouped per experiment -------------------------
+  // Grouping keeps per-experiment speedup honest (each group is timed
+  // around its own parallel_for) while still saturating the pool within
+  // a group — the sweeps are dozens of cases each.
+  std::map<std::string, std::vector<std::size_t>> by_experiment;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    by_experiment[suite[i].experiment].push_back(i);
+  }
+
+  std::vector<CaseMetrics> par(suite.size());
+  std::map<std::string, double> par_group_wall;
+  const std::uint64_t allocs_before_par = ecfd::sim::alloc_count();
+  const auto t_par = std::chrono::steady_clock::now();
+  for (auto& [name, idxs] : by_experiment) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ecfd::runner::parallel_for(idxs.size(), jobs, [&](std::size_t k) {
+      const std::size_t i = idxs[k];
+      par[i] = suite[i].run();
+    });
+    par_group_wall[name] = seconds_since(t0);
+  }
+  const double par_wall = seconds_since(t_par);
+  const std::uint64_t par_allocs = ecfd::sim::alloc_count() - allocs_before_par;
+
+  // --- Determinism gate -------------------------------------------------
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (seq[i].hash != par[i].hash) {
+      ++mismatches;
+      std::fprintf(stderr,
+                   "DETERMINISM MISMATCH %s %s seed=%llu: seq=%016llx "
+                   "par=%016llx\n",
+                   suite[i].experiment.c_str(), suite[i].config.c_str(),
+                   static_cast<unsigned long long>(suite[i].seed),
+                   static_cast<unsigned long long>(seq[i].hash),
+                   static_cast<unsigned long long>(par[i].hash));
+    }
+  }
+
+  // --- Aggregate --------------------------------------------------------
+  std::map<std::string, ExperimentAgg> agg;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    ExperimentAgg& a = agg[suite[i].experiment];
+    ++a.cases;
+    a.events += seq[i].events;
+    a.msgs += seq[i].msgs;
+    a.metric_sum += seq[i].metric;
+    a.seq_wall += seq_case_wall[i];
+  }
+  for (auto& [name, a] : agg) a.par_wall = par_group_wall[name];
+
+  std::uint64_t total_events = 0;
+  std::int64_t total_msgs = 0;
+  for (const auto& [name, a] : agg) {
+    total_events += a.events;
+    total_msgs += a.msgs;
+    std::fprintf(stderr,
+                 "  %-14s %3zu cases  seq %7.3fs  par %7.3fs  speedup "
+                 "%5.2fx  %8.3g events/s  %8.3g msgs/s\n",
+                 name.c_str(), a.cases, a.seq_wall, a.par_wall,
+                 a.par_wall > 0 ? a.seq_wall / a.par_wall : 0.0,
+                 a.par_wall > 0 ? static_cast<double>(a.events) / a.par_wall
+                                : 0.0,
+                 a.par_wall > 0 ? static_cast<double>(a.msgs) / a.par_wall
+                                : 0.0);
+  }
+  std::fprintf(stderr,
+               "  total: seq %.3fs  par %.3fs  speedup %.2fx  allocs/case "
+               "seq %.1f par %.1f  %s\n",
+               seq_wall, par_wall, par_wall > 0 ? seq_wall / par_wall : 0.0,
+               static_cast<double>(seq_allocs) /
+                   static_cast<double>(suite.size()),
+               static_cast<double>(par_allocs) /
+                   static_cast<double>(suite.size()),
+               mismatches == 0 ? "deterministic" : "MISMATCH");
+
+  // --- JSON report ------------------------------------------------------
+  if (!json_path.empty()) {
+    std::string j;
+    j += "{\n";
+    j += "  \"schema\": \"ecfd.bench_sim.v1\",\n";
+    j += "  \"quick\": " + std::string(quick ? "true" : "false") + ",\n";
+    j += "  \"jobs\": " + std::to_string(jobs) + ",\n";
+    j += "  \"hardware_threads\": " +
+         std::to_string(std::thread::hardware_concurrency()) + ",\n";
+    j += "  \"deterministic\": " +
+         std::string(mismatches == 0 ? "true" : "false") + ",\n";
+    j += "  \"cases\": " + std::to_string(suite.size()) + ",\n";
+    j += "  \"totals\": {\n";
+    j += "    \"events\": " + std::to_string(total_events) + ",\n";
+    j += "    \"msgs\": " + std::to_string(total_msgs) + ",\n";
+    j += "    \"seq_wall_s\": " + fmt(seq_wall) + ",\n";
+    j += "    \"par_wall_s\": " + fmt(par_wall) + ",\n";
+    j += "    \"speedup\": " + fmt(par_wall > 0 ? seq_wall / par_wall : 0.0) +
+         ",\n";
+    j += "    \"events_per_sec_parallel\": " +
+         fmt(par_wall > 0 ? static_cast<double>(total_events) / par_wall
+                          : 0.0) +
+         ",\n";
+    j += "    \"msgs_per_sec_parallel\": " +
+         fmt(par_wall > 0 ? static_cast<double>(total_msgs) / par_wall : 0.0) +
+         "\n";
+    j += "  },\n";
+    j += "  \"allocations\": {\n";
+    j += "    \"counted\": " +
+         std::string(ecfd::sim::alloc_counting_active() ? "true" : "false") +
+         ",\n";
+    j += "    \"sequential_pass\": " + std::to_string(seq_allocs) + ",\n";
+    j += "    \"parallel_pass\": " + std::to_string(par_allocs) + ",\n";
+    j += "    \"per_event_sequential\": " +
+         fmt(total_events > 0 ? static_cast<double>(seq_allocs) /
+                                    static_cast<double>(total_events)
+                              : 0.0) +
+         "\n";
+    j += "  },\n";
+    j += "  \"experiments\": [\n";
+    bool first = true;
+    for (const auto& [name, a] : agg) {
+      if (!first) j += ",\n";
+      first = false;
+      j += "    {\n      \"name\": \"";
+      json_escape(&j, name);
+      j += "\",\n";
+      j += "      \"cases\": " + std::to_string(a.cases) + ",\n";
+      j += "      \"events\": " + std::to_string(a.events) + ",\n";
+      j += "      \"msgs\": " + std::to_string(a.msgs) + ",\n";
+      j += "      \"metric_mean_ms\": " +
+           fmt(a.cases > 0 ? a.metric_sum / static_cast<double>(a.cases)
+                           : 0.0) +
+           ",\n";
+      j += "      \"seq_wall_s\": " + fmt(a.seq_wall) + ",\n";
+      j += "      \"par_wall_s\": " + fmt(a.par_wall) + ",\n";
+      j += "      \"speedup\": " +
+           fmt(a.par_wall > 0 ? a.seq_wall / a.par_wall : 0.0) + ",\n";
+      j += "      \"events_per_sec\": " +
+           fmt(a.par_wall > 0 ? static_cast<double>(a.events) / a.par_wall
+                              : 0.0) +
+           ",\n";
+      j += "      \"msgs_per_sec\": " +
+           fmt(a.par_wall > 0 ? static_cast<double>(a.msgs) / a.par_wall
+                              : 0.0) +
+           "\n    }";
+    }
+    j += "\n  ]\n}\n";
+
+    if (json_path == "-") {
+      std::fputs(j.c_str(), stdout);
+    } else {
+      std::FILE* f = std::fopen(json_path.c_str(), "w");
+      if (!f) {
+        std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      std::fputs(j.c_str(), f);
+      std::fclose(f);
+    }
+  }
+
+  return mismatches == 0 ? 0 : 1;
+}
