@@ -1,0 +1,131 @@
+#include "check/consensus_monitor.hpp"
+
+#include <cassert>
+
+namespace ecfd::check {
+
+namespace {
+
+std::string pname(ProcessId p) { return "p" + std::to_string(p); }
+
+}  // namespace
+
+Verdict ConsensusMonitor::SafetyState::verdict(const char* name,
+                                               TimeUs holds_since) const {
+  Verdict v;
+  v.property = name;
+  v.eventual = false;
+  v.required = true;
+  if (violated) {
+    v.state = VerdictState::kViolated;
+    v.violated_at = at;
+    v.witness = witness;
+    v.violations = 1;
+  } else {
+    v.state = VerdictState::kHolding;
+    v.holds_since = holds_since;
+  }
+  return v;
+}
+
+ConsensusMonitor::ConsensusMonitor(Config cfg) : cfg_(std::move(cfg)) {
+  assert(cfg_.n > 0);
+  first_.resize(static_cast<std::size_t>(cfg_.n));
+}
+
+void ConsensusMonitor::note_proposal(ProcessId p, consensus::Value v,
+                                     TimeUs) {
+  assert(p >= 0 && p < cfg_.n);
+  (void)p;
+  proposed_.insert(v);
+}
+
+void ConsensusMonitor::note_decision(ProcessId p, consensus::Value v,
+                                     int round, TimeUs at) {
+  assert(p >= 0 && p < cfg_.n);
+  (void)round;
+  ++decisions_;
+  auto& f = first_[static_cast<std::size_t>(p)];
+
+  // Uniform integrity: every process decides at most once.
+  if (f.decided) {
+    if (f.value != v) {
+      integrity_.violate(at, pname(p) + " decided twice: " +
+                                 std::to_string(f.value) + " then " +
+                                 std::to_string(v));
+    } else {
+      integrity_.violate(at, pname(p) + " re-decided value " +
+                                 std::to_string(v));
+    }
+    return;
+  }
+  f.decided = true;
+  f.value = v;
+  f.at = at;
+  if (cfg_.correct.contains(p)) {
+    last_correct_decision_ = std::max(last_correct_decision_, at);
+  }
+
+  // Validity: the decided value was proposed by some process.
+  if (proposed_.count(v) == 0) {
+    validity_.violate(at, pname(p) + " decided unproposed value " +
+                              std::to_string(v));
+  }
+
+  // Uniform agreement: no two processes (correct or faulty) decide
+  // differently.
+  if (!agreed_.has_value()) {
+    agreed_ = v;
+    agreed_by_ = p;
+  } else if (*agreed_ != v) {
+    agreement_.violate(at, pname(p) + " decided " + std::to_string(v) +
+                               " but " + pname(agreed_by_) + " decided " +
+                               std::to_string(*agreed_));
+  }
+}
+
+void ConsensusMonitor::attach(
+    const std::vector<consensus::ConsensusProtocol*>& protocols) {
+  for (ProcessId p = 0; p < static_cast<ProcessId>(protocols.size()); ++p) {
+    consensus::ConsensusProtocol* proto =
+        protocols[static_cast<std::size_t>(p)];
+    if (proto == nullptr) continue;
+    proto->set_on_decide([this, p](const consensus::Decision& d) {
+      note_decision(p, d.value, d.round, d.at);
+    });
+  }
+}
+
+std::vector<Verdict> ConsensusMonitor::verdicts(TimeUs now) const {
+  std::vector<Verdict> out;
+  out.push_back(agreement_.verdict("consensus.uniform_agreement", 0));
+  out.push_back(validity_.verdict("consensus.validity", 0));
+  out.push_back(integrity_.verdict("consensus.uniform_integrity", 0));
+
+  // Termination by deadline: every correct process has decided.
+  Verdict term;
+  term.property = "consensus.termination";
+  term.eventual = false;
+  term.required = true;
+  ProcessSet undecided(cfg_.n);
+  for (ProcessId p : cfg_.correct.members()) {
+    if (!first_[static_cast<std::size_t>(p)].decided) undecided.add(p);
+  }
+  if (undecided.empty()) {
+    term.state = VerdictState::kHolding;
+    term.holds_since = last_correct_decision_;
+  } else if (now >= cfg_.deadline) {
+    term.state = VerdictState::kViolated;
+    term.violated_at = cfg_.deadline;
+    term.violations = undecided.size();
+    term.witness = "correct " + undecided.to_string() +
+                   " undecided at deadline";
+  } else {
+    term.state = VerdictState::kPending;
+    term.witness = "correct " + undecided.to_string() + " undecided";
+  }
+  out.push_back(term);
+  return out;
+}
+
+}  // namespace ecfd::check

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "check/verdict.hpp"
+#include "consensus/consensus.hpp"
+#include "net/process_set.hpp"
+
+/// \file consensus_monitor.hpp
+/// Online monitor for the Uniform Consensus properties (Section 5.1,
+/// Theorem 2): uniform agreement, validity, uniform integrity, and
+/// termination-by-deadline.
+///
+/// Event driven: the harness (or a test) feeds note_proposal() for every
+/// proposal and note_decision() for every decision event. The three safety
+/// properties yield a final kViolated verdict with a concrete witness the
+/// moment they break; termination is judged against a deadline when
+/// verdicts() is called with the run's end time.
+///
+/// note_decision is deliberately *not* routed through
+/// ConsensusProtocol::decide() alone — decide() is idempotent, so a mutant
+/// that "decides twice" must report both events directly for the integrity
+/// monitor to see them (see check/mutants.hpp).
+
+namespace ecfd::check {
+
+class ConsensusMonitor {
+ public:
+  struct Config {
+    int n{0};
+    ProcessSet correct;           ///< processes that never crash
+    TimeUs deadline{kTimeNever};  ///< termination-by-deadline bound
+  };
+
+  explicit ConsensusMonitor(Config cfg);
+
+  /// Records that process \p p proposed \p v.
+  void note_proposal(ProcessId p, consensus::Value v, TimeUs at);
+
+  /// Records a decision event at process \p p.
+  void note_decision(ProcessId p, consensus::Value v, int round, TimeUs at);
+
+  /// Convenience: installs note_decision as the on_decide callback of every
+  /// protocol (indexed by process id; null entries are skipped). The
+  /// monitor must outlive the protocols' run.
+  void attach(const std::vector<consensus::ConsensusProtocol*>& protocols);
+
+  /// Verdicts as of time \p now. Property names:
+  ///   consensus.uniform_agreement, consensus.validity,
+  ///   consensus.uniform_integrity, consensus.termination
+  [[nodiscard]] std::vector<Verdict> verdicts(TimeUs now) const;
+
+  [[nodiscard]] std::int64_t decisions() const { return decisions_; }
+
+ private:
+  struct SafetyState {
+    bool violated{false};
+    TimeUs at{kTimeNever};
+    std::string witness;
+    void violate(TimeUs now, const std::string& why) {
+      if (violated) return;
+      violated = true;
+      at = now;
+      witness = why;
+    }
+    [[nodiscard]] Verdict verdict(const char* name, TimeUs holds_since) const;
+  };
+
+  struct FirstDecision {
+    bool decided{false};
+    consensus::Value value{};
+    TimeUs at{0};
+  };
+
+  Config cfg_;
+  std::set<consensus::Value> proposed_;
+  std::vector<FirstDecision> first_;
+  std::optional<consensus::Value> agreed_;
+  ProcessId agreed_by_{kNoProcess};
+  std::int64_t decisions_{0};
+  TimeUs last_correct_decision_{0};
+  SafetyState agreement_;
+  SafetyState validity_;
+  SafetyState integrity_;
+};
+
+}  // namespace ecfd::check

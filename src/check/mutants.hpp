@@ -1,0 +1,167 @@
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "fd/oracle.hpp"
+#include "net/env.hpp"
+#include "net/process_set.hpp"
+
+/// \file mutants.hpp
+/// Deliberately broken failure-detector and consensus variants.
+///
+/// These exist to validate the monitors themselves (mutation testing): each
+/// mutant violates exactly one paper property, and the corresponding
+/// monitor MUST flag it with that property name and a nonempty witness —
+/// tests/test_mutation_catch.cpp asserts this for every mutant. A monitor
+/// change that stops catching a mutant is a regression in the checking
+/// tooling, not in the algorithms.
+
+namespace ecfd::check {
+
+// --- failure-detector mutants ------------------------------------------
+
+/// Ω that never stabilizes: trusted = (now / period) mod n, forever.
+/// All processes flap in lockstep, so only the permanence clause of leader
+/// agreement (and leader stability) can catch it — instantaneous agreement
+/// looks fine at every sample. Violates: fd.leader_agreement.
+class FlappingLeaderFd final : public Protocol,
+                               public SuspectOracle,
+                               public LeaderOracle {
+ public:
+  FlappingLeaderFd(Env& env, DurUs period);
+  void on_message(const Message&) override {}
+  [[nodiscard]] ProcessSet suspected() const override;
+  [[nodiscard]] ProcessId trusted() const override;
+
+ private:
+  DurUs period_;
+};
+
+/// ◇S whose accuracy is gone: every process permanently suspects every
+/// other process (completeness trivially holds; no correct process is ever
+/// unsuspected). Violates: fd.eventual_weak_accuracy.
+class SlanderFd final : public Protocol,
+                        public SuspectOracle,
+                        public LeaderOracle {
+ public:
+  explicit SlanderFd(Env& env);
+  void on_message(const Message&) override {}
+  [[nodiscard]] ProcessSet suspected() const override;
+  [[nodiscard]] ProcessId trusted() const override { return env_.self(); }
+};
+
+/// Detector that never suspects anyone: crashed processes go permanently
+/// undetected. Violates: fd.strong_completeness (under any crash).
+class BlindFd final : public Protocol,
+                      public SuspectOracle,
+                      public LeaderOracle {
+ public:
+  explicit BlindFd(Env& env);
+  void on_message(const Message&) override {}
+  [[nodiscard]] ProcessSet suspected() const override;
+  [[nodiscard]] ProcessId trusted() const override { return 0; }
+};
+
+/// ◇C whose two outputs are permanently inconsistent: everyone trusts p0
+/// AND suspects p0 (plus nobody else), forever. Completeness over the
+/// remaining processes, weak accuracy and Omega all hold. Violates:
+/// fd.coupling (Definition 1, third clause).
+class CoupledViolationFd final : public Protocol,
+                                 public SuspectOracle,
+                                 public LeaderOracle {
+ public:
+  explicit CoupledViolationFd(Env& env);
+  void on_message(const Message&) override {}
+  [[nodiscard]] ProcessSet suspected() const override;
+  [[nodiscard]] ProcessId trusted() const override { return 0; }
+};
+
+// --- consensus mutants --------------------------------------------------
+
+/// "Consensus" where every process simply decides its own proposal.
+/// Violates: consensus.uniform_agreement (with distinct proposals).
+class SplitBrainConsensus final : public consensus::ConsensusProtocol {
+ public:
+  explicit SplitBrainConsensus(Env& env);
+  void propose(consensus::Value v) override;
+  void on_message(const Message&) override {}
+  [[nodiscard]] int current_round() const override { return 1; }
+};
+
+/// Decides a constant that nobody proposed. Violates: consensus.validity.
+class InventedValueConsensus final : public consensus::ConsensusProtocol {
+ public:
+  static constexpr consensus::Value kInvented = 0x0BADBADBAD;
+  explicit InventedValueConsensus(Env& env);
+  void propose(consensus::Value v) override;
+  void on_message(const Message&) override {}
+  [[nodiscard]] int current_round() const override { return 1; }
+};
+
+/// Decides, then "re-decides" a different value. ConsensusProtocol::decide
+/// is idempotent by construction, so the second decision is reported
+/// straight to the monitor through the extra reporter — which is exactly
+/// the double-report a buggy engine would produce. Violates:
+/// consensus.uniform_integrity.
+class DoubleDecideConsensus final : public consensus::ConsensusProtocol {
+ public:
+  using Reporter =
+      std::function<void(ProcessId, consensus::Value, int, TimeUs)>;
+  DoubleDecideConsensus(Env& env, Reporter extra_report);
+  void propose(consensus::Value v) override;
+  void on_message(const Message&) override {}
+  [[nodiscard]] int current_round() const override { return 1; }
+
+ private:
+  Reporter extra_report_;
+};
+
+/// Never decides at all. Violates: consensus.termination (by deadline).
+class SilentConsensus final : public consensus::ConsensusProtocol {
+ public:
+  explicit SilentConsensus(Env& env);
+  void propose(consensus::Value) override {}
+  void on_message(const Message&) override {}
+  [[nodiscard]] int current_round() const override { return 1; }
+};
+
+/// A coordinator that decides and imposes its value WITHOUT gathering a
+/// majority: processes 0 and 1 both act as coordinator, broadcast their
+/// proposal, and everyone decides the first coordinator value it receives.
+/// Under a partition separating the two coordinators, the two sides decide
+/// differently — the exact unsafety that the paper's majority-of-replies
+/// rule exists to prevent. Violates: consensus.uniform_agreement (under
+/// the partition schedule used by run_mutant).
+class NoMajorityConsensus final : public consensus::ConsensusProtocol {
+ public:
+  explicit NoMajorityConsensus(Env& env);
+  void propose(consensus::Value v) override;
+  void on_message(const Message& m) override;
+  [[nodiscard]] int current_round() const override { return 1; }
+};
+
+// --- the mutation catalogue ---------------------------------------------
+
+enum class Mutant {
+  kFlappingLeader,
+  kSlander,
+  kBlind,
+  kCoupledViolation,
+  kSplitBrain,
+  kInventedValue,
+  kDoubleDecide,
+  kSilent,
+  kNoMajority,
+};
+
+/// Every mutant, for iteration in tests.
+[[nodiscard]] const std::vector<Mutant>& all_mutants();
+
+[[nodiscard]] const char* mutant_name(Mutant m);
+
+/// The property name the mutant's monitor MUST report as failing.
+[[nodiscard]] const char* expected_property(Mutant m);
+
+}  // namespace ecfd::check

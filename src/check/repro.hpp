@@ -1,0 +1,64 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "check/fuzz.hpp"
+
+/// \file repro.hpp
+/// Replayable repro files for fuzz-found violations ("ecfd.repro.v1").
+///
+/// A repro file captures a FuzzCaseConfig plus the (usually shrunk) fault
+/// schedule, the target property, and the run digest. Replaying the file
+/// re-runs the identical monitored simulation; because every field —
+/// including the chaos probabilities, stored as exact parts-per-million
+/// integers — round-trips losslessly through the text form, the replay's
+/// digest matches the recorded one bit for bit.
+///
+/// The format is line-oriented text so a repro attaches to a bug report
+/// and diffs cleanly:
+///
+///   ecfd.repro.v1
+///   n 5
+///   seed 42
+///   profile churn
+///   algo ecfd_c
+///   fd ring
+///   horizon_us 24000000
+///   chaos_end_us 12000000
+///   margin_us 4000000
+///   period_us 10000
+///   property fd.leader_agreement
+///   digest 0x1234abcd5678ef90
+///   event crash at=2000000 p=3
+///   event partition at=1000000 until=5000000 group=0,2
+///   event chaos at=3000000 until=8000000 loss_ppm=200000
+///       delay_max_us=15000 dup_ppm=50000   (one line in the file)
+///   end
+
+namespace ecfd::check {
+
+struct ReproFile {
+  FuzzCaseConfig config;
+  FaultSchedule schedule;
+  std::string property;     ///< target property; empty = any violation
+  std::uint64_t digest{0};  ///< recorded run digest; 0 = unrecorded
+};
+
+/// Serializes to the ecfd.repro.v1 text form.
+[[nodiscard]] std::string to_text(const ReproFile& r);
+
+/// Parses the text form; nullopt (and *error, if given) on malformed input.
+[[nodiscard]] std::optional<ReproFile> parse_repro(const std::string& text,
+                                                   std::string* error = nullptr);
+
+/// File I/O convenience wrappers around to_text/parse_repro.
+bool save_repro(const ReproFile& r, const std::string& path);
+[[nodiscard]] std::optional<ReproFile> load_repro(const std::string& path,
+                                                  std::string* error = nullptr);
+
+/// Re-runs the recorded case. The outcome's digest must equal r.digest
+/// when the file was produced by the same build.
+[[nodiscard]] FuzzOutcome replay(const ReproFile& r);
+
+}  // namespace ecfd::check

@@ -1,0 +1,73 @@
+#include "check/thread_monitor.hpp"
+
+#include <chrono>
+
+namespace ecfd::check {
+
+ThreadedFdMonitor::ThreadedFdMonitor(runtime::ThreadSystem& sys,
+                                     FdPropertyMonitor::Config cfg)
+    : sys_(sys),
+      monitor_(std::move(cfg)),
+      suspects_(static_cast<std::size_t>(sys.n()), nullptr),
+      leaders_(static_cast<std::size_t>(sys.n()), nullptr),
+      got_suspected_(static_cast<std::size_t>(sys.n())),
+      got_trusted_(static_cast<std::size_t>(sys.n())) {}
+
+void ThreadedFdMonitor::attach(ProcessId p, const SuspectOracle* s,
+                               const LeaderOracle* l) {
+  suspects_[static_cast<std::size_t>(p)] = s;
+  leaders_[static_cast<std::size_t>(p)] = l;
+}
+
+void ThreadedFdMonitor::sample(DurUs timeout) {
+  const int n = sys_.n();
+  std::uint64_t round;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    round = ++round_;
+    pending_ = 0;
+    for (auto& s : got_suspected_) s.reset();
+    for (auto& t : got_trusted_) t.reset();
+  }
+
+  ProcessSet crashed(n);
+  int expected = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto i = static_cast<std::size_t>(p);
+    runtime::ThreadHost& host = sys_.host(p);
+    if (host.crashed()) {
+      crashed.add(p);
+      continue;
+    }
+    if (suspects_[i] == nullptr && leaders_[i] == nullptr) continue;
+    ++expected;
+    // The read happens on the host's own thread: oracle state is only ever
+    // touched there, so this is the race-free way to observe it.
+    host.post([this, i, round] {
+      std::optional<ProcessSet> susp;
+      std::optional<ProcessId> trusted;
+      if (suspects_[i] != nullptr) susp = suspects_[i]->suspected();
+      if (leaders_[i] != nullptr) trusted = leaders_[i]->trusted();
+      std::lock_guard<std::mutex> lk(mu_);
+      if (round != round_) return;  // stale reply from a previous sample
+      got_suspected_[i] = std::move(susp);
+      got_trusted_[i] = std::move(trusted);
+      ++pending_;
+      cv_.notify_all();
+    });
+  }
+
+  FdPropertyMonitor::Snapshot snap;
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait_for(lk, std::chrono::microseconds(timeout),
+                 [&] { return pending_ >= expected; });
+    snap.suspected = got_suspected_;
+    snap.trusted = got_trusted_;
+  }
+  snap.time = sys_.now();
+  snap.crashed = crashed;
+  monitor_.observe(snap);
+}
+
+}  // namespace ecfd::check

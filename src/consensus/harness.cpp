@@ -138,14 +138,21 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
     }
   }
 
-  sys->start();
-
   // --- proposals -----------------------------------------------------
   std::vector<Value> proposals = cfg.proposals;
   if (proposals.empty()) {
     proposals.resize(static_cast<std::size_t>(n));
     for (ProcessId p = 0; p < n; ++p) proposals[static_cast<std::size_t>(p)] = 100 + p;
   }
+
+  // --- observers (monitors, fault schedules) -------------------------
+  if (cfg.instrument) {
+    const HarnessInstruments inst{*sys,     cons,    suspects,
+                                  leaders,  correct, proposals};
+    cfg.instrument(inst);
+  }
+
+  sys->start();
   for (ProcessId p = 0; p < n; ++p) {
     const auto i = static_cast<std::size_t>(p);
     sys->scheduler().schedule_at(cfg.propose_at, [&sys, &cons, i, p,
@@ -158,6 +165,7 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
   const DurUs chunk = msec(50);
   while (sys->now() < cfg.horizon) {
     sys->run_for(std::min<DurUs>(chunk, cfg.horizon - sys->now()));
+    if (cfg.run_to_horizon) continue;
     bool done = true;
     for (ProcessId p : correct.members()) {
       if (!cons[static_cast<std::size_t>(p)]->has_decided()) {

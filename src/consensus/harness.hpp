@@ -1,10 +1,12 @@
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
-#include "net/scenario.hpp"
 #include "consensus/consensus.hpp"
+#include "fd/oracle.hpp"
+#include "net/scenario.hpp"
 
 /// \file harness.hpp
 /// One-call consensus experiment runner shared by tests and benchmarks:
@@ -32,10 +34,33 @@ enum class FdStack {
   kScriptedStable,  ///< scripted: chaos until fd_stable_at, then perfect
 };
 
+/// Everything an observer may want to hook into, handed to
+/// HarnessConfig::instrument after protocols are installed and before the
+/// system starts. All vectors are indexed by process id; oracle pointers
+/// may be null for stacks lacking that output. Observers must stay
+/// read-only with respect to protocol state (they may schedule events,
+/// e.g. fault injection, and register decision callbacks).
+struct HarnessInstruments {
+  System& sys;
+  const std::vector<ConsensusProtocol*>& protocols;
+  const std::vector<const SuspectOracle*>& suspects;
+  const std::vector<const LeaderOracle*>& leaders;
+  const ProcessSet& correct;            ///< never crashed by the crash plan
+  const std::vector<Value>& proposals;  ///< value process p will propose
+};
+
 struct HarnessConfig {
   ScenarioConfig scenario;
   Algo algo{Algo::kEcfdC};
   FdStack fd{FdStack::kScriptedStable};
+
+  /// Observer installation hook; see HarnessInstruments. Used by check/ to
+  /// attach property monitors and fault-injection schedules.
+  std::function<void(const HarnessInstruments&)> instrument;
+
+  /// When true the run continues to `horizon` even after every correct
+  /// process decided (monitors need the tail to watch the FD stabilize).
+  bool run_to_horizon{false};
 
   /// kScriptedStable: when the detector becomes stable, and on whom.
   TimeUs fd_stable_at{msec(50)};

@@ -90,6 +90,24 @@ void Network::send(const Message& m) {
     delay = link->sample_delay(sched_.now(), rng_);
   }
 
+  // Chaos overlay: only consulted while active (so rng_ draw sequences —
+  // and with them the determinism fingerprints — are untouched otherwise).
+  // Self-addressed messages are exempt: they model local computation, not
+  // the network.
+  bool duplicate = false;
+  if (chaos_.active() && m.src != m.dst && delay.has_value()) {
+    if (chaos_.loss_ppm != 0 && rng_.below(1'000'000) < chaos_.loss_ppm) {
+      delay = std::nullopt;
+    } else {
+      if (chaos_.extra_delay_max > 0) {
+        *delay += static_cast<DurUs>(
+            rng_.below(static_cast<std::uint64_t>(chaos_.extra_delay_max) + 1));
+      }
+      duplicate = chaos_.duplicate_ppm != 0 &&
+                  rng_.below(1'000'000) < chaos_.duplicate_ppm;
+    }
+  }
+
   if (!delay.has_value()) {
     ++dropped_total_;
     if (interned) {
@@ -115,6 +133,18 @@ void Network::send(const Message& m) {
     ++delivered_total_;
     sink_(copy);
   });
+  if (duplicate) {
+    // The duplicate trails the original by a fresh jitter in the same band.
+    DurUs extra = self_delay_;
+    if (chaos_.extra_delay_max > 0) {
+      extra += static_cast<DurUs>(
+          rng_.below(static_cast<std::uint64_t>(chaos_.extra_delay_max) + 1));
+    }
+    sched_.schedule_after(*delay + extra, [this, copy = m]() {
+      ++delivered_total_;
+      sink_(copy);
+    });
+  }
 }
 
 }  // namespace ecfd

@@ -48,6 +48,25 @@ class Network {
   /// Removes every block.
   void heal();
 
+  /// Message-level fault-injection overlay, applied on top of the link
+  /// models (used by the check/ schedule fuzzer to model loss bursts,
+  /// delay spikes and duplication without swapping links mid-run).
+  /// Probabilities are exact parts-per-million integers so schedules
+  /// serialize and replay bit-identically. All zeros = inactive; the
+  /// inactive overlay draws no randomness, so runs without chaos keep
+  /// their historical determinism fingerprints.
+  struct Chaos {
+    std::uint32_t loss_ppm{0};       ///< extra drop probability, ppm
+    DurUs extra_delay_max{0};        ///< adds uniform [0, max] to delay
+    std::uint32_t duplicate_ppm{0};  ///< probability of a second delivery
+    [[nodiscard]] bool active() const {
+      return loss_ppm != 0 || extra_delay_max != 0 || duplicate_ppm != 0;
+    }
+  };
+  void set_chaos(const Chaos& chaos) { chaos_ = chaos; }
+  void clear_chaos() { chaos_ = Chaos{}; }
+  [[nodiscard]] const Chaos& chaos() const { return chaos_; }
+
   /// Sends \p m (src/dst must be stamped). Samples the link model for a
   /// delay, schedules the delivery, and keeps counters.
   void send(const Message& m);
@@ -84,6 +103,7 @@ class Network {
   DeliverySink sink_;
   std::vector<std::unique_ptr<LinkModel>> links_;
   std::vector<char> blocked_;
+  Chaos chaos_;
   DurUs self_delay_{1};
   std::int64_t sent_total_{0};
   std::int64_t delivered_total_{0};

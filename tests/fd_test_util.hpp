@@ -8,11 +8,14 @@
 #include "fd/probe.hpp"
 #include "fd/properties.hpp"
 #include "net/scenario.hpp"
+#include "scenario_util.hpp"
 
 /// \file fd_test_util.hpp
 /// Shared scaffolding for failure-detector property tests: build a system
 /// from a scenario, install a detector stack on every process, sample it
-/// with FdProbe, and evaluate fd/properties over the run.
+/// with FdProbe, and evaluate fd/properties over the run. Scenario
+/// construction itself lives in scenario_util.hpp (pulled in here so FD
+/// suites get both with one include).
 
 namespace ecfd::testutil {
 

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/scenario.hpp"
+
+/// \file scenario_util.hpp
+/// Scenario construction and seed-handling helpers shared by the test
+/// suites. Before this header every FD/partition suite carried its own
+/// copy of base_scenario()/minority(); they differed only in the GST and
+/// pre-GST bound, so the copies collapse into one parameterized builder.
+
+namespace ecfd::testutil {
+
+/// The canonical partial-synchrony scenario: delta = 5ms after \p gst,
+/// arbitrary delays bounded by \p pre_gst_max before it.
+inline ScenarioConfig partial_sync_scenario(int n, std::uint64_t seed,
+                                            TimeUs gst = msec(250),
+                                            DurUs pre_gst_max = msec(50)) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.seed = seed;
+  cfg.links = LinkKind::kPartialSync;
+  cfg.gst = gst;
+  cfg.delta = msec(5);
+  cfg.pre_gst_max = pre_gst_max;
+  return cfg;
+}
+
+/// {p0 .. p_{k-1}} — the group isolated by partition tests.
+inline ProcessSet minority(int n, int k) {
+  ProcessSet s(n);
+  for (int i = 0; i < k; ++i) s.add(i);
+  return s;
+}
+
+/// ECFD_SEED=N reruns every seed-parameterized fuzz suite with exactly
+/// that seed (decimal or 0x-hex), replacing the default seed lists.
+inline std::optional<std::uint64_t> env_seed() {
+  const char* s = std::getenv("ECFD_SEED");
+  if (s == nullptr || *s == '\0') return std::nullopt;
+  return std::strtoull(s, nullptr, 0);
+}
+
+/// The seed list a fuzz suite instantiates over: the ECFD_SEED override
+/// when set, \p defaults otherwise.
+inline std::vector<std::uint64_t> fuzz_seeds(
+    std::vector<std::uint64_t> defaults) {
+  if (const auto s = env_seed()) return {*s};
+  return defaults;
+}
+
+/// Test-name generator so failures show the seed itself ("…/seed7"), not
+/// a positional index.
+inline std::string seed_name(
+    const ::testing::TestParamInfo<std::uint64_t>& info) {
+  return "seed" + std::to_string(info.param);
+}
+
+/// SCOPED_TRACE message: how to rerun exactly this case.
+inline std::string seed_trace(std::uint64_t seed) {
+  return "rerun just this case with: ECFD_SEED=" + std::to_string(seed) +
+         " ctest -R <suite>";
+}
+
+}  // namespace ecfd::testutil

@@ -7,6 +7,7 @@
 #include "fd/leader_candidate.hpp"
 #include "fd/scripted_fd.hpp"
 #include "fd_test_util.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
@@ -14,14 +15,7 @@ namespace {
 using testutil::run_fd_scenario;
 
 ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = msec(250);
-  cfg.delta = msec(5);
-  cfg.pre_gst_max = msec(50);
-  return cfg;
+  return testutil::partial_sync_scenario(n, seed, msec(250), msec(50));
 }
 
 // --- EcfdFromOmega (trivial construction) ------------------------------

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "fd_test_util.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
@@ -20,14 +21,7 @@ testutil::Installer installer() {
 }
 
 ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = msec(250);
-  cfg.delta = msec(5);
-  cfg.pre_gst_max = msec(50);
-  return cfg;
+  return testutil::partial_sync_scenario(n, seed, msec(250), msec(50));
 }
 
 TEST(EfficientP, IsEventuallyPerfectAndConsistent) {

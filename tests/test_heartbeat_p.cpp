@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "fd_test_util.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
@@ -19,14 +20,7 @@ testutil::Installer heartbeat_installer() {
 }
 
 ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = msec(300);
-  cfg.delta = msec(5);
-  cfg.pre_gst_max = msec(80);  // enough to trigger pre-GST mistakes
-  return cfg;
+  return testutil::partial_sync_scenario(n, seed, msec(300), msec(80));
 }
 
 TEST(HeartbeatP, FailureFreeRunIsAccurate) {

@@ -1,11 +1,15 @@
 // Randomized property tests pitting core data structures against simple
 // reference models (parameterized over seeds).
+//
+// Set ECFD_SEED=N to rerun every suite with exactly that seed; each
+// failure prints the seed that reproduces it (scenario_util.hpp).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
 #include "net/process_set.hpp"
+#include "scenario_util.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
@@ -18,6 +22,7 @@ namespace {
 class EventQueueFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(EventQueueFuzz, MatchesReferenceModel) {
+  SCOPED_TRACE(testutil::seed_trace(GetParam()));
   Rng rng(GetParam());
   sim::EventQueue q;
   // Reference: id -> (time, schedule order). Ids are slot+generation
@@ -79,14 +84,17 @@ TEST_P(EventQueueFuzz, MatchesReferenceModel) {
   EXPECT_TRUE(live.empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueFuzz,
-                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, EventQueueFuzz,
+    ::testing::ValuesIn(testutil::fuzz_seeds({1, 2, 3, 4, 5, 6, 7, 8})),
+    testutil::seed_name);
 
 // --- ProcessSet vs std::set reference ------------------------------------
 
 class ProcessSetFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ProcessSetFuzz, MatchesReferenceModel) {
+  SCOPED_TRACE(testutil::seed_trace(GetParam()));
   Rng rng(GetParam() * 7919);
   const int n = 1 + static_cast<int>(rng.below(150));
   ProcessSet s(n);
@@ -123,14 +131,17 @@ TEST_P(ProcessSetFuzz, MatchesReferenceModel) {
   EXPECT_EQ(s.first_excluded(), expected_excluded);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, ProcessSetFuzz,
-                         ::testing::Values(11, 12, 13, 14, 15, 16));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ProcessSetFuzz,
+    ::testing::ValuesIn(testutil::fuzz_seeds({11, 12, 13, 14, 15, 16})),
+    testutil::seed_name);
 
 // --- Scheduler timer storm ------------------------------------------------
 
 class SchedulerFuzz : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SchedulerFuzz, EventsFireExactlyOnceInOrder) {
+  SCOPED_TRACE(testutil::seed_trace(GetParam()));
   Rng rng(GetParam() * 104729);
   sim::Scheduler sched;
   int fired = 0;
@@ -168,8 +179,10 @@ TEST_P(SchedulerFuzz, EventsFireExactlyOnceInOrder) {
   EXPECT_EQ(sched.pending(), 0u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerFuzz,
-                         ::testing::Values(21, 22, 23, 24, 25));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedulerFuzz,
+    ::testing::ValuesIn(testutil::fuzz_seeds({21, 22, 23, 24, 25})),
+    testutil::seed_name);
 
 }  // namespace
 }  // namespace ecfd

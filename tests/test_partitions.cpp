@@ -10,24 +10,15 @@
 #include "fd/ring_fd.hpp"
 #include "fd/stable_leader.hpp"
 #include "net/scenario.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
 
-ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = 0;
-  cfg.delta = msec(5);
-  return cfg;
-}
+using testutil::minority;
 
-ProcessSet minority(int n, int k) {
-  ProcessSet s(n);
-  for (int i = 0; i < k; ++i) s.add(i);
-  return s;
+ScenarioConfig base_scenario(int n, std::uint64_t seed) {
+  return testutil::partial_sync_scenario(n, seed, /*gst=*/0);
 }
 
 TEST(Partitions, HeartbeatSuspectsAcrossTheCutAndRecovers) {

@@ -6,6 +6,7 @@
 
 #include "fd/leader_candidate.hpp"
 #include "fd_test_util.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
@@ -21,14 +22,7 @@ testutil::Installer installer() {
 }
 
 ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = msec(250);
-  cfg.delta = msec(5);
-  cfg.pre_gst_max = msec(60);
-  return cfg;
+  return testutil::partial_sync_scenario(n, seed, msec(250), msec(60));
 }
 
 TEST(StableLeader, ImplementsOmegaFailureFree) {

@@ -9,6 +9,7 @@
 
 #include "fd/heartbeat_p.hpp"
 #include "fd_test_util.hpp"
+#include "scenario_util.hpp"
 
 namespace ecfd {
 namespace {
@@ -16,14 +17,7 @@ namespace {
 using testutil::run_fd_scenario;
 
 ScenarioConfig base_scenario(int n, std::uint64_t seed) {
-  ScenarioConfig cfg;
-  cfg.n = n;
-  cfg.seed = seed;
-  cfg.links = LinkKind::kPartialSync;
-  cfg.gst = msec(200);
-  cfg.delta = msec(5);
-  cfg.pre_gst_max = msec(40);
-  return cfg;
+  return testutil::partial_sync_scenario(n, seed, msec(200), msec(40));
 }
 
 // --- WToS ------------------------------------------------------------

@@ -8,15 +8,18 @@
 // wall times, speedup, events/sec, msgs/sec, and heap-allocation counts
 // from the counting operator new linked into this binary.
 //
-//   bench_runner [--quick] [--jobs N] [--json FILE]
+//   bench_runner [--quick] [--jobs N] [--json FILE] [--check]
 //
 // --quick    CI-sized suite (seconds, not minutes)
 // --jobs N   worker threads for the parallel pass (default: all cores)
 // --json F   write the machine-readable report (schema ecfd.bench_sim.v1,
 //            documented in EXPERIMENTS.md) to F; "-" means stdout
+// --check    prepend a property-checked pass: a fault-injection matrix
+//            (4 profiles x seeds) run under the online monitors
+//            (src/check/); any required-property violation fails the run
 //
-// Exit status: 0 on success, 1 on sequential-vs-parallel hash mismatch,
-// 2 on bad usage.
+// Exit status: 0 on success, 1 on sequential-vs-parallel hash mismatch or
+// a --check property violation, 2 on bad usage.
 
 #include <chrono>
 #include <cstdio>
@@ -26,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/fuzz.hpp"
 #include "runner/suite.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/alloc_counter.hpp"
@@ -67,10 +71,52 @@ std::string fmt(double v) {
   return buf;
 }
 
+/// The --check pass: a small fault-injection matrix under the online
+/// property monitors. Returns the number of violating cases.
+std::size_t run_check_pass(bool quick, unsigned jobs) {
+  using ecfd::check::FuzzCaseConfig;
+  using ecfd::check::FuzzOutcome;
+  using ecfd::check::FuzzProfile;
+
+  const int seeds = quick ? 8 : 32;
+  std::vector<FuzzCaseConfig> cases;
+  for (FuzzProfile p :
+       {FuzzProfile::kCrash, FuzzProfile::kPartition,
+        FuzzProfile::kLossDelay, FuzzProfile::kChurn}) {
+    for (int s = 0; s < seeds; ++s) {
+      FuzzCaseConfig cfg;
+      cfg.profile = p;
+      cfg.seed = static_cast<std::uint64_t>(s) + 1;
+      cases.push_back(cfg);
+    }
+  }
+  std::vector<FuzzOutcome> outcomes(cases.size());
+  const auto t0 = std::chrono::steady_clock::now();
+  ecfd::runner::parallel_for(cases.size(), jobs, [&](std::size_t i) {
+    outcomes[i] = ecfd::check::run_fuzz_case(cases[i]);
+  });
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    if (outcomes[i].ok) continue;
+    ++bad;
+    std::fprintf(
+        stderr, "CHECK VIOLATION profile=%s seed=%llu: %s\n",
+        ecfd::check::profile_name(cases[i].profile),
+        static_cast<unsigned long long>(cases[i].seed),
+        outcomes[i].violations.front().to_string().c_str());
+  }
+  std::fprintf(stderr,
+               "bench_runner: check pass %zu cases in %.3fs, %zu "
+               "violations\n",
+               cases.size(), seconds_since(t0), bad);
+  return bad;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool check = false;
   std::string json_path;
   unsigned jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 2;
@@ -79,6 +125,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--check") {
+      check = true;
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = static_cast<unsigned>(std::atoi(argv[++i]));
       if (jobs == 0) jobs = 1;
@@ -86,10 +134,14 @@ int main(int argc, char** argv) {
       json_path = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: bench_runner [--quick] [--jobs N] [--json FILE]\n");
+                   "usage: bench_runner [--quick] [--jobs N] [--json FILE] "
+                   "[--check]\n");
       return 2;
     }
   }
+
+  std::size_t check_violations = 0;
+  if (check) check_violations = run_check_pass(quick, jobs);
 
   std::vector<CaseSpec> suite = ecfd::runner::build_suite(quick);
   std::fprintf(stderr, "bench_runner: %zu cases, %u jobs, %s suite\n",
@@ -267,5 +319,5 @@ int main(int argc, char** argv) {
     }
   }
 
-  return mismatches == 0 ? 0 : 1;
+  return mismatches == 0 && check_violations == 0 ? 0 : 1;
 }

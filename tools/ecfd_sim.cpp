@@ -7,18 +7,26 @@
 //            [--fd ring|heartbeat|mix|effp|scripted] [--crash P@MS ...]
 //            [--gst MS] [--delta MS] [--stable-at MS] [--horizon MS]
 //            [--max-rounds R] [--ewa-only] [--leader K] [--verbose]
+//            [--check] [--check-margin MS]
 //
 // Examples:
 //   ecfd_sim --n 7 --algo c --fd ring --crash 0@300 --crash 5@500
 //   ecfd_sim --n 9 --algo ct --fd scripted --ewa-only --leader 8
+//   ecfd_sim --n 5 --fd heartbeat --crash 2@400 --check --horizon 8000
+//
+// With --check the run continues to the horizon under the online property
+// monitors (src/check/) and prints a per-property verdict table; eventual
+// properties must stabilize at least --check-margin ms before the end.
 //
 // Exit code: 0 when every correct process decided and all consensus
-// properties held; 1 otherwise.
+// properties held (and, with --check, no monitored property failed);
+// 1 otherwise.
 
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "check/sim_monitor.hpp"
 #include "consensus/harness.hpp"
 
 using namespace ecfd;
@@ -42,7 +50,10 @@ void usage() {
       "  --leader K       scripted leader (default: first correct)\n"
       "  --horizon MS     stop the run after MS ms (default 30000)\n"
       "  --max-rounds R   give up after R rounds (default unlimited)\n"
-      "  --verbose        print the per-process outcome table\n";
+      "  --verbose        print the per-process outcome table\n"
+      "  --check          attach online property monitors; run to horizon\n"
+      "  --check-margin MS  stabilization margin for eventual properties\n"
+      "                     (default 2000)\n";
 }
 
 bool parse_crash(const std::string& arg, ScenarioConfig& sc) {
@@ -66,6 +77,8 @@ int main(int argc, char** argv) {
   cfg.fd = FdStack::kRing;
   cfg.fd_stable_at = msec(300);
   bool verbose = false;
+  bool check_mode = false;
+  DurUs check_margin = sec(2);
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -119,10 +132,22 @@ int main(int argc, char** argv) {
       cfg.max_rounds = std::stoi(next());
     } else if (a == "--verbose") {
       verbose = true;
+    } else if (a == "--check") {
+      check_mode = true;
+    } else if (a == "--check-margin") {
+      check_margin = msec(std::stoll(next()));
     } else {
       std::cerr << "unknown flag " << a << " (try --help)\n";
       return 2;
     }
+  }
+
+  check::SimMonitor monitor(check::SimMonitor::Config{});
+  if (check_mode) {
+    cfg.run_to_horizon = true;  // monitors need the stabilization tail
+    cfg.instrument = [&](const HarnessInstruments& inst) {
+      monitor.install_from(inst, cfg.horizon);
+    };
   }
 
   const HarnessResult r = run_consensus(cfg);
@@ -144,7 +169,17 @@ int main(int argc, char** argv) {
     }
   }
 
-  const bool ok = r.every_correct_decided && r.uniform_agreement && r.validity;
+  bool ok = r.every_correct_decided && r.uniform_agreement && r.validity;
+  if (check_mode) {
+    std::cout << "\nproperty verdicts (margin "
+              << check_margin / 1000 << "ms):\n";
+    for (const check::Verdict& v : monitor.verdicts(r.sim_end)) {
+      const bool pass = check::satisfied(v, r.sim_end, check_margin);
+      std::cout << "  [" << (v.required ? (pass ? "PASS" : "FAIL") : "info")
+                << "] " << v.to_string() << "\n";
+    }
+    ok = ok && monitor.violations(r.sim_end, check_margin).empty();
+  }
   std::cout << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }
