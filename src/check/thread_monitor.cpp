@@ -1,8 +1,38 @@
 #include "check/thread_monitor.hpp"
 
+#include <cctype>
 #include <chrono>
+#include <set>
+#include <sstream>
 
 namespace ecfd::check {
+
+namespace {
+
+/// Extracts process ids from "p<digits>" tokens in a witness string (the
+/// format fd_monitor's pname() emits).
+std::set<ProcessId> processes_in_witness(const std::string& witness, int n) {
+  std::set<ProcessId> out;
+  for (std::size_t i = 0; i < witness.size(); ++i) {
+    if (witness[i] != 'p') continue;
+    if (i > 0 && (std::isalnum(static_cast<unsigned char>(witness[i - 1])) ||
+                  witness[i - 1] == '_')) {
+      continue;  // 'p' inside a word, not a process name
+    }
+    std::size_t j = i + 1;
+    long id = 0;
+    while (j < witness.size() &&
+           std::isdigit(static_cast<unsigned char>(witness[j]))) {
+      id = id * 10 + (witness[j] - '0');
+      ++j;
+    }
+    if (j > i + 1 && id < n) out.insert(static_cast<ProcessId>(id));
+    i = j - 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 ThreadedFdMonitor::ThreadedFdMonitor(runtime::ThreadSystem& sys,
                                      FdPropertyMonitor::Config cfg)
@@ -68,6 +98,36 @@ void ThreadedFdMonitor::sample(DurUs timeout) {
   snap.time = sys_.now();
   snap.crashed = crashed;
   monitor_.observe(snap);
+}
+
+std::string ThreadedFdMonitor::violation_report() const {
+  constexpr std::size_t kMaxTracedHosts = 4;
+  std::ostringstream os;
+  std::set<ProcessId> implicated;
+  for (const Verdict& v : monitor_.verdicts()) {
+    if (v.state == VerdictState::kHolding) continue;
+    os << v.to_string() << '\n';
+    for (ProcessId p : processes_in_witness(v.witness, sys_.n())) {
+      implicated.insert(p);
+    }
+  }
+  std::size_t traced = 0;
+  for (ProcessId p : implicated) {
+    if (traced == kMaxTracedHosts) {
+      os << "  (further implicated hosts omitted)\n";
+      break;
+    }
+    const auto events = sys_.host(p).recent_trace();
+    if (events.empty()) continue;
+    ++traced;
+    os << "  recent trace of p" << p << ":\n";
+    for (const auto& e : events) {
+      os << "    t=" << e.time << "us " << e.tag;
+      if (!e.detail.empty()) os << " " << e.detail;
+      os << '\n';
+    }
+  }
+  return os.str();
 }
 
 }  // namespace ecfd::check

@@ -39,6 +39,14 @@ class ThreadedFdMonitor {
 
   [[nodiscard]] const FdPropertyMonitor& monitor() const { return monitor_; }
 
+  /// Human-readable report of every non-holding property: the verdict lines
+  /// plus, when the runtime's per-host trace ring is enabled
+  /// (ThreadSystem::Config::trace_depth), the recent trace of each host
+  /// named in a witness ("p<id>") — so a violation arrives with the
+  /// offending host's last few events attached. Empty when all properties
+  /// hold.
+  [[nodiscard]] std::string violation_report() const;
+
  private:
   runtime::ThreadSystem& sys_;
   FdPropertyMonitor monitor_;

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <atomic>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sim/inplace_action.hpp"
+#include "sim/time.hpp"
+
+/// \file mailbox.hpp
+/// The cross-shard handoff primitive of the sharded threaded runtime.
+///
+/// Every virtual host owns one Mailbox. Any thread may push (other workers
+/// routing messages, the test thread posting closures, the property monitor
+/// sampling); only the host's owning worker drains. Pushes take a per-host
+/// spinlock for a few instructions (one vector push_back of a move-only
+/// item), and the drain swaps the whole backlog out in O(1), so neither
+/// side ever holds the lock across user code. Both buffers keep their
+/// capacity across swaps, so the steady state performs zero heap
+/// allocations — the same discipline as the simulator's event queue.
+
+namespace ecfd::runtime {
+
+/// One unit of deferred execution bound for a specific host: run `fn` on
+/// the host's owning worker at (or after) absolute time `when`.
+struct WorkItem {
+  TimeUs when{0};
+  sim::InplaceAction fn{};
+};
+
+/// Minimal test-and-set spinlock. Critical sections in this runtime are a
+/// handful of instructions (vector push/swap, trace-ring writes), so
+/// spinning beats a futex round-trip; the yield bounds pathological
+/// preemption on oversubscribed machines.
+class SpinLock {
+ public:
+  void lock() {
+    int spins = 0;
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      if (++spins > 64) {
+        std::this_thread::yield();
+        spins = 0;
+      }
+    }
+  }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// MPSC mailbox: many producers push, the owning worker drains by swap.
+///
+/// The `nonempty` flag is the producer/consumer rendezvous the worker's
+/// sleep protocol relies on (see Worker::run): producers set it with
+/// seq_cst AFTER appending, workers read it with seq_cst after publishing
+/// their wake deadline, so a push can never be missed by a worker that
+/// decided to sleep (Dekker-style store/load ordering).
+class Mailbox {
+ public:
+  void push(WorkItem item) {
+    lock_.lock();
+    in_.push_back(std::move(item));
+    lock_.unlock();
+    nonempty_.store(true, std::memory_order_seq_cst);
+  }
+
+  /// Swaps the backlog into \p out (must be empty). Returns true when any
+  /// item was handed over. The consumer keeps reusing the same vector, so
+  /// capacities ping-pong between the two buffers and stabilise.
+  bool drain(std::vector<WorkItem>& out) {
+    if (!nonempty_.load(std::memory_order_seq_cst)) return false;
+    nonempty_.store(false, std::memory_order_seq_cst);
+    lock_.lock();
+    in_.swap(out);
+    lock_.unlock();
+    return !out.empty();
+  }
+
+  /// Producer-visible emptiness hint; pairs with the worker sleep protocol.
+  [[nodiscard]] bool nonempty() const {
+    return nonempty_.load(std::memory_order_seq_cst);
+  }
+
+ private:
+  SpinLock lock_;
+  std::atomic<bool> nonempty_{false};
+  std::vector<WorkItem> in_;
+};
+
+}  // namespace ecfd::runtime

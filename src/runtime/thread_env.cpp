@@ -4,16 +4,33 @@
 
 namespace ecfd::runtime {
 
+namespace {
+
+/// The Worker whose loop is executing on this thread (nullptr on every
+/// non-worker thread: tests, monitors, legacy host threads). Lets hosts
+/// tell owner-thread calls from foreign ones and gives route() a lock-free
+/// RNG stream.
+thread_local Worker* t_worker = nullptr;
+
+}  // namespace
+
 // ----------------------------------------------------------------- host
 
 ThreadHost::ThreadHost(ThreadSystem& sys, ProcessId id, int n,
                        std::uint64_t seed)
-    : sys_(sys), id_(id), n_(n), rng_(seed) {}
+    : sys_(sys), id_(id), n_(n), rng_(seed) {
+  if (sys_.cfg_.trace_depth > 0) {
+    trace_ring_.reserve(static_cast<std::size_t>(sys_.cfg_.trace_depth));
+  }
+}
 
-ThreadHost::~ThreadHost() { stop_thread(); }
+ThreadHost::~ThreadHost() {
+  if (legacy_) stop_thread();
+}
 
 void ThreadHost::add_protocol(std::unique_ptr<Protocol> proto) {
   assert(proto != nullptr);
+  assert(!sys_.started() && "register protocols before start()");
   const ProtocolId pid = proto->protocol_id();
   assert(by_id_.find(pid) == by_id_.end());
   by_id_.emplace(pid, proto.get());
@@ -21,12 +38,39 @@ void ThreadHost::add_protocol(std::unique_ptr<Protocol> proto) {
 }
 
 void ThreadHost::post_at(TimeUs when, std::function<void()> fn) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) return;
-    queue_.push(Work{when, next_seq_++, kInvalidTimer, std::move(fn)});
+  if (legacy_) {
+    legacy_post_at(when, std::move(fn));
+    return;
   }
-  cv_.notify_one();
+  enqueue(when, sim::InplaceAction([f = std::move(fn)]() mutable { f(); }));
+}
+
+void ThreadHost::crash() { crashed_.store(true, std::memory_order_release); }
+
+std::size_t ThreadHost::bookkeeping_records() const {
+  if (legacy_) {
+    std::lock_guard<std::mutex> lock(legacy_->mu);
+    return legacy_->cancelled.size();
+  }
+  return foreign_records_.load(std::memory_order_acquire);
+}
+
+std::vector<TraceRecord> ThreadHost::recent_trace() const {
+  std::vector<TraceRecord> out;
+  if (sys_.cfg_.trace_depth <= 0) return out;
+  const std::size_t depth = static_cast<std::size_t>(sys_.cfg_.trace_depth);
+  trace_mu_.lock();
+  if (trace_ring_.size() < depth) {
+    out = trace_ring_;
+  } else {
+    out.reserve(depth);
+    const std::size_t start = trace_head_ % depth;
+    for (std::size_t i = 0; i < depth; ++i) {
+      out.push_back(trace_ring_[(start + i) % depth]);
+    }
+  }
+  trace_mu_.unlock();
+  return out;
 }
 
 TimeUs ThreadHost::now() const { return sys_.now(); }
@@ -35,90 +79,312 @@ void ThreadHost::send(ProcessId dst, Message m) {
   if (crashed()) return;
   m.src = id_;
   m.dst = dst;
-  sys_.route(m);
+  sys_.route(std::move(m));
 }
 
 TimerId ThreadHost::set_timer(DurUs delay, std::function<void()> fn) {
-  TimerId id;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ || crashed_) return kInvalidTimer;
-    id = next_timer_++;
-    queue_.push(Work{now() + delay, next_seq_++, id, std::move(fn)});
+  if (legacy_) return legacy_set_timer(delay, std::move(fn));
+  if (crashed()) return kInvalidTimer;
+  const TimeUs when = now() + delay;
+  if (!sys_.started() || on_owner_thread()) {
+    return arm_on_owner(when, std::move(fn));
   }
-  cv_.notify_one();
-  return id;
+  // Foreign thread: the wheel is single-threaded, so route the arm through
+  // the mailbox and hand back an id from the out-of-band namespace.
+  const TimerId fid =
+      kForeignTimerBit | foreign_seq_.fetch_add(1, std::memory_order_relaxed);
+  foreign_records_.fetch_add(1, std::memory_order_acq_rel);
+  arm_foreign(fid, when, std::move(fn));
+  return fid;
 }
 
 void ThreadHost::cancel_timer(TimerId id) {
+  if (legacy_) {
+    legacy_cancel_timer(id);
+    return;
+  }
   if (id == kInvalidTimer) return;
-  std::lock_guard<std::mutex> lock(mu_);
-  cancelled_.insert(id);
+  if (!sys_.started() || on_owner_thread()) {
+    cancel_on_owner(id);
+    return;
+  }
+  enqueue(now(), sim::InplaceAction([this, id]() { cancel_on_owner(id); }));
 }
 
-void ThreadHost::trace(const std::string&, const std::string&) {
-  // The threaded runtime keeps no trace; attach a debugger or add printf
-  // locally when needed.
+void ThreadHost::trace(const std::string& tag, const std::string& detail) {
+  const int depth = sys_.cfg_.trace_depth;
+  if (depth <= 0) return;
+  TraceRecord rec{now(), tag, detail};
+  trace_mu_.lock();
+  if (trace_ring_.size() < static_cast<std::size_t>(depth)) {
+    trace_ring_.push_back(std::move(rec));
+  } else {
+    trace_ring_[trace_head_ % static_cast<std::size_t>(depth)] =
+        std::move(rec);
+  }
+  ++trace_head_;
+  trace_mu_.unlock();
 }
 
-void ThreadHost::crash() {
-  std::lock_guard<std::mutex> lock(mu_);
-  crashed_ = true;
+bool ThreadHost::on_owner_thread() const {
+  return worker_ != nullptr && t_worker == worker_;
 }
 
-bool ThreadHost::crashed() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return crashed_;
+void ThreadHost::enqueue(TimeUs when, sim::InplaceAction fn) {
+  if (sys_.stopping()) return;
+  mailbox_.push(WorkItem{when, std::move(fn)});
+  worker_->notify(when);
 }
 
-void ThreadHost::deliver(const Message& m) {
-  post([this, m]() {
-    auto it = by_id_.find(m.protocol);
-    if (it != by_id_.end()) it->second->on_message(m);
-  });
+void ThreadHost::dispatch(const Message& m) {
+  auto it = by_id_.find(m.protocol);
+  if (it != by_id_.end()) it->second->on_message(m);
+}
+
+TimerId ThreadHost::arm_on_owner(TimeUs when, std::function<void()> fn) {
+  const WheelHandle h = worker_->wheel_.schedule(
+      when, static_cast<std::uint32_t>(id_), TimerWheel::Kind::kTimer,
+      sim::InplaceAction([f = std::move(fn)]() mutable { f(); }));
+  live_timers_.fetch_add(1, std::memory_order_acq_rel);
+  worker_->publish_wheel_size();
+  return h;
+}
+
+void ThreadHost::arm_foreign(TimerId fid, TimeUs when,
+                             std::function<void()> fn) {
+  enqueue(sys_.now(),
+          sim::InplaceAction([this, fid, when, f = std::move(fn)]() mutable {
+            const WheelHandle h = worker_->wheel_.schedule(
+                when, static_cast<std::uint32_t>(id_), TimerWheel::Kind::kTimer,
+                sim::InplaceAction([this, fid, f2 = std::move(f)]() mutable {
+                  foreign_timers_.erase(fid);
+                  foreign_records_.fetch_sub(1, std::memory_order_acq_rel);
+                  f2();
+                }));
+            foreign_timers_.emplace(fid, h);
+            live_timers_.fetch_add(1, std::memory_order_acq_rel);
+            worker_->publish_wheel_size();
+          }));
+}
+
+void ThreadHost::cancel_on_owner(TimerId id) {
+  if ((id & kForeignTimerBit) != 0) {
+    auto it = foreign_timers_.find(id);
+    if (it == foreign_timers_.end()) return;  // fired or cancelled already
+    const WheelHandle h = it->second;
+    foreign_timers_.erase(it);
+    foreign_records_.fetch_sub(1, std::memory_order_acq_rel);
+    if (worker_->wheel_.cancel(h)) {
+      live_timers_.fetch_sub(1, std::memory_order_acq_rel);
+      worker_->publish_wheel_size();
+    }
+    return;
+  }
+  if (worker_->wheel_.cancel(id)) {
+    live_timers_.fetch_sub(1, std::memory_order_acq_rel);
+    worker_->publish_wheel_size();
+  }
+}
+
+// ------------------------------------------------- host, legacy executor
+
+void ThreadHost::legacy_post_at(TimeUs when, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(legacy_->mu);
+    if (legacy_->stopping) return;
+    legacy_->queue.push(
+        Work{when, legacy_->next_seq++, kInvalidTimer, std::move(fn)});
+  }
+  legacy_->cv.notify_one();
+}
+
+TimerId ThreadHost::legacy_set_timer(DurUs delay, std::function<void()> fn) {
+  TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(legacy_->mu);
+    if (legacy_->stopping || crashed()) return kInvalidTimer;
+    id = legacy_->next_timer++;
+    legacy_->pending.insert(id);
+    legacy_->queue.push(
+        Work{now() + delay, legacy_->next_seq++, id, std::move(fn)});
+  }
+  live_timers_.fetch_add(1, std::memory_order_acq_rel);
+  legacy_->cv.notify_one();
+  return id;
+}
+
+void ThreadHost::legacy_cancel_timer(TimerId id) {
+  if (id == kInvalidTimer) return;
+  bool was_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(legacy_->mu);
+    // Tombstone only timers that are still pending: cancelling an
+    // already-fired id used to insert a tombstone nothing would ever
+    // consume, growing `cancelled` without bound in long runs.
+    auto it = legacy_->pending.find(id);
+    if (it != legacy_->pending.end()) {
+      legacy_->pending.erase(it);
+      legacy_->cancelled.insert(id);
+      was_pending = true;
+    }
+  }
+  if (was_pending) live_timers_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void ThreadHost::start_thread() {
-  thread_ = std::thread([this]() { run_loop(); });
+  legacy_->thread = std::thread([this]() { legacy_run_loop(); });
 }
 
 void ThreadHost::stop_thread() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    std::lock_guard<std::mutex> lock(legacy_->mu);
+    legacy_->stopping = true;
   }
-  cv_.notify_one();
-  if (thread_.joinable()) thread_.join();
+  legacy_->cv.notify_one();
+  if (legacy_->thread.joinable()) legacy_->thread.join();
 }
 
-void ThreadHost::run_loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+void ThreadHost::legacy_run_loop() {
+  std::unique_lock<std::mutex> lock(legacy_->mu);
   for (;;) {
-    if (stopping_) return;
-    if (queue_.empty()) {
-      cv_.wait(lock);
+    if (legacy_->stopping) return;
+    if (legacy_->queue.empty()) {
+      legacy_->cv.wait(lock);
       continue;
     }
-    const TimeUs due = queue_.top().when;
+    const TimeUs due = legacy_->queue.top().when;
     const TimeUs current = sys_.now();
     if (due > current) {
-      cv_.wait_for(lock, std::chrono::microseconds(due - current));
+      legacy_->cv.wait_for(lock, std::chrono::microseconds(due - current));
       continue;
     }
-    Work w = queue_.top();
-    queue_.pop();
+    // priority_queue::top() is const; moving out is safe because pop()
+    // removes exactly that element — this avoids copying the closure.
+    Work w = std::move(const_cast<Work&>(legacy_->queue.top()));
+    legacy_->queue.pop();
     if (w.timer != kInvalidTimer) {
-      auto it = cancelled_.find(w.timer);
-      if (it != cancelled_.end()) {
-        cancelled_.erase(it);
+      auto it = legacy_->cancelled.find(w.timer);
+      if (it != legacy_->cancelled.end()) {
+        legacy_->cancelled.erase(it);
         continue;
       }
+      legacy_->pending.erase(w.timer);
+      live_timers_.fetch_sub(1, std::memory_order_acq_rel);
     }
-    if (crashed_) continue;  // a crashed process executes nothing
+    if (crashed()) continue;  // a crashed process executes nothing
     lock.unlock();
     w.fn();
     lock.lock();
   }
+}
+
+// --------------------------------------------------------------- worker
+
+Worker::Worker(ThreadSystem& sys, int index, std::uint64_t seed,
+               TimeUs now_us)
+    : sys_(sys), index_(index), rng_(seed), wheel_(now_us) {}
+
+void Worker::start() {
+  thread_ = std::thread([this]() { run(); });
+}
+
+void Worker::request_stop() {
+  stop_.store(true, std::memory_order_seq_cst);
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    notified_ = true;
+  }
+  cv_.notify_one();
+}
+
+void Worker::join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Worker::run() {
+  t_worker = this;
+  while (!stop_.load(std::memory_order_acquire)) {
+    bool did_work = false;
+    for (ThreadHost* h : hosts_) did_work |= drain_host(h);
+    wheel_.advance(sys_.now(), [this](std::uint32_t host, TimerWheel::Kind kind,
+                                      sim::InplaceAction& fn) {
+      run_entry(host, kind, fn);
+    });
+    publish_wheel_size();
+    if (did_work) continue;
+
+    // Sleep protocol (Dekker-style): publish how long we intend to sleep,
+    // THEN re-check every mailbox flag. A producer pushes, sets the flag
+    // (seq_cst) and only then reads wake_deadline_; whichever side loses
+    // the seq_cst race still observes the other's store, so a push can
+    // never slip past a worker that decided to sleep.
+    const TimeUs due = wheel_.next_due();
+    wake_deadline_.store(due, std::memory_order_seq_cst);
+    bool pending = false;
+    for (ThreadHost* h : hosts_) {
+      if (h->mailbox_.nonempty()) {
+        pending = true;
+        break;
+      }
+    }
+    if (pending || stop_.load(std::memory_order_acquire)) {
+      wake_deadline_.store(kAwake, std::memory_order_seq_cst);
+      continue;
+    }
+    {
+      std::unique_lock<std::mutex> lock(m_);
+      if (!notified_) {
+        if (due == kTimeNever) {
+          cv_.wait(lock, [this]() { return notified_; });
+        } else {
+          cv_.wait_until(lock, sys_.to_clock(due),
+                         [this]() { return notified_; });
+        }
+      }
+      notified_ = false;
+    }
+    wake_deadline_.store(kAwake, std::memory_order_seq_cst);
+  }
+  t_worker = nullptr;
+}
+
+bool Worker::drain_host(ThreadHost* h) {
+  batch_.clear();
+  if (!h->mailbox_.drain(batch_)) return false;
+  const TimeUs now_us = sys_.now();
+  for (WorkItem& item : batch_) {
+    if (item.when <= now_us) {
+      // Due already: run in place straight out of the drained batch — no
+      // copy, no detour through the wheel.
+      if (!h->crashed()) item.fn();
+    } else {
+      wheel_.schedule(item.when, static_cast<std::uint32_t>(h->self()),
+                      TimerWheel::Kind::kPost, std::move(item.fn));
+    }
+  }
+  batch_.clear();
+  return true;
+}
+
+void Worker::run_entry(std::uint32_t host, TimerWheel::Kind kind,
+                       sim::InplaceAction& fn) {
+  ThreadHost* h = sys_.hosts_[host].get();
+  if (kind == TimerWheel::Kind::kTimer) {
+    h->live_timers_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  if (h->crashed()) return;
+  fn();
+}
+
+void Worker::notify(TimeUs when) {
+  if (t_worker == this) return;  // self-push: the running loop will see it
+  const TimeUs deadline = wake_deadline_.load(std::memory_order_seq_cst);
+  if (deadline == kAwake || when >= deadline) return;
+  {
+    std::lock_guard<std::mutex> lock(m_);
+    notified_ = true;
+  }
+  cv_.notify_one();
 }
 
 // --------------------------------------------------------------- system
@@ -126,7 +392,7 @@ void ThreadHost::run_loop() {
 ThreadSystem::ThreadSystem(Config cfg)
     : cfg_(cfg),
       epoch_(std::chrono::steady_clock::now()),
-      route_rng_(cfg.seed ^ 0x5bd1e995) {
+      ext_rng_(cfg.seed ^ 0x5bd1e995) {
   assert(cfg_.n > 0);
   Rng seeder(cfg_.seed);
   hosts_.reserve(static_cast<std::size_t>(cfg_.n));
@@ -134,10 +400,37 @@ ThreadSystem::ThreadSystem(Config cfg)
     hosts_.push_back(
         std::make_unique<ThreadHost>(*this, p, cfg_.n, seeder.next()));
   }
+  if (cfg_.legacy_thread_per_process) {
+    for (auto& h : hosts_) {
+      h->legacy_ = std::make_unique<ThreadHost::LegacyState>();
+    }
+    return;
+  }
+  int m = cfg_.workers > 0
+              ? cfg_.workers
+              : static_cast<int>(std::thread::hardware_concurrency());
+  if (m < 1) m = 1;
+  if (m > cfg_.n) m = cfg_.n;
+  const TimeUs t0 = now();
+  workers_.reserve(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i, seeder.next(), t0));
+  }
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    Worker* w = workers_[static_cast<std::size_t>(p % m)].get();
+    hosts_[static_cast<std::size_t>(p)]->worker_ = w;
+    w->hosts_.push_back(hosts_[static_cast<std::size_t>(p)].get());
+  }
 }
 
 ThreadSystem::~ThreadSystem() {
-  for (auto& h : hosts_) h->stop_thread();
+  stopping_.store(true, std::memory_order_seq_cst);
+  if (cfg_.legacy_thread_per_process) {
+    for (auto& h : hosts_) h->stop_thread();
+    return;
+  }
+  for (auto& w : workers_) w->request_stop();
+  for (auto& w : workers_) w->join();
 }
 
 TimeUs ThreadSystem::now() const {
@@ -147,30 +440,66 @@ TimeUs ThreadSystem::now() const {
 }
 
 void ThreadSystem::start() {
-  assert(!started_);
-  started_ = true;
-  for (auto& h : hosts_) h->start_thread();
+  assert(!started());
+  if (cfg_.legacy_thread_per_process) {
+    started_.store(true, std::memory_order_release);
+    for (auto& h : hosts_) h->start_thread();
+    for (auto& h : hosts_) {
+      ThreadHost* host = h.get();
+      host->post([host]() {
+        for (auto& proto : host->owned_) proto->start();
+      });
+    }
+    return;
+  }
+  // Queue each host's protocol starts before the workers exist, so the
+  // very first thing every worker does is run start() for its shard.
+  const TimeUs t0 = now();
   for (auto& h : hosts_) {
     ThreadHost* host = h.get();
-    host->post([host]() {
-      for (auto& proto : host->owned_) proto->start();
-    });
+    host->mailbox_.push(WorkItem{t0, sim::InplaceAction([host]() {
+                                   for (auto& proto : host->owned_) {
+                                     proto->start();
+                                   }
+                                 })});
   }
+  started_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->start();
 }
 
-void ThreadSystem::route(const Message& m) {
+void ThreadSystem::route(Message m) {
   DurUs delay;
-  {
-    std::lock_guard<std::mutex> lock(route_mu_);
-    if (route_rng_.chance(cfg_.loss_p)) return;  // lost
-    delay = route_rng_.range(cfg_.min_delay, cfg_.max_delay);
+  Worker* w = t_worker;
+  if (w != nullptr && &w->sys_ == this) {
+    // Worker thread of this system: its private stream, no lock at all.
+    if (w->rng_.chance(cfg_.loss_p)) return;  // lost
+    delay = w->rng_.range(cfg_.min_delay, cfg_.max_delay);
+  } else {
+    // Foreign threads (tests, monitors) and every legacy host thread share
+    // one locked stream — in legacy mode this lock on the whole fabric is
+    // the old design, preserved for comparison.
+    std::lock_guard<std::mutex> lock(ext_rng_mu_);
+    if (ext_rng_.chance(cfg_.loss_p)) return;  // lost
+    delay = ext_rng_.range(cfg_.min_delay, cfg_.max_delay);
   }
   ThreadHost& dst = *hosts_[static_cast<std::size_t>(m.dst)];
   if (dst.crashed()) return;
-  dst.post_at(now() + delay, [&dst, m]() {
-    auto it = dst.by_id_.find(m.protocol);
-    if (it != dst.by_id_.end() && !dst.crashed()) it->second->on_message(m);
-  });
+  const TimeUs when = now() + delay;
+  ThreadHost* hp = &dst;
+  if (cfg_.legacy_thread_per_process) {
+    dst.legacy_post_at(when, [hp, m = std::move(m)]() {
+      if (!hp->crashed()) hp->dispatch(m);
+    });
+    return;
+  }
+  dst.enqueue(when, sim::InplaceAction(
+                        [hp, m = std::move(m)]() { hp->dispatch(m); }));
+}
+
+std::int64_t ThreadSystem::wheel_entries() const {
+  std::int64_t total = 0;
+  for (const auto& w : workers_) total += w->wheel_entries();
+  return total;
 }
 
 }  // namespace ecfd::runtime

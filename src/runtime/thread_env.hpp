@@ -1,24 +1,41 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "net/env.hpp"
+#include "runtime/mailbox.hpp"
+#include "runtime/timer_wheel.hpp"
 
 /// \file thread_env.hpp
-/// The non-simulated runtime: every process is a real std::thread with its
-/// own executor, timers run on the wall clock, and message passing goes
-/// through in-process queues with injected delay and loss. Protocols are
+/// The non-simulated runtime: virtual hosts with wall-clock timers and
+/// in-process message passing with injected delay and loss. Protocols are
 /// written against Env, so the exact same classes that run under the
 /// deterministic simulator run here — this is the library's answer to
 /// deploying the paper's algorithms on a real asynchronous substrate.
+///
+/// Since the sharded-executor rewrite, a host is NOT an OS thread: M worker
+/// threads (default hardware_concurrency) each own a shard of the n hosts,
+/// so n is bounded by memory, not by the OS — the regimes where the paper's
+/// 2(n-1) periodic-message claim becomes interesting (n ≥ 1024) actually
+/// run. Each host has an MPSC mailbox for cross-shard sends, each worker a
+/// hierarchical timer wheel (O(1) schedule/cancel, no tombstones) and its
+/// own RNG stream for delay/loss injection (no global routing lock), and
+/// every deferred action is a sim::InplaceAction, so the steady-state
+/// heartbeat path performs zero heap allocations. Config's
+/// `legacy_thread_per_process` escape hatch keeps the pre-sharding
+/// one-thread-per-host executor for one release (and as the bench_e9
+/// baseline).
 ///
 /// Unlike the simulator, execution is nondeterministic; tests against this
 /// runtime assert eventual properties with generous deadlines.
@@ -26,8 +43,19 @@
 namespace ecfd::runtime {
 
 class ThreadSystem;
+class Worker;
 
-/// One process: a thread draining a deadline-ordered work queue.
+/// One record of the per-host trace ring (Config::trace_depth).
+struct TraceRecord {
+  TimeUs time{0};
+  std::string tag;
+  std::string detail;
+};
+
+/// One process: protocols plus an Env implementation. In the sharded
+/// executor the host is a passive mailbox + timer bookkeeping owned by a
+/// Worker; in legacy mode it owns a thread draining a deadline-ordered
+/// work queue (the pre-sharding design).
 class ThreadHost final : public Env {
  public:
   ThreadHost(ThreadSystem& sys, ProcessId id, int n, std::uint64_t seed);
@@ -47,15 +75,33 @@ class ThreadHost final : public Env {
     return ref;
   }
 
-  /// Runs \p fn on this process's thread as soon as possible.
+  /// Runs \p fn on this process's executor as soon as possible.
   void post(std::function<void()> fn) { post_at(now(), std::move(fn)); }
 
-  /// Runs \p fn on this process's thread at absolute time \p when (us).
+  /// Runs \p fn on this process's executor at absolute time \p when (us).
   void post_at(TimeUs when, std::function<void()> fn);
 
-  /// Crash-stop: silences the process (thread keeps draining nothing).
+  /// Crash-stop: silences the process (its pending work is skipped).
   void crash();
-  [[nodiscard]] bool crashed() const;
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  /// Timers armed and not yet fired or cancelled. After quiescence (all
+  /// timers fired or cancelled) this returns exactly 0 — the regression
+  /// guard for the old runtime's unbounded cancelled-set leak.
+  [[nodiscard]] std::int64_t pending_timers() const {
+    return live_timers_.load(std::memory_order_acquire);
+  }
+
+  /// Internal bookkeeping entries that outlive their timer (legacy
+  /// tombstones, cross-thread timer indirections). Must also drop to 0
+  /// after quiescence on a live host.
+  [[nodiscard]] std::size_t bookkeeping_records() const;
+
+  /// The last Config::trace_depth trace events, oldest first (empty when
+  /// tracing is off). Safe from any thread.
+  [[nodiscard]] std::vector<TraceRecord> recent_trace() const;
 
   // --- Env ------------------------------------------------------------
   [[nodiscard]] TimeUs now() const override;
@@ -69,7 +115,22 @@ class ThreadHost final : public Env {
 
  private:
   friend class ThreadSystem;
+  friend class Worker;
 
+  /// Cross-thread timer ids (set_timer called off the owning worker) live
+  /// in a separate namespace so the hot owner-thread path needs no map at
+  /// all: a plain wheel handle IS the TimerId.
+  static constexpr TimerId kForeignTimerBit = TimerId{1} << 63;
+
+  // --- sharded-executor internals (owner-thread unless noted) ---------
+  [[nodiscard]] bool on_owner_thread() const;
+  void enqueue(TimeUs when, sim::InplaceAction fn);  // any thread
+  void dispatch(const Message& m);
+  TimerId arm_on_owner(TimeUs when, std::function<void()> fn);
+  void arm_foreign(TimerId fid, TimeUs when, std::function<void()> fn);
+  void cancel_on_owner(TimerId id);
+
+  // --- legacy (one-thread-per-host) internals -------------------------
   struct Work {
     TimeUs when{};
     std::uint64_t seq{};
@@ -82,32 +143,109 @@ class ThreadHost final : public Env {
       return a.seq > b.seq;
     }
   };
-
-  void run_loop();
-  void start_thread();
-  void stop_thread();
-  void deliver(const Message& m);
+  struct LegacyState {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::priority_queue<Work, std::vector<Work>, WorkLater> queue;
+    /// Timers armed and not yet fired/cancelled. cancel_timer only
+    /// tombstones ids still in here, which fixes the old leak where
+    /// cancelling an already-fired timer grew `cancelled` forever.
+    std::unordered_set<TimerId> pending;
+    std::unordered_set<TimerId> cancelled;
+    std::uint64_t next_seq{1};
+    TimerId next_timer{1};
+    bool stopping{false};
+    std::thread thread;
+  };
+  void legacy_post_at(TimeUs when, std::function<void()> fn);
+  TimerId legacy_set_timer(DurUs delay, std::function<void()> fn);
+  void legacy_cancel_timer(TimerId id);
+  void legacy_run_loop();
+  void start_thread();  // legacy only
+  void stop_thread();   // legacy only
 
   ThreadSystem& sys_;
   ProcessId id_;
   int n_;
-  Rng rng_;  // only touched from this host's thread (and pre-start setup)
+  Rng rng_;  // only touched from this host's execution context
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<Work, std::vector<Work>, WorkLater> queue_;
-  std::unordered_set<TimerId> cancelled_;
-  std::uint64_t next_seq_{1};
-  TimerId next_timer_{1};
-  bool stopping_{false};
-  bool crashed_{false};
+  std::atomic<bool> crashed_{false};
+
+  // Sharded executor state.
+  Worker* worker_{nullptr};
+  Mailbox mailbox_;
+  std::atomic<std::int64_t> live_timers_{0};
+  std::unordered_map<TimerId, WheelHandle> foreign_timers_;  // owner thread
+  std::atomic<std::size_t> foreign_records_{0};
+  std::atomic<std::uint64_t> foreign_seq_{1};
+
+  // Trace ring (enabled via Config::trace_depth).
+  mutable SpinLock trace_mu_;
+  std::vector<TraceRecord> trace_ring_;
+  std::size_t trace_head_{0};
+
+  std::unique_ptr<LegacyState> legacy_;
 
   std::vector<std::unique_ptr<Protocol>> owned_;
   std::unordered_map<ProtocolId, Protocol*> by_id_;
+};
+
+/// One executor thread of the sharded runtime: owns a shard of the hosts,
+/// their deferred work (timer wheel) and an RNG stream for routing.
+class Worker {
+ public:
+  Worker(ThreadSystem& sys, int index, std::uint64_t seed, TimeUs now_us);
+
+  Worker(const Worker&) = delete;
+  Worker& operator=(const Worker&) = delete;
+
+  /// Live wheel entries, as last published by the owning thread (for
+  /// introspection/tests; exact once the system is quiescent).
+  [[nodiscard]] std::int64_t wheel_entries() const {
+    return wheel_size_.load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class ThreadHost;
+  friend class ThreadSystem;
+
+  static constexpr TimeUs kAwake = -1;
+
+  void start();
+  void request_stop();
+  void join();
+  void run();
+  bool drain_host(ThreadHost* h);
+  void run_entry(std::uint32_t host, TimerWheel::Kind kind,
+                 sim::InplaceAction& fn);
+  /// Producer-side wake: called after a mailbox push destined for this
+  /// worker. Only touches the mutex when the worker may sleep past `when`.
+  void notify(TimeUs when);
+  void publish_wheel_size() {
+    wheel_size_.store(static_cast<std::int64_t>(wheel_.size()),
+                      std::memory_order_release);
+  }
+
+  ThreadSystem& sys_;
+  int index_;
+  Rng rng_;
+  TimerWheel wheel_;
+  std::vector<ThreadHost*> hosts_;
+  std::vector<WorkItem> batch_;
+
+  std::atomic<std::int64_t> wheel_size_{0};
+  /// kAwake while running; while sleeping, the wall-clock instant the
+  /// worker will wake at on its own. Producers must notify iff their
+  /// item's due time is earlier (seq_cst pairs with Mailbox's flag).
+  std::atomic<TimeUs> wake_deadline_{kAwake};
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool notified_{false};
+  std::atomic<bool> stop_{false};
   std::thread thread_;
 };
 
-/// The whole threaded system: n hosts plus the message fabric.
+/// The whole threaded system: n hosts, M workers, plus the message fabric.
 class ThreadSystem {
  public:
   struct Config {
@@ -116,6 +254,18 @@ class ThreadSystem {
     DurUs min_delay{usec(200)};
     DurUs max_delay{msec(5)};
     double loss_p{0.0};
+    /// Sharded executor width: worker threads carrying the n hosts
+    /// (0 = hardware_concurrency, clamped to [1, n]).
+    int workers{0};
+    /// Escape hatch: the pre-sharding one-OS-thread-per-process executor
+    /// with a global routing lock. Kept for one release; also the
+    /// baseline bench_e9_runtime_scale measures the sharded executor
+    /// against.
+    bool legacy_thread_per_process{false};
+    /// Per-host trace ring depth (0 = tracing off). When on, Env::trace
+    /// keeps the last `trace_depth` events per host so monitor violation
+    /// reports can show what the offending host last did.
+    int trace_depth{0};
   };
 
   explicit ThreadSystem(Config cfg);
@@ -125,24 +275,49 @@ class ThreadSystem {
   ThreadSystem& operator=(const ThreadSystem&) = delete;
 
   [[nodiscard]] int n() const { return cfg_.n; }
+  [[nodiscard]] int workers() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] bool legacy() const { return cfg_.legacy_thread_per_process; }
   ThreadHost& host(ProcessId p) { return *hosts_[static_cast<std::size_t>(p)]; }
 
-  /// Starts all threads and protocol stacks.
+  /// Starts all workers (or, legacy, all host threads) and protocol stacks.
   void start();
+  [[nodiscard]] bool started() const {
+    return started_.load(std::memory_order_acquire);
+  }
 
   /// Wall-clock microseconds since construction.
   [[nodiscard]] TimeUs now() const;
 
-  /// Routes a message (delay/loss applied); called by hosts.
-  void route(const Message& m);
+  /// Routes a message (delay/loss applied); called by hosts. Uses the
+  /// calling worker's own RNG stream — no global lock on the fabric.
+  void route(Message m);
+
+  /// Sum of live timer-wheel entries across workers (0 in legacy mode),
+  /// as last published by each worker; exact at quiescence.
+  [[nodiscard]] std::int64_t wheel_entries() const;
 
  private:
+  friend class ThreadHost;
+  friend class Worker;
+
+  [[nodiscard]] std::chrono::steady_clock::time_point to_clock(TimeUs t) const {
+    return epoch_ + std::chrono::microseconds(t);
+  }
+  [[nodiscard]] bool stopping() const {
+    return stopping_.load(std::memory_order_acquire);
+  }
+
   Config cfg_;
   std::chrono::steady_clock::time_point epoch_;
-  std::mutex route_mu_;  // guards route_rng_
-  Rng route_rng_;
+  /// Delay/loss draws for sends from threads that are not workers (tests,
+  /// monitors, legacy host threads). In legacy mode this lock on every
+  /// route IS the old design — and the contention bench_e9 measures.
+  std::mutex ext_rng_mu_;
+  Rng ext_rng_;
   std::vector<std::unique_ptr<ThreadHost>> hosts_;
-  bool started_{false};
+  std::vector<std::unique_ptr<Worker>> workers_;  // after hosts_: dies first
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
 };
 
 }  // namespace ecfd::runtime

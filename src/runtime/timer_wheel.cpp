@@ -1,0 +1,193 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace ecfd::runtime {
+
+namespace {
+
+/// Index of the lowest set bit; bm must be nonzero.
+inline int lowest_bit(std::uint64_t bm) { return std::countr_zero(bm); }
+
+}  // namespace
+
+TimerWheel::TimerWheel(TimeUs now_us) : base_(tick_floor(now_us)) {
+  for (auto& h : heads_) h = kNil;
+  for (auto& b : bitmap_) b = 0;
+}
+
+void TimerWheel::link(std::int32_t e) {
+  Entry& entry = slab_[e];
+  const std::uint64_t d = entry.deadline;
+  assert(d > base_ && "link requires a strictly-future deadline");
+  const std::uint64_t delta = d - base_;
+  int level = 0;
+  std::uint64_t slot_key = d;
+  for (; level < kLevels - 1; ++level) {
+    if (delta < (std::uint64_t{1} << ((level + 1) * kLevelBits))) break;
+  }
+  if (level == kLevels - 1 &&
+      delta >= (std::uint64_t{1} << (kLevels * kLevelBits))) {
+    // Beyond the horizon: park at the farthest top-level slot; the entry
+    // keeps its true deadline and re-cascades until it fits.
+    slot_key = base_ + (std::uint64_t{1} << (kLevels * kLevelBits)) - 1;
+  }
+  const std::size_t slot =
+      (slot_key >> (level * kLevelBits)) & (kSlots - 1);
+  const std::size_t list = static_cast<std::size_t>(level) * kSlots + slot;
+  entry.list = static_cast<std::int32_t>(list);
+  entry.prev = kNil;
+  entry.next = heads_[list];
+  if (entry.next != kNil) slab_[entry.next].prev = e;
+  heads_[list] = e;
+  bitmap_[level] |= std::uint64_t{1} << slot;
+}
+
+void TimerWheel::unlink(std::int32_t e) {
+  Entry& entry = slab_[e];
+  assert(entry.list >= 0);
+  const std::size_t list = static_cast<std::size_t>(entry.list);
+  if (entry.prev != kNil) {
+    slab_[entry.prev].next = entry.next;
+  } else {
+    heads_[list] = entry.next;
+  }
+  if (entry.next != kNil) slab_[entry.next].prev = entry.prev;
+  if (heads_[list] == kNil) {
+    bitmap_[list >> kLevelBits] &= ~(std::uint64_t{1} << (list & (kSlots - 1)));
+  }
+  entry.prev = entry.next = kNil;
+  entry.list = kDetached;
+}
+
+void TimerWheel::release(std::int32_t e) {
+  Entry& entry = slab_[e];
+  entry.fn.reset();
+  entry.gen = (entry.gen + 1) & 0x7fffffffu;
+  if (entry.gen == 0) entry.gen = 1;  // keep handles nonzero
+  entry.list = kFree;
+  free_.push_back(e);
+  assert(live_ > 0);
+  --live_;
+}
+
+WheelHandle TimerWheel::schedule(TimeUs when_us, std::uint32_t host,
+                                 Kind kind, sim::InplaceAction fn) {
+  std::int32_t e;
+  if (!free_.empty()) {
+    e = free_.back();
+    free_.pop_back();
+  } else {
+    e = static_cast<std::int32_t>(slab_.grow());
+  }
+  Entry& entry = slab_[e];
+  std::uint64_t d = tick_ceil(when_us);
+  if (d <= base_) d = base_ + 1;  // past/now: next tick, never "immediately"
+  entry.deadline = d;
+  entry.host = host;
+  entry.kind = kind;
+  entry.fn = std::move(fn);
+  link(e);
+  ++live_;
+  return encode(e, entry.gen);
+}
+
+bool TimerWheel::cancel(WheelHandle h) {
+  if (h == kInvalidWheelHandle) return false;
+  const std::uint64_t raw = (h & 0xffffffffu);
+  if (raw == 0) return false;
+  const std::size_t index = static_cast<std::size_t>(raw - 1);
+  if (index >= slab_.size()) return false;
+  Entry& entry = slab_[index];
+  if (entry.gen != static_cast<std::uint32_t>(h >> 32)) return false;
+  if (entry.list == kFree) return false;
+  if (entry.list == kDetached) {
+    // Due this very tick and sitting in the fire chain: neuter it. The
+    // expire loop releases the slot (and the live count) when it gets
+    // there; the action provably never runs. An empty fn means the entry
+    // is the one currently executing (expire moved the action out) or was
+    // already cancelled — report "too late" so callers don't double-count.
+    const bool pending = static_cast<bool>(entry.fn);
+    entry.fn.reset();
+    return pending;
+  }
+  unlink(static_cast<std::int32_t>(index));
+  release(static_cast<std::int32_t>(index));
+  return true;
+}
+
+void TimerWheel::cascade(int level) {
+  if (level >= kLevels) return;
+  const std::size_t slot = (base_ >> (level * kLevelBits)) & (kSlots - 1);
+  if (slot == 0) cascade(level + 1);
+  const std::size_t list = static_cast<std::size_t>(level) * kSlots + slot;
+  std::int32_t e = heads_[list];
+  heads_[list] = kNil;
+  bitmap_[level] &= ~(std::uint64_t{1} << slot);
+  while (e != kNil) {
+    const std::int32_t next = slab_[e].next;
+    // Entries due exactly at base_ land in level 0 at base_'s own slot,
+    // which advance() expires right after this cascade returns.
+    if (slab_[e].deadline <= base_) {
+      Entry& entry = slab_[e];
+      entry.deadline = base_;
+      const std::size_t s0 = base_ & (kSlots - 1);
+      const std::size_t l0 = s0;
+      entry.list = static_cast<std::int32_t>(l0);
+      entry.prev = kNil;
+      entry.next = heads_[l0];
+      if (entry.next != kNil) slab_[entry.next].prev = e;
+      heads_[l0] = e;
+      bitmap_[0] |= std::uint64_t{1} << s0;
+    } else {
+      link(e);
+    }
+    e = next;
+  }
+}
+
+TimeUs TimerWheel::next_due() const {
+  if (live_ == 0) return kTimeNever;
+  TimeUs best = kTimeNever;
+  // Level 0 is exact: slot s holds deadline tick (base_ & ~63) | s, in this
+  // 64-tick window when s > base_'s index, in the next window otherwise.
+  const std::size_t idx0 = base_ & (kSlots - 1);
+  if (bitmap_[0] != 0) {
+    const std::uint64_t above =
+        idx0 == kSlots - 1 ? 0
+                           : bitmap_[0] & ~((std::uint64_t{2} << idx0) - 1);
+    std::uint64_t tick;
+    if (above != 0) {
+      tick = (base_ & ~(kSlots - 1)) | static_cast<std::uint64_t>(lowest_bit(above));
+    } else {
+      tick = (base_ & ~(kSlots - 1)) + kSlots +
+             static_cast<std::uint64_t>(lowest_bit(bitmap_[0]));
+    }
+    best = tick_to_us(tick);
+  }
+  // Higher levels are conservative: an entry in level L's slot s cannot
+  // fire before the cascade that redistributes that slot, so the next
+  // relevant cascade instant is a safe wake-up bound.
+  for (int level = 1; level < kLevels; ++level) {
+    if (bitmap_[level] == 0) continue;
+    const int shift = level * kLevelBits;
+    const std::uint64_t cur = base_ >> shift;  // this level's window index
+    const std::size_t idx = cur & (kSlots - 1);
+    const std::uint64_t above =
+        idx == kSlots - 1 ? 0
+                          : bitmap_[level] & ~((std::uint64_t{2} << idx) - 1);
+    std::uint64_t window;
+    if (above != 0) {
+      window = (cur & ~(kSlots - 1)) | static_cast<std::uint64_t>(lowest_bit(above));
+    } else {
+      window = (cur & ~(kSlots - 1)) + kSlots +
+               static_cast<std::uint64_t>(lowest_bit(bitmap_[level]));
+    }
+    const TimeUs t = tick_to_us(window << shift);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+}  // namespace ecfd::runtime

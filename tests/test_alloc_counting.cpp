@@ -15,8 +15,14 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
+#include "fd/heartbeat_p.hpp"
 #include "net/payload_pool.hpp"
 #include "net/scenario.hpp"
+#include "runtime/thread_env.hpp"
+#include "runtime/timer_wheel.hpp"
 #include "sim/alloc_counter.hpp"
 #include "sim/scheduler.hpp"
 
@@ -139,6 +145,77 @@ TEST(AllocCounting, BroadcastUsesOneSharedBody) {
   sys->run_for(sec(1));  // deliver everything; body returns to the pool
   const auto after = payload_pool_thread_stats();
   EXPECT_EQ(after.released - mid.released, 1u);
+}
+
+TEST(AllocCounting, TimerWheelChurnIsAllocationFree) {
+  // Property 1, ported to the threaded runtime's wheel: once the slab has
+  // grown to the working set, schedule/cancel/fire churn never allocates.
+  runtime::TimerWheel wheel(0);
+  const auto sink = [](std::uint32_t, runtime::TimerWheel::Kind,
+                       sim::InplaceAction& fn) { fn(); };
+  std::vector<runtime::WheelHandle> handles;
+  handles.reserve(4096);
+  TimeUs t = 0;
+  for (int i = 0; i < 4096; ++i) {
+    handles.push_back(wheel.schedule(usec(64 * (1 + i % 100)), 0,
+                                     runtime::TimerWheel::Kind::kPost,
+                                     sim::InplaceAction([] {})));
+  }
+  for (std::size_t i = 0; i < handles.size(); i += 2) wheel.cancel(handles[i]);
+  t = msec(10);
+  wheel.advance(t, sink);
+  handles.clear();
+  ASSERT_EQ(wheel.size(), 0u);
+
+  const std::uint64_t before = sim::alloc_count();
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 1024; ++i) {
+      handles.push_back(wheel.schedule(t + usec(64 * (1 + i % 100)), 0,
+                                       runtime::TimerWheel::Kind::kPost,
+                                       sim::InplaceAction([] {})));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      wheel.cancel(handles[i]);
+    }
+    t += msec(10);
+    wheel.advance(t, sink);
+    handles.clear();
+  }
+  EXPECT_EQ(sim::alloc_count(), before);
+  EXPECT_EQ(wheel.size(), 0u);
+}
+
+TEST(AllocCounting, ShardedRuntimeHeartbeatSteadyStateIsAllocationFree) {
+  // The ISSUE 4 acceptance property: heartbeats flowing through the
+  // sharded executor — mailbox push/drain, wheel schedule/fire, routing,
+  // delivery — allocate nothing once warm. workers=1 keeps all payload
+  // and buffer reuse on one thread so the assertion can be exact; the
+  // heartbeat messages themselves are payload-less broadcasts.
+  runtime::ThreadSystem::Config cfg;
+  cfg.n = 4;
+  cfg.seed = 21;
+  cfg.workers = 1;
+  cfg.min_delay = usec(100);
+  cfg.max_delay = msec(1);
+  runtime::ThreadSystem sys(cfg);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    fd::HeartbeatP::Config hc;
+    hc.period = msec(10);
+    hc.initial_timeout = msec(80);
+    hc.timeout_increment = msec(40);
+    sys.host(p).emplace<fd::HeartbeatP>(hc);
+  }
+  sys.start();
+  // Warm-up: grow mailboxes, the worker's drain batch and the timer-wheel
+  // slab to their steady-state working set.
+  std::this_thread::sleep_for(std::chrono::milliseconds(800));
+
+  const std::uint64_t before = sim::alloc_count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  const std::uint64_t after = sim::alloc_count();
+  EXPECT_EQ(after, before)
+      << "steady-state heartbeat traffic allocated " << (after - before)
+      << " times";
 }
 
 }  // namespace

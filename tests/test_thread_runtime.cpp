@@ -177,5 +177,168 @@ TEST(ThreadRuntime, ConsensusOnRealThreads) {
   }
 }
 
+TEST(ThreadRuntime, LegacyEscapeHatchStillDelivers) {
+  ThreadSystem::Config cfg;
+  cfg.n = 3;
+  cfg.seed = 7;
+  cfg.legacy_thread_per_process = true;
+  ThreadSystem sys(cfg);
+  std::vector<Counter*> cs;
+  for (ProcessId p = 0; p < 3; ++p) cs.push_back(&sys.host(p).emplace<Counter>());
+  sys.start();
+  for (int i = 0; i < 10; ++i) cs[0]->send_to(1);
+  std::atomic<bool> fired{false};
+  sys.host(2).post([&sys, &fired]() {
+    sys.host(2).set_timer(msec(20), [&fired]() { fired = true; });
+  });
+  EXPECT_TRUE(eventually(3000, [&] {
+    return cs[1]->received.load() == 10 && fired.load();
+  }));
+}
+
+// Regression for the old runtime's cancel_timer leak: cancelling an
+// already-fired timer used to insert a tombstone that nothing ever erased.
+// Both executors must end a busy arm/fire/cancel cycle with zero pending
+// timers and zero bookkeeping records.
+TEST(ThreadRuntime, TimerBookkeepingDrainsAfterQuiescence) {
+  for (const bool legacy : {false, true}) {
+    SCOPED_TRACE(legacy ? "legacy" : "sharded");
+    ThreadSystem::Config cfg;
+    cfg.n = 1;
+    cfg.seed = 11;
+    cfg.legacy_thread_per_process = legacy;
+    ThreadSystem sys(cfg);
+    sys.host(0).emplace<Counter>();
+    sys.start();
+    std::mutex mu;
+    std::vector<TimerId> ids;
+    std::atomic<int> fired{0};
+    sys.host(0).post([&]() {
+      for (int i = 0; i < 50; ++i) {
+        TimerId id =
+            sys.host(0).set_timer(msec(1 + i % 5), [&fired]() { ++fired; });
+        std::lock_guard<std::mutex> lock(mu);
+        ids.push_back(id);
+      }
+      for (int i = 0; i < 50; ++i) {
+        TimerId id = sys.host(0).set_timer(msec(40), []() {});
+        sys.host(0).cancel_timer(id);  // cancel before fire, on owner
+      }
+    });
+    ASSERT_TRUE(eventually(5000, [&] { return fired.load() == 50; }));
+    {
+      // Cancel every already-fired timer from a foreign thread — the exact
+      // sequence that used to leak one record per call, forever.
+      std::lock_guard<std::mutex> lock(mu);
+      for (TimerId id : ids) sys.host(0).cancel_timer(id);
+      for (TimerId id : ids) sys.host(0).cancel_timer(id);  // and twice
+    }
+    sleep_ms(100);  // let legacy tombstones reach their deadline
+    EXPECT_TRUE(eventually(3000, [&] {
+      return sys.host(0).pending_timers() == 0 &&
+             sys.host(0).bookkeeping_records() == 0;
+    })) << "pending=" << sys.host(0).pending_timers()
+        << " bookkeeping=" << sys.host(0).bookkeeping_records();
+  }
+}
+
+// set_timer/cancel_timer from a non-worker thread (how tests and monitors
+// drive hosts) must fire/cancel correctly and leave no indirection records.
+TEST(ThreadRuntime, ForeignThreadTimersFireAndCancel) {
+  ThreadSystem::Config cfg;
+  cfg.n = 2;
+  cfg.seed = 13;
+  ThreadSystem sys(cfg);
+  sys.host(0).emplace<Counter>();
+  sys.host(1).emplace<Counter>();
+  sys.start();
+  std::atomic<bool> fired{false};
+  std::atomic<bool> cancelled_fired{false};
+  TimerId a = sys.host(0).set_timer(msec(30), [&fired]() { fired = true; });
+  EXPECT_NE(a, kInvalidTimer);
+  TimerId b = sys.host(1).set_timer(
+      msec(150), [&cancelled_fired]() { cancelled_fired = true; });
+  sys.host(1).cancel_timer(b);
+  EXPECT_TRUE(eventually(3000, [&] { return fired.load(); }));
+  sleep_ms(250);
+  EXPECT_FALSE(cancelled_fired.load());
+  EXPECT_TRUE(eventually(3000, [&] {
+    return sys.host(0).bookkeeping_records() == 0 &&
+           sys.host(1).bookkeeping_records() == 0 &&
+           sys.host(0).pending_timers() == 0 &&
+           sys.host(1).pending_timers() == 0;
+  }));
+}
+
+TEST(ThreadRuntime, TraceRingKeepsLastEvents) {
+  ThreadSystem::Config cfg;
+  cfg.n = 1;
+  cfg.trace_depth = 4;
+  ThreadSystem sys(cfg);
+  sys.host(0).emplace<Counter>();
+  sys.start();
+  std::atomic<bool> done{false};
+  sys.host(0).post([&]() {
+    for (int i = 0; i < 10; ++i) {
+      sys.host(0).trace("t.ring", std::to_string(i));
+    }
+    done = true;
+  });
+  ASSERT_TRUE(eventually(3000, [&] { return done.load(); }));
+  const auto tr = sys.host(0).recent_trace();
+  ASSERT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr[0].detail, "6");
+  EXPECT_EQ(tr[3].detail, "9");
+  for (const auto& rec : tr) EXPECT_EQ(rec.tag, "t.ring");
+}
+
+TEST(ThreadRuntime, TraceIsOffByDefault) {
+  ThreadSystem::Config cfg;
+  cfg.n = 1;
+  ThreadSystem sys(cfg);
+  sys.host(0).emplace<Counter>();
+  sys.start();
+  std::atomic<bool> done{false};
+  sys.host(0).post([&]() {
+    sys.host(0).trace("t.ring", "x");
+    done = true;
+  });
+  ASSERT_TRUE(eventually(3000, [&] { return done.load(); }));
+  EXPECT_TRUE(sys.host(0).recent_trace().empty());
+}
+
+// A protocol timer that cancels itself from inside its own callback (and
+// re-arms) must not corrupt the wheel — the mid-fire cancel path.
+TEST(ThreadRuntime, SelfCancelInsideCallbackIsSafe) {
+  ThreadSystem::Config cfg;
+  cfg.n = 1;
+  cfg.seed = 17;
+  ThreadSystem sys(cfg);
+  sys.host(0).emplace<Counter>();
+  sys.start();
+  std::atomic<int> fires{0};
+  struct Rearm {
+    ThreadSystem& sys;
+    std::atomic<int>& fires;
+    TimerId id{kInvalidTimer};
+    void tick() {
+      sys.host(0).cancel_timer(id);  // cancelling the firing timer: no-op
+      if (++fires < 5) {
+        id = sys.host(0).set_timer(msec(5), [this]() { tick(); });
+      }
+    }
+  };
+  auto rearm = std::make_shared<Rearm>(Rearm{sys, fires});
+  sys.host(0).post([rearm]() {
+    rearm->id = rearm->sys.host(0).set_timer(msec(5), [rearm]() mutable {
+      rearm->tick();
+    });
+  });
+  EXPECT_TRUE(eventually(5000, [&] { return fires.load() == 5; }));
+  EXPECT_TRUE(eventually(3000, [&] {
+    return sys.host(0).pending_timers() == 0;
+  }));
+}
+
 }  // namespace
 }  // namespace ecfd::runtime

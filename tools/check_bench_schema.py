@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare two ecfd.bench.v1 JSON reports by SCHEMA, never by value.
+
+Usage: check_bench_schema.py BASELINE.json CANDIDATE.json
+
+Wall-clock benchmark numbers move between machines and runs, so CI cannot
+gate on them. What CI *can* gate on is the report shape: same schema tag,
+same bench name, same table sections in the same order, same column headers,
+rows present with the right arity. A refactor that silently drops a table or
+renames a column fails here; a slower runner does not.
+
+Exit status: 0 on match, 1 on mismatch (with a diff-style explanation on
+stderr), 2 on unreadable input.
+"""
+
+import json
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"schema mismatch: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: str):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def table_shape(doc, path: str):
+    """Reduce a report to its comparable shape."""
+    for key in ("schema", "bench", "tables"):
+        if key not in doc:
+            fail(f"{path}: missing top-level key '{key}'")
+    shape = []
+    for i, t in enumerate(doc["tables"]):
+        for key in ("section", "headers", "rows"):
+            if key not in t:
+                fail(f"{path}: tables[{i}] missing '{key}'")
+        if not t["rows"]:
+            fail(f"{path}: tables[{i}] ('{t['section']}') has no rows")
+        for j, row in enumerate(t["rows"]):
+            if len(row) != len(t["headers"]):
+                fail(
+                    f"{path}: tables[{i}] row {j} has {len(row)} cells "
+                    f"for {len(t['headers'])} headers"
+                )
+        shape.append((t["section"], tuple(t["headers"])))
+    return doc["schema"], doc["bench"], shape
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base_path, cand_path = sys.argv[1], sys.argv[2]
+    b_schema, b_bench, b_shape = table_shape(load(base_path), base_path)
+    c_schema, c_bench, c_shape = table_shape(load(cand_path), cand_path)
+
+    if b_schema != c_schema:
+        fail(f"schema tag '{c_schema}' != baseline '{b_schema}'")
+    if b_bench != c_bench:
+        fail(f"bench name '{c_bench}' != baseline '{b_bench}'")
+    if len(b_shape) != len(c_shape):
+        fail(f"{len(c_shape)} tables vs baseline's {len(b_shape)}")
+    for i, ((bs, bh), (cs, ch)) in enumerate(zip(b_shape, c_shape)):
+        if bs != cs:
+            fail(f"tables[{i}] section '{cs}' != baseline '{bs}'")
+        if bh != ch:
+            fail(f"tables[{i}] ('{bs}') headers {list(ch)} != baseline {list(bh)}")
+    print(f"schema OK: {c_bench}, {len(c_shape)} tables match {base_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
