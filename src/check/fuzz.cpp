@@ -244,7 +244,8 @@ std::uint64_t fuzz_digest(const FuzzCaseConfig& cfg,
 }
 
 FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
-                          const FaultSchedule& schedule) {
+                          const FaultSchedule& schedule,
+                          obs::Recorder* recorder) {
   consensus::HarnessConfig hc;
   hc.scenario.n = cfg.n;
   hc.scenario.seed = cfg.seed;
@@ -264,6 +265,10 @@ FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
   mc.require_strong_accuracy = cfg.require_strong_accuracy;
   SimMonitor monitor(mc);
   hc.instrument = [&](const consensus::HarnessInstruments& inst) {
+    if (recorder != nullptr) {
+      inst.sys.attach_recorder(recorder);
+      monitor.set_recorder(recorder);
+    }
     monitor.install_from(inst, cfg.horizon);
     apply_schedule(inst.sys, schedule);
   };
@@ -276,6 +281,7 @@ FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
   out.ok = out.violations.empty();
   out.every_correct_decided = r.every_correct_decided;
   out.sim_end = r.sim_end;
+  out.counters = r.counters;
   out.result_fingerprint = runner::fingerprint_result(r);
   out.digest =
       fuzz_digest(cfg, schedule, out.verdicts, out.result_fingerprint);

@@ -101,13 +101,18 @@ struct FuzzOutcome {
   std::vector<Verdict> violations;   ///< required-and-failing subset
   bool every_correct_decided{false};
   TimeUs sim_end{0};
+  sim::Counters counters;            ///< simulator counter registry at end
   std::uint64_t result_fingerprint{0};  ///< fingerprint_result (0 for mutants)
   std::uint64_t digest{0};  ///< config + schedule + verdicts + fingerprint
 };
 
 /// Runs one fuzz case under the given schedule, with monitors attached.
+/// When \p recorder is non-null it is attached to the simulated system
+/// (typed per-host event rings) and to the monitor (kVerdict transitions in
+/// the system ring), so a failing case can be replayed into a timeline.
 [[nodiscard]] FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
-                                        const FaultSchedule& schedule);
+                                        const FaultSchedule& schedule,
+                                        obs::Recorder* recorder = nullptr);
 
 /// Generates the schedule from cfg.seed, then runs it.
 [[nodiscard]] FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg);

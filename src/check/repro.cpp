@@ -295,8 +295,8 @@ std::optional<ReproFile> load_repro(const std::string& path,
   return parse_repro(buf.str(), error);
 }
 
-FuzzOutcome replay(const ReproFile& r) {
-  return run_fuzz_case(r.config, r.schedule);
+FuzzOutcome replay(const ReproFile& r, obs::Recorder* recorder) {
+  return run_fuzz_case(r.config, r.schedule, recorder);
 }
 
 }  // namespace ecfd::check

@@ -59,6 +59,7 @@ bool save_repro(const ReproFile& r, const std::string& path);
 
 /// Re-runs the recorded case. The outcome's digest must equal r.digest
 /// when the file was produced by the same build.
-[[nodiscard]] FuzzOutcome replay(const ReproFile& r);
+[[nodiscard]] FuzzOutcome replay(const ReproFile& r,
+                                 obs::Recorder* recorder = nullptr);
 
 }  // namespace ecfd::check

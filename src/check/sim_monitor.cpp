@@ -77,8 +77,24 @@ void SimMonitor::tick() {
     if (leaders_[i] != nullptr) snap.trusted[i] = leaders_[i]->trusted();
   }
   fd_->observe(snap);
+  if (recorder_ != nullptr) record_verdict_transitions(now);
   if (now < until_) {
     sys_->scheduler().schedule_after(cfg_.period, [this] { tick(); });
+  }
+}
+
+void SimMonitor::record_verdict_transitions(TimeUs now) {
+  for (const Verdict& v : verdicts(now)) {
+    const auto it = last_verdict_state_.find(v.property);
+    if (it != last_verdict_state_.end() && it->second == v.state) continue;
+    const bool first = it == last_verdict_state_.end();
+    last_verdict_state_[v.property] = v.state;
+    // The initial kHolding of every property is not a transition worth a
+    // timeline row; pending/violated starts are.
+    if (first && v.state == VerdictState::kHolding) continue;
+    recorder_->system_ring().push(now, obs::EventType::kVerdict,
+                                  static_cast<std::int32_t>(v.state), 0,
+                                  recorder_->intern(v.property));
   }
 }
 

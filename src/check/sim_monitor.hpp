@@ -3,10 +3,13 @@
 #include <memory>
 #include <vector>
 
+#include <map>
+
 #include "check/consensus_monitor.hpp"
 #include "check/fd_monitor.hpp"
 #include "consensus/harness.hpp"
 #include "net/system.hpp"
+#include "obs/recorder.hpp"
 
 /// \file sim_monitor.hpp
 /// Glue that attaches the online property monitors to a running simulation.
@@ -51,6 +54,13 @@ class SimMonitor {
   /// Arms the sampling timer; call after install()/attach_fd().
   void start();
 
+  /// Routes verdict-state transitions into \p rec's system ring (host -1)
+  /// as kVerdict events: a = new VerdictState ordinal, label = interned
+  /// property name. Attach the same recorder to the System so the monitor's
+  /// verdict flips interleave with the per-host protocol events in the
+  /// merged timeline. nullptr detaches.
+  void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
+
   /// One-call setup from a harness instrumentation hook: install, attach
   /// every oracle and protocol, start sampling until \p horizon.
   void install_from(const consensus::HarnessInstruments& inst,
@@ -76,9 +86,12 @@ class SimMonitor {
 
  private:
   void tick();
+  void record_verdict_transitions(TimeUs now);
 
   Config cfg_;
   System* sys_{nullptr};
+  obs::Recorder* recorder_{nullptr};
+  std::map<std::string, VerdictState> last_verdict_state_;
   TimeUs until_{0};
   std::vector<const SuspectOracle*> suspects_;
   std::vector<const LeaderOracle*> leaders_;

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <vector>
@@ -40,11 +41,12 @@ class ThreadedFdMonitor {
   [[nodiscard]] const FdPropertyMonitor& monitor() const { return monitor_; }
 
   /// Human-readable report of every non-holding property: the verdict lines
-  /// plus, when the runtime's per-host trace ring is enabled
-  /// (ThreadSystem::Config::trace_depth), the recent trace of each host
-  /// named in a witness ("p<id>") — so a violation arrives with the
-  /// offending host's last few events attached. Empty when all properties
-  /// hold.
+  /// plus, when the runtime carries an obs::Recorder
+  /// (ThreadSystem::Config::trace_depth or attach_recorder), the recent
+  /// state-ring events of each host named in a witness ("p<id>") — typed
+  /// suspect/unsuspect/leader-change transitions and trace() notes — so a
+  /// violation arrives with the offending host's FD history attached.
+  /// Empty when all properties hold.
   [[nodiscard]] std::string violation_report() const;
 
  private:
@@ -52,6 +54,10 @@ class ThreadedFdMonitor {
   FdPropertyMonitor monitor_;
   std::vector<const SuspectOracle*> suspects_;
   std::vector<const LeaderOracle*> leaders_;
+
+  /// Verdict states as of the previous sample; transitions are pushed into
+  /// the runtime recorder's system ring as kVerdict events.
+  std::map<std::string, VerdictState> last_verdict_state_;
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -59,6 +59,7 @@ void ChandraTouegConsensus::enter_round(int r) {
   proposals_.erase(proposals_.begin(), proposals_.lower_bound(r));
 
   round_ = r;
+  env_.record(EventType::kRoundStart, r);
   is_coordinator_ = coordinator_of(r) == env_.self();
 
   if (cfg_.max_rounds > 0 && round_ > cfg_.max_rounds) {

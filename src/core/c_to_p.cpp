@@ -58,6 +58,7 @@ void CToP::leader_tick() {
       const auto i = static_cast<std::size_t>(q);
       if (!local_list_.contains(q) && now - last_alive_[i] > timeout_[i]) {
         local_list_.add(q);
+        env_.record(EventType::kSuspect, q);
         env_.trace("ctp.suspect", "p" + std::to_string(q));
       }
     }
@@ -78,6 +79,7 @@ void CToP::on_message(const Message& m) {
         // Task 4: a suspected process spoke up — mistake; widen timeout.
         local_list_.remove(m.src);
         timeout_[i] += cfg_.timeout_increment;
+        env_.record(EventType::kUnsuspect, m.src);
         env_.trace("ctp.unsuspect", "p" + std::to_string(m.src));
       }
       break;

@@ -115,6 +115,7 @@ void ConsensusC::enter_round(int r) {
   replied_prop_.erase(replied_prop_.begin(), replied_prop_.lower_bound(r));
 
   round_ = r;
+  env_.record(EventType::kRoundStart, r);
   phase_ = 0;
   coordinator_ = kNoProcess;
   is_coordinator_ = false;

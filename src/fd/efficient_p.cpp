@@ -44,6 +44,7 @@ void EfficientP::tick() {
       const auto i = static_cast<std::size_t>(q);
       if (!local_list_.contains(q) && now - last_alive_[i] > alive_timeout_[i]) {
         local_list_.add(q);
+        env_.record(EventType::kSuspect, q);
         env_.trace("effp.suspect", "p" + std::to_string(q));
       }
     }
@@ -57,6 +58,8 @@ void EfficientP::tick() {
     const auto i = static_cast<std::size_t>(candidate);
     if (env_.now() - last_heard_[i] > beat_timeout_[i]) {
       candidate_susp_.add(candidate);
+      env_.record(EventType::kSuspect, candidate);
+      env_.record(EventType::kLeaderChange, trusted());
       env_.trace("effp.candidate_suspect", "p" + std::to_string(candidate));
     }
     // Report alive to the (possibly new) candidate (Fig. 2, Task 2).
@@ -77,6 +80,8 @@ void EfficientP::on_message(const Message& m) {
         // A lower-ranked candidate is back: roll back, widen its timeout.
         candidate_susp_.remove(m.src);
         beat_timeout_[i] += cfg_.timeout_increment;
+        env_.record(EventType::kUnsuspect, m.src);
+        env_.record(EventType::kLeaderChange, trusted());
         env_.trace("effp.rollback", "p" + std::to_string(m.src));
       }
       // Adopt the list only from our current candidate (Fig. 2, Task 5).
@@ -92,6 +97,7 @@ void EfficientP::on_message(const Message& m) {
         // Fig. 2, Task 4: retract and widen.
         local_list_.remove(m.src);
         alive_timeout_[i] += cfg_.timeout_increment;
+        env_.record(EventType::kUnsuspect, m.src);
         env_.trace("effp.unsuspect", "p" + std::to_string(m.src));
       }
       break;

@@ -34,6 +34,7 @@ void HeartbeatP::check() {
     const auto i = static_cast<std::size_t>(q);
     if (!suspected_.contains(q) && now - last_heard_[i] > timeout_[i]) {
       suspected_.add(q);
+      env_.record(EventType::kSuspect, q);
       env_.trace("hb_p.suspect", "p" + std::to_string(q));
     }
   }
@@ -49,6 +50,7 @@ void HeartbeatP::on_message(const Message& m) {
     // eventually stops making mistakes (eventual strong accuracy).
     suspected_.remove(m.src);
     timeout_[i] += cfg_.timeout_increment;
+    env_.record(EventType::kUnsuspect, m.src);
     env_.trace("hb_p.unsuspect", "p" + std::to_string(m.src));
   }
 }

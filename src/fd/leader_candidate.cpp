@@ -42,6 +42,8 @@ void LeaderCandidate::tick() {
     const auto i = static_cast<std::size_t>(candidate);
     if (env_.now() - last_heard_[i] > timeout_[i]) {
       suspected_.add(candidate);
+      env_.record(EventType::kSuspect, candidate);
+      env_.record(EventType::kLeaderChange, trusted());
       env_.trace("lc.suspect", "p" + std::to_string(candidate));
     }
   }
@@ -57,6 +59,8 @@ void LeaderCandidate::on_message(const Message& m) {
     // widen its timeout so mistakes die out after GST.
     suspected_.remove(m.src);
     timeout_[i] += cfg_.timeout_increment;
+    env_.record(EventType::kUnsuspect, m.src);
+    env_.record(EventType::kLeaderChange, trusted());
     env_.trace("lc.rollback", "p" + std::to_string(m.src));
   }
 }

@@ -47,6 +47,7 @@ void RingFd::send_query(ProcessId to) {
     if (last_heard_[static_cast<std::size_t>(to)] < sent &&
         !suspected_.contains(to)) {
       suspected_.add(to);
+      env_.record(EventType::kSuspect, to);
       env_.trace("ring.suspect", "p" + std::to_string(to));
     }
   });
@@ -82,6 +83,7 @@ void RingFd::merge(const Body& body) {
     if (body.susp.contains(r) && body.seq[i] >= known_seq_[i]) {
       if (!suspected_.contains(r)) {
         suspected_.add(r);
+        env_.record(EventType::kSuspect, r);
         env_.trace("ring.adopt_suspect", "p" + std::to_string(r));
       }
     }
@@ -90,6 +92,7 @@ void RingFd::merge(const Body& body) {
       if (suspected_.contains(r)) {
         suspected_.remove(r);
         timeout_[i] += cfg_.timeout_increment;
+        env_.record(EventType::kUnsuspect, r);
         env_.trace("ring.unsuspect", "p" + std::to_string(r));
       }
     }
@@ -105,6 +108,7 @@ void RingFd::on_message(const Message& m) {
   if (suspected_.contains(m.src)) {
     suspected_.remove(m.src);
     timeout_[static_cast<std::size_t>(m.src)] += cfg_.timeout_increment;
+    env_.record(EventType::kUnsuspect, m.src);
     env_.trace("ring.unsuspect", "p" + std::to_string(m.src));
   }
   merge(body);

@@ -33,6 +33,7 @@ void StableLeader::tick() {
   if (leader != observed_leader_) {
     ++leader_changes_;
     observed_leader_ = leader;
+    env_.record(EventType::kLeaderChange, leader);
     // Fresh leader: grant a grace period so we don't instantly accuse a
     // process we were not monitoring before.
     last_heard_[static_cast<std::size_t>(leader)] = env_.now();

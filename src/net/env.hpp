@@ -5,6 +5,7 @@
 #include <string>
 
 #include "net/message.hpp"
+#include "obs/recorder.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
 
@@ -17,6 +18,9 @@
 /// real threaded runtime (runtime/thread_env.hpp).
 
 namespace ecfd {
+
+/// Protocols name event kinds without the obs:: qualifier.
+using obs::EventType;
 
 /// Handle for a pending timer.
 using TimerId = std::uint64_t;
@@ -61,6 +65,49 @@ class Env {
       if (q != self()) send(q, m);
     }
   }
+
+  /// Records a typed observability event into this process's ring.
+  /// Allocation-free, lock-free, and a literal no-op until a backend binds
+  /// a ring (or permanently, when built with -DECFD_OBS_DISABLED). This is
+  /// the hot-path hook protocols use for suspect/leader/decide events.
+  void record(EventType type, std::int32_t a = -1, std::int64_t b = 0,
+              std::int32_t label = -1) {
+#if defined(ECFD_OBS_DISABLED)
+    (void)type; (void)a; (void)b; (void)label;
+#else
+    if (obs_ring_ == nullptr) return;
+    obs::EventRing* ring = obs::is_hot_event(type) ? obs_ring_ : obs_state_ring_;
+    ring->push(now(), type, a, b, label);
+#endif
+  }
+
+  /// True when events recorded here actually land somewhere.
+  [[nodiscard]] bool recording() const {
+#if defined(ECFD_OBS_DISABLED)
+    return false;
+#else
+    return obs_ring_ != nullptr;
+#endif
+  }
+
+  /// The recorder this env is bound to (nullptr when not recording); for
+  /// cold-path label interning.
+  [[nodiscard]] obs::Recorder* recorder() const { return obs_recorder_; }
+
+  /// Backends call this at bind time (before protocol start) to attach the
+  /// process's rings for host id \p host (rings must already exist — see
+  /// Recorder::bind_hosts). Pass rec == nullptr to detach. Not thread-safe
+  /// against concurrent record().
+  void bind_obs(obs::Recorder* rec, int host) {
+    obs_recorder_ = rec;
+    obs_ring_ = rec == nullptr ? nullptr : &rec->ring(host);
+    obs_state_ring_ = rec == nullptr ? nullptr : &rec->state_ring(host);
+  }
+
+ private:
+  obs::Recorder* obs_recorder_{nullptr};
+  obs::EventRing* obs_ring_{nullptr};
+  obs::EventRing* obs_state_ring_{nullptr};
 };
 
 /// Base class for protocol instances hosted on a process.

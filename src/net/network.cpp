@@ -110,6 +110,12 @@ void Network::send(const Message& m) {
 
   if (!delay.has_value()) {
     ++dropped_total_;
+#if !defined(ECFD_OBS_DISABLED)
+    if (recorder_ != nullptr) {
+      recorder_->ring(m.src).push(sched_.now(), obs::EventType::kDrop, m.dst,
+                                  m.protocol);
+    }
+#endif
     if (interned) {
       if (cells->dropped == nullptr) {
         cells->dropped = counters_.slot(message_counter_key(m) + ".dropped");

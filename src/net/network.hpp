@@ -7,6 +7,7 @@
 
 #include "net/link.hpp"
 #include "net/message.hpp"
+#include "obs/recorder.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -74,6 +75,10 @@ class Network {
   /// Delay applied to self-addressed messages (they bypass link models).
   void set_self_delay(DurUs d) { self_delay_ = d; }
 
+  /// Attached by System::attach_recorder so dropped messages land in the
+  /// sender's event ring (ProcessHost only sees the send).
+  void set_recorder(obs::Recorder* rec) { recorder_ = rec; }
+
   [[nodiscard]] std::int64_t sent_total() const { return sent_total_; }
   [[nodiscard]] std::int64_t delivered_total() const { return delivered_total_; }
   [[nodiscard]] std::int64_t dropped_total() const { return dropped_total_; }
@@ -100,6 +105,7 @@ class Network {
   Rng rng_;
   sim::Counters& counters_;
   sim::Trace& trace_;
+  obs::Recorder* recorder_{nullptr};
   DeliverySink sink_;
   std::vector<std::unique_ptr<LinkModel>> links_;
   std::vector<char> blocked_;

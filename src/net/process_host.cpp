@@ -29,12 +29,14 @@ void ProcessHost::crash() {
   for (TimerId t : live_timers_) sched_.cancel(t);
   live_timers_.clear();
   if (trace_.enabled()) trace_.emit(sched_.now(), id_, "crash", "");
+  record(EventType::kCrash);
 }
 
 void ProcessHost::deliver(const Message& m) {
   if (crashed_) return;
   auto it = by_id_.find(m.protocol);
   if (it == by_id_.end()) return;  // no such protocol on this host
+  record(EventType::kDeliver, m.src, m.protocol);
   it->second->on_message(m);
 }
 
@@ -48,6 +50,7 @@ void ProcessHost::send(ProcessId dst, Message m) {
   assert(dst >= 0 && dst < n_);
   m.src = id_;
   m.dst = dst;
+  record(EventType::kSend, dst, m.protocol);
   network_.send(m);
 }
 
@@ -65,6 +68,7 @@ TimerId ProcessHost::set_timer(DurUs delay, std::function<void()> fn) {
   assert(got == id && "scheduler id prediction out of sync");
   (void)got;
   live_timers_.insert(id);
+  record(EventType::kTimerSet, -1, static_cast<std::int64_t>(id));
   return id;
 }
 
@@ -72,10 +76,16 @@ void ProcessHost::cancel_timer(TimerId id) {
   if (id == kInvalidTimer) return;
   sched_.cancel(id);
   live_timers_.erase(id);
+  record(EventType::kTimerCancel, -1, static_cast<std::int64_t>(id));
 }
 
 void ProcessHost::trace(const std::string& tag, const std::string& detail) {
   if (trace_.enabled()) trace_.emit(sched_.now(), id_, tag, detail);
+  if (recording()) {
+    // Cold path by contract: trace() callers already pay string building.
+    record(EventType::kNote, -1, recorder()->intern(detail),
+           recorder()->intern(tag));
+  }
 }
 
 }  // namespace ecfd

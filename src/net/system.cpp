@@ -19,6 +19,22 @@ System::System(int n, std::uint64_t seed)
   });
 }
 
+void System::attach_recorder(obs::Recorder* rec) {
+  recorder_ = rec;
+  network_.set_recorder(rec);
+  if (rec == nullptr) {
+    for (auto& h : hosts_) h->bind_obs(nullptr, -1);
+    return;
+  }
+  rec->meta().source = "sim";
+  rec->meta().clock = obs::ClockDomain::kVirtual;
+  rec->meta().wall_epoch_us = 0;
+  rec->bind_hosts(n_);
+  for (ProcessId p = 0; p < n_; ++p) {
+    hosts_[static_cast<std::size_t>(p)]->bind_obs(rec, p);
+  }
+}
+
 void System::start() {
   assert(!started_ && "System::start called twice");
   started_ = true;

@@ -6,6 +6,7 @@
 
 #include "net/network.hpp"
 #include "net/process_host.hpp"
+#include "obs/recorder.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"
@@ -27,6 +28,12 @@ class System {
   Network& network() { return network_; }
   sim::Counters& counters() { return counters_; }
   sim::Trace& trace() { return trace_; }
+
+  /// Attaches a typed event recorder: binds one ring per host (and stamps
+  /// the recorder's meta as a virtual-clock "sim" source). Call before
+  /// start(); pass nullptr to detach.
+  void attach_recorder(obs::Recorder* rec);
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
 
   ProcessHost& host(ProcessId p) { return *hosts_[static_cast<std::size_t>(p)]; }
   [[nodiscard]] const ProcessHost& host(ProcessId p) const {
@@ -81,6 +88,7 @@ class System {
   Rng master_rng_;
   Network network_;
   std::vector<std::unique_ptr<ProcessHost>> hosts_;
+  obs::Recorder* recorder_{nullptr};
   bool started_{false};
 };
 

@@ -1,0 +1,143 @@
+#include "obs/metrics.hpp"
+
+namespace ecfd::obs {
+
+MetricsRegistry::Cell* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &counters_[name];
+}
+
+MetricsRegistry::Cell* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::int64_t MetricsRegistry::get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0
+                               : it->second.load(std::memory_order_relaxed);
+}
+
+std::int64_t MetricsRegistry::gauge_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0
+                             : it->second.load(std::memory_order_relaxed);
+}
+
+std::int64_t MetricsRegistry::sum_prefix(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::int64_t total = 0;
+  for (auto it = counters_.lower_bound(prefix); it != counters_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    total += it->second.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void MetricsRegistry::import_counters(const sim::Counters& src,
+                                      const std::string& prefix) {
+  for (const auto& [key, value] : src.all()) {
+    counter(prefix + key)->store(value, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+void json_escape_into(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os,
+                                 const std::string& source) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string j;
+  j += "{\n  \"schema\": \"ecfd.metrics.v1\",\n";
+  j += "  \"source\": \"";
+  json_escape_into(&j, source);
+  j += "\",\n";
+
+  j += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, cell] : counters_) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "    \"";
+    json_escape_into(&j, name);
+    j += "\": " + std::to_string(cell.load(std::memory_order_relaxed));
+  }
+  j += counters_.empty() ? "},\n" : "\n  },\n";
+
+  j += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, cell] : gauges_) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "    \"";
+    json_escape_into(&j, name);
+    j += "\": " + std::to_string(cell.load(std::memory_order_relaxed));
+  }
+  j += gauges_.empty() ? "},\n" : "\n  },\n";
+
+  j += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    j += first ? "\n" : ",\n";
+    first = false;
+    j += "    \"";
+    json_escape_into(&j, name);
+    j += "\": {\"count\": " + std::to_string(h->count()) +
+         ", \"sum\": " + std::to_string(h->sum()) + ", \"buckets\": [";
+    // Trailing all-zero buckets are elided; bucket i lower bound is
+    // Histogram::bucket_lower(i), so the shape is reconstructible.
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h->bucket_count(last) == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (i != 0) j += ", ";
+      j += std::to_string(h->bucket_count(i));
+    }
+    j += "]}";
+  }
+  j += histograms_.empty() ? "}\n" : "\n  }\n";
+  j += "}\n";
+  os << j;
+}
+
+void MetricsRegistry::write_text(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  os << "# ecfd.metrics.v1 text exposition\n";
+  for (const auto& [name, cell] : counters_) {
+    os << "counter " << name << " "
+       << cell.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : gauges_) {
+    os << "gauge " << name << " " << cell.load(std::memory_order_relaxed)
+       << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " count=" << h->count()
+       << " sum=" << h->sum();
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h->bucket_count(last) == 0) --last;
+    for (int i = 0; i <= last; ++i) {
+      if (h->bucket_count(i) == 0) continue;
+      os << " ge" << Histogram::bucket_lower(i) << "=" << h->bucket_count(i);
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace ecfd::obs

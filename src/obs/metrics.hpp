@@ -1,0 +1,138 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+#include "sim/stats.hpp"
+
+/// \file metrics.hpp
+/// The unified metrics registry: named counters, gauges, and log-bucketed
+/// latency histograms shared by every backend and tool.
+///
+/// This absorbs the previously per-backend accounting (SocketEnv's
+/// hand-rolled traffic/batching counters, the runtime's ad-hoc totals) into
+/// one store with one export format, `ecfd.metrics.v1` JSON, plus a plain
+/// text exposition for the ecfd_node daemon's metrics endpoint.
+///
+/// Hot-path discipline mirrors sim::Counters::slot(): register once, keep
+/// the returned cell pointer, bump it directly. Cells are std::atomic so
+/// multi-threaded backends (the sharded runtime) can share a registry;
+/// relaxed increments cost the same as a plain add on x86/ARM when
+/// uncontended. Registration takes a mutex and may allocate — bind time
+/// only. Cell pointers stay valid for the registry's lifetime (map nodes
+/// do not move).
+
+namespace ecfd::obs {
+
+/// A log2-bucketed histogram of non-negative integer observations
+/// (microseconds by convention). Bucket i counts values in
+/// [2^(i-1), 2^i); bucket 0 counts {0}; the last bucket is open-ended.
+/// observe() is lock-free and allocation-free.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void observe(std::int64_t v) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v < 0 ? 0 : v, std::memory_order_relaxed);
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bucket index of \p v: 0 for v<=0, else 1+floor(log2(v)), clamped.
+  static int bucket_of(std::int64_t v) {
+    if (v <= 0) return 0;
+    int b = 1;
+    while (v > 1 && b < kBuckets - 1) {
+      v >>= 1;
+      ++b;
+    }
+    return b;
+  }
+
+  /// Inclusive lower bound of bucket \p i (0, 1, 2, 4, 8, ...).
+  static std::int64_t bucket_lower(int i) {
+    if (i <= 0) return 0;
+    return std::int64_t{1} << (i - 1);
+  }
+
+  [[nodiscard]] std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> buckets_[kBuckets]{};
+};
+
+/// Named counters + gauges + histograms with stable-handle registration.
+class MetricsRegistry {
+ public:
+  using Cell = std::atomic<std::int64_t>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Registers (or finds) a monotonic counter; the pointer stays valid for
+  /// the registry's lifetime. Thread-safe; allocates on first use.
+  Cell* counter(const std::string& name);
+
+  /// Registers (or finds) a gauge (a settable level, not a monotonic sum).
+  Cell* gauge(const std::string& name);
+
+  /// Registers (or finds) a histogram.
+  Histogram* histogram(const std::string& name);
+
+  /// Convenience slow paths (lookup per call).
+  void add(const std::string& name, std::int64_t delta = 1) {
+    counter(name)->fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set_gauge(const std::string& name, std::int64_t v) {
+    gauge(name)->store(v, std::memory_order_relaxed);
+  }
+  void observe(const std::string& name, std::int64_t v) {
+    histogram(name)->observe(v);
+  }
+
+  /// Counter value; 0 for unknown names. (Gauges live in a separate
+  /// namespace; use gauge_value.)
+  [[nodiscard]] std::int64_t get(const std::string& name) const;
+  [[nodiscard]] std::int64_t gauge_value(const std::string& name) const;
+
+  /// Sum of counters whose name starts with \p prefix (parity with
+  /// sim::Counters::sum_prefix).
+  [[nodiscard]] std::int64_t sum_prefix(const std::string& prefix) const;
+
+  /// Copies every counter of \p src into this registry (names prefixed
+  /// with \p prefix), so single-threaded sim::Counters accounting exports
+  /// through the same ecfd.metrics.v1 document.
+  void import_counters(const sim::Counters& src, const std::string& prefix = "");
+
+  /// Writes the registry as an ecfd.metrics.v1 JSON document. Keys are
+  /// sorted: same contents => byte-identical bytes.
+  void write_json(std::ostream& os, const std::string& source) const;
+
+  /// Plain-text exposition (one "counter|gauge|histogram NAME ..." line
+  /// each, sorted), served by the ecfd_node --metrics-port endpoint.
+  void write_text(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;  ///< guards registration and iteration
+  std::map<std::string, Cell> counters_;
+  std::map<std::string, Cell> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace ecfd::obs

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+/// \file timeline.hpp
+/// Cross-backend timeline reconstruction.
+///
+/// A TimelineDoc is one recorder's worth of events (parsed back from an
+/// ecfd.trace.v1 file, or snapshotted from a live Recorder). merge() aligns
+/// any number of docs onto one time axis — virtual time passes through
+/// untouched; monotonic docs from different OS processes are calibrated by
+/// their recorded wall-clock epochs — and tools/ecfd_trace renders the
+/// result as text or as Chrome-trace JSON (chrome://tracing, Perfetto).
+///
+/// The Chrome export reconstructs intervals from the point events:
+/// suspect/unsuspect pairs become per-observer suspicion spans, leader
+/// changes become leader epochs, round starts become round spans — so an
+/// n=64 leader-crash run reads as a visual story: heartbeats stop, the
+/// suspicion spans open, the leader epoch flips, the decide markers land.
+
+namespace ecfd::obs {
+
+/// One trace source on its own clock.
+struct TimelineDoc {
+  TraceMeta meta;
+  int n{0};
+  std::uint64_t dropped{0};
+  std::vector<std::string> strings;
+  std::vector<Event> events;  ///< sorted by (time, host, seq) at write time
+  std::string origin;         ///< file path or tool-chosen tag (for errors)
+};
+
+/// Parses an ecfd.trace.v1 JSON document. On failure returns nullopt and
+/// sets \p error.
+std::optional<TimelineDoc> parse_trace_json(const std::string& text,
+                                            std::string* error = nullptr);
+
+/// Snapshots a live recorder into a doc (no serialization round-trip).
+TimelineDoc snapshot_doc(const Recorder& rec, std::string origin);
+
+/// All docs merged onto one axis. Labels are re-interned into one table.
+struct MergedTimeline {
+  int n{0};                          ///< max host id + 1 across docs
+  bool monotonic{false};             ///< any doc used wall clocks
+  std::uint64_t dropped{0};
+  std::vector<std::string> strings;
+  std::vector<Event> events;         ///< time-sorted; label -> strings
+};
+
+/// Merges docs. Monotonic docs are rebased so the earliest wall epoch is
+/// t=0 and all later docs are offset by their epoch difference — the
+/// calibration that makes per-process UDP traces line up. Virtual-time
+/// docs pass through unchanged (merging the two kinds is allowed but the
+/// axes are unrelated; ecfd_trace warns).
+MergedTimeline merge(const std::vector<TimelineDoc>& docs);
+
+/// Human-readable merged timeline, one event per line.
+void write_text(std::ostream& os, const MergedTimeline& t);
+
+/// Chrome-trace JSON (the "JSON Array with metadata" object form): one
+/// Chrome process per host, lanes for net/fd/consensus/notes, "X" spans
+/// for suspicion intervals, leader epochs and rounds, instants for the
+/// rest. Deterministic output.
+void write_chrome_trace(std::ostream& os, const MergedTimeline& t);
+
+}  // namespace ecfd::obs

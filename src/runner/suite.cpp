@@ -10,7 +10,8 @@
 
 namespace ecfd::runner {
 
-CaseMetrics run_detection_case(int n, std::uint64_t seed) {
+CaseMetrics run_detection_case(int n, std::uint64_t seed,
+                               obs::Recorder* rec) {
   ScenarioConfig cfg;
   cfg.n = n;
   cfg.seed = seed;
@@ -18,6 +19,7 @@ CaseMetrics run_detection_case(int n, std::uint64_t seed) {
   cfg.gst = 0;
   cfg.delta = msec(5);
   auto sys = make_system(cfg);
+  if (rec != nullptr) sys->attach_recorder(rec);
   std::vector<const SuspectOracle*> oracles(static_cast<std::size_t>(n));
   for (ProcessId p = 0; p < n; ++p) {
     oracles[static_cast<std::size_t>(p)] = &sys->host(p).emplace<fd::HeartbeatP>();
@@ -62,7 +64,8 @@ CaseMetrics run_detection_case(int n, std::uint64_t seed) {
 }
 
 CaseMetrics run_consensus_case(int n, std::uint64_t seed,
-                               consensus::Algo algo, int crashes) {
+                               consensus::Algo algo, int crashes,
+                               obs::Recorder* rec) {
   consensus::HarnessConfig cfg;
   cfg.scenario.n = n;
   cfg.scenario.seed = seed;
@@ -75,6 +78,11 @@ CaseMetrics run_consensus_case(int n, std::uint64_t seed,
   cfg.horizon = sec(60);
   for (int i = 0; i < crashes; ++i) {
     cfg.scenario.with_crash(i, msec(20) + i * msec(25));
+  }
+  if (rec != nullptr) {
+    cfg.instrument = [rec](const consensus::HarnessInstruments& inst) {
+      inst.sys.attach_recorder(rec);
+    };
   }
   const consensus::HarnessResult r = consensus::run_consensus(cfg);
 
@@ -136,8 +144,12 @@ std::vector<CaseSpec> build_suite(bool quick) {
                                               : std::vector<int>{8, 16, 32};
   for (int n : detection_ns) {
     for (std::uint64_t s = 0; s < seeds; ++s) {
-      suite.push_back({"e4_detection", "n=" + std::to_string(n), s,
-                       [n, s] { return run_detection_case(n, 100 + s); }});
+      suite.push_back(
+          {"e4_detection", "n=" + std::to_string(n), s,
+           [n, s] { return run_detection_case(n, 100 + s); },
+           [n, s](obs::Recorder* rec) {
+             return run_detection_case(n, 100 + s, rec);
+           }});
     }
   }
 
@@ -153,6 +165,9 @@ std::vector<CaseSpec> build_suite(bool quick) {
       suite.push_back({"e5_consensus", std::string("algo=") + a.name, s,
                        [algo = a.algo, s] {
                          return run_consensus_case(7, 500 + s, algo, 1);
+                       },
+                       [algo = a.algo, s](obs::Recorder* rec) {
+                         return run_consensus_case(7, 500 + s, algo, 1, rec);
                        }});
     }
   }
@@ -162,7 +177,8 @@ std::vector<CaseSpec> build_suite(bool quick) {
   for (std::uint64_t s = 0; s < (quick ? 2u : 8u); ++s) {
     suite.push_back({"micro_churn",
                      "pending=" + std::to_string(churn_pending), s,
-                     [=] { return run_churn_case(s + 1, churn_pending, churn_ops); }});
+                     [=] { return run_churn_case(s + 1, churn_pending, churn_ops); },
+                     /*run_traced=*/nullptr});
   }
   return suite;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "consensus/harness.hpp"
+#include "obs/recorder.hpp"
 
 /// \file suite.hpp
 /// The canonical multi-seed experiment sweeps driven by tools/bench_runner
@@ -26,13 +27,17 @@ struct CaseMetrics {
 };
 
 /// E4-style: crash one process under a live all-to-all heartbeat ◇P stack
-/// and measure time until every correct process suspects it.
-CaseMetrics run_detection_case(int n, std::uint64_t seed);
+/// and measure time until every correct process suspects it. A non-null
+/// \p rec is attached to the simulated system (typed event rings) —
+/// recording does not perturb the run's hash.
+CaseMetrics run_detection_case(int n, std::uint64_t seed,
+                               obs::Recorder* rec = nullptr);
 
 /// E5-style: one full consensus instance under crashes on a live
 /// heartbeat+Omega stack; metric is the last correct decision time.
 CaseMetrics run_consensus_case(int n, std::uint64_t seed,
-                               consensus::Algo algo, int crashes);
+                               consensus::Algo algo, int crashes,
+                               obs::Recorder* rec = nullptr);
 
 /// Scheduler kernel churn: schedule/cancel/pop against a standing backlog,
 /// no network. Metric is ops executed (for events/sec accounting).
@@ -44,6 +49,9 @@ struct CaseSpec {
   std::string config;      ///< human-readable point, e.g. "n=16"
   std::uint64_t seed{0};
   std::function<CaseMetrics()> run;
+  /// Same case with a typed event recorder attached; null for cases with
+  /// no network to record (micro_churn). Used by bench_runner --trace.
+  std::function<CaseMetrics(obs::Recorder*)> run_traced;
 };
 
 /// Builds the full sweep list. `quick` shrinks seed counts and sizes to a

@@ -18,11 +18,7 @@ thread_local Worker* t_worker = nullptr;
 
 ThreadHost::ThreadHost(ThreadSystem& sys, ProcessId id, int n,
                        std::uint64_t seed)
-    : sys_(sys), id_(id), n_(n), rng_(seed) {
-  if (sys_.cfg_.trace_depth > 0) {
-    trace_ring_.reserve(static_cast<std::size_t>(sys_.cfg_.trace_depth));
-  }
-}
+    : sys_(sys), id_(id), n_(n), rng_(seed) {}
 
 ThreadHost::~ThreadHost() {
   if (legacy_) stop_thread();
@@ -45,7 +41,10 @@ void ThreadHost::post_at(TimeUs when, std::function<void()> fn) {
   enqueue(when, sim::InplaceAction([f = std::move(fn)]() mutable { f(); }));
 }
 
-void ThreadHost::crash() { crashed_.store(true, std::memory_order_release); }
+void ThreadHost::crash() {
+  record(EventType::kCrash);
+  crashed_.store(true, std::memory_order_release);
+}
 
 std::size_t ThreadHost::bookkeeping_records() const {
   if (legacy_) {
@@ -57,19 +56,24 @@ std::size_t ThreadHost::bookkeeping_records() const {
 
 std::vector<TraceRecord> ThreadHost::recent_trace() const {
   std::vector<TraceRecord> out;
-  if (sys_.cfg_.trace_depth <= 0) return out;
-  const std::size_t depth = static_cast<std::size_t>(sys_.cfg_.trace_depth);
-  trace_mu_.lock();
-  if (trace_ring_.size() < depth) {
-    out = trace_ring_;
-  } else {
-    out.reserve(depth);
-    const std::size_t start = trace_head_ % depth;
-    for (std::size_t i = 0; i < depth; ++i) {
-      out.push_back(trace_ring_[(start + i) % depth]);
+  obs::Recorder* rec = sys_.recorder_;
+  if (rec == nullptr || id_ >= rec->hosts()) return out;
+  std::vector<obs::Event> events;
+  rec->state_ring(id_).snapshot(&events);
+  out.reserve(events.size());
+  for (const obs::Event& e : events) {
+    TraceRecord r;
+    r.time = e.time;
+    if (e.type == EventType::kNote) {
+      // Env::trace text round-trips through the interned table.
+      r.tag = rec->string_at(e.label);
+      r.detail = rec->string_at(static_cast<std::int32_t>(e.b));
+    } else {
+      r.tag = std::string("obs.") + obs::event_type_name(e.type);
+      r.detail = "a=" + std::to_string(e.a) + " b=" + std::to_string(e.b);
     }
+    out.push_back(std::move(r));
   }
-  trace_mu_.unlock();
   return out;
 }
 
@@ -79,10 +83,19 @@ void ThreadHost::send(ProcessId dst, Message m) {
   if (crashed()) return;
   m.src = id_;
   m.dst = dst;
+  record(EventType::kSend, dst, m.protocol);
   sys_.route(std::move(m));
 }
 
 TimerId ThreadHost::set_timer(DurUs delay, std::function<void()> fn) {
+  const TimerId id = set_timer_impl(delay, std::move(fn));
+  if (id != kInvalidTimer) {
+    record(EventType::kTimerSet, -1, static_cast<std::int64_t>(id));
+  }
+  return id;
+}
+
+TimerId ThreadHost::set_timer_impl(DurUs delay, std::function<void()> fn) {
   if (legacy_) return legacy_set_timer(delay, std::move(fn));
   if (crashed()) return kInvalidTimer;
   const TimeUs when = now() + delay;
@@ -99,6 +112,9 @@ TimerId ThreadHost::set_timer(DurUs delay, std::function<void()> fn) {
 }
 
 void ThreadHost::cancel_timer(TimerId id) {
+  if (id != kInvalidTimer) {
+    record(EventType::kTimerCancel, -1, static_cast<std::int64_t>(id));
+  }
   if (legacy_) {
     legacy_cancel_timer(id);
     return;
@@ -112,18 +128,10 @@ void ThreadHost::cancel_timer(TimerId id) {
 }
 
 void ThreadHost::trace(const std::string& tag, const std::string& detail) {
-  const int depth = sys_.cfg_.trace_depth;
-  if (depth <= 0) return;
-  TraceRecord rec{now(), tag, detail};
-  trace_mu_.lock();
-  if (trace_ring_.size() < static_cast<std::size_t>(depth)) {
-    trace_ring_.push_back(std::move(rec));
-  } else {
-    trace_ring_[trace_head_ % static_cast<std::size_t>(depth)] =
-        std::move(rec);
-  }
-  ++trace_head_;
-  trace_mu_.unlock();
+  if (!recording()) return;
+  // Cold path by contract: callers already pay string construction.
+  obs::Recorder* rec = recorder();
+  record(EventType::kNote, -1, rec->intern(detail), rec->intern(tag));
 }
 
 bool ThreadHost::on_owner_thread() const {
@@ -138,7 +146,9 @@ void ThreadHost::enqueue(TimeUs when, sim::InplaceAction fn) {
 
 void ThreadHost::dispatch(const Message& m) {
   auto it = by_id_.find(m.protocol);
-  if (it != by_id_.end()) it->second->on_message(m);
+  if (it == by_id_.end()) return;
+  record(EventType::kDeliver, m.src, m.protocol);
+  it->second->on_message(m);
 }
 
 TimerId ThreadHost::arm_on_owner(TimeUs when, std::function<void()> fn) {
@@ -400,6 +410,12 @@ ThreadSystem::ThreadSystem(Config cfg)
     hosts_.push_back(
         std::make_unique<ThreadHost>(*this, p, cfg_.n, seeder.next()));
   }
+  if (cfg_.trace_depth > 0) {
+    recorder_owned_ = std::make_unique<obs::Recorder>(
+        static_cast<std::size_t>(cfg_.trace_depth));
+    recorder_ = recorder_owned_.get();
+    bind_recorder_rings();
+  }
   if (cfg_.legacy_thread_per_process) {
     for (auto& h : hosts_) {
       h->legacy_ = std::make_unique<ThreadHost::LegacyState>();
@@ -439,6 +455,34 @@ TimeUs ThreadSystem::now() const {
       .count();
 }
 
+void ThreadSystem::attach_recorder(obs::Recorder* rec) {
+  assert(!started() && "attach_recorder before start()");
+  recorder_ = rec != nullptr ? rec : recorder_owned_.get();
+  if (rec == nullptr) {
+    for (auto& h : hosts_) h->bind_obs(nullptr, -1);
+    if (recorder_ != nullptr) bind_recorder_rings();
+    return;
+  }
+  bind_recorder_rings();
+}
+
+void ThreadSystem::bind_recorder_rings() {
+  obs::Recorder* rec = recorder_;
+  rec->meta().source = "runtime";
+  rec->meta().clock = obs::ClockDomain::kMonotonic;
+  // All hosts share epoch_, so one wall calibration covers the system:
+  // wall time of ThreadSystem t=0.
+  rec->meta().wall_epoch_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count() -
+      now();
+  rec->bind_hosts(cfg_.n);
+  for (ProcessId p = 0; p < cfg_.n; ++p) {
+    hosts_[static_cast<std::size_t>(p)]->bind_obs(rec, p);
+  }
+}
+
 void ThreadSystem::start() {
   assert(!started());
   if (cfg_.legacy_thread_per_process) {
@@ -470,17 +514,25 @@ void ThreadSystem::start() {
 void ThreadSystem::route(Message m) {
   DurUs delay;
   Worker* w = t_worker;
+  bool lost = false;
   if (w != nullptr && &w->sys_ == this) {
     // Worker thread of this system: its private stream, no lock at all.
-    if (w->rng_.chance(cfg_.loss_p)) return;  // lost
-    delay = w->rng_.range(cfg_.min_delay, cfg_.max_delay);
+    lost = w->rng_.chance(cfg_.loss_p);
+    if (!lost) delay = w->rng_.range(cfg_.min_delay, cfg_.max_delay);
   } else {
     // Foreign threads (tests, monitors) and every legacy host thread share
     // one locked stream — in legacy mode this lock on the whole fabric is
     // the old design, preserved for comparison.
     std::lock_guard<std::mutex> lock(ext_rng_mu_);
-    if (ext_rng_.chance(cfg_.loss_p)) return;  // lost
-    delay = ext_rng_.range(cfg_.min_delay, cfg_.max_delay);
+    lost = ext_rng_.chance(cfg_.loss_p);
+    if (!lost) delay = ext_rng_.range(cfg_.min_delay, cfg_.max_delay);
+  }
+  if (lost) {
+    if (m.src >= 0 && m.src < cfg_.n) {
+      hosts_[static_cast<std::size_t>(m.src)]->record(EventType::kDrop, m.dst,
+                                                      m.protocol);
+    }
+    return;
   }
   ThreadHost& dst = *hosts_[static_cast<std::size_t>(m.dst)];
   if (dst.crashed()) return;

@@ -45,7 +45,10 @@ namespace ecfd::runtime {
 class ThreadSystem;
 class Worker;
 
-/// One record of the per-host trace ring (Config::trace_depth).
+/// One rendered record of a host's recent observability history
+/// (Config::trace_depth / an attached obs::Recorder). Env::trace text
+/// round-trips through the recorder's interned strings; typed events
+/// render as "obs.<type>" tags.
 struct TraceRecord {
   TimeUs time{0};
   std::string tag;
@@ -99,8 +102,9 @@ class ThreadHost final : public Env {
   /// after quiescence on a live host.
   [[nodiscard]] std::size_t bookkeeping_records() const;
 
-  /// The last Config::trace_depth trace events, oldest first (empty when
-  /// tracing is off). Safe from any thread.
+  /// The last recorded state-transition events, oldest first, rendered to
+  /// text (empty when no recorder is attached and Config::trace_depth is
+  /// 0). Safe from any thread.
   [[nodiscard]] std::vector<TraceRecord> recent_trace() const;
 
   // --- Env ------------------------------------------------------------
@@ -108,6 +112,7 @@ class ThreadHost final : public Env {
   void send(ProcessId dst, Message m) override;
   TimerId set_timer(DurUs delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
+  TimerId set_timer_impl(DurUs delay, std::function<void()> fn);
   [[nodiscard]] ProcessId self() const override { return id_; }
   [[nodiscard]] int n() const override { return n_; }
   Rng& rng() override { return rng_; }
@@ -178,11 +183,6 @@ class ThreadHost final : public Env {
   std::unordered_map<TimerId, WheelHandle> foreign_timers_;  // owner thread
   std::atomic<std::size_t> foreign_records_{0};
   std::atomic<std::uint64_t> foreign_seq_{1};
-
-  // Trace ring (enabled via Config::trace_depth).
-  mutable SpinLock trace_mu_;
-  std::vector<TraceRecord> trace_ring_;
-  std::size_t trace_head_{0};
 
   std::unique_ptr<LegacyState> legacy_;
 
@@ -262,9 +262,10 @@ class ThreadSystem {
     /// baseline bench_e9_runtime_scale measures the sharded executor
     /// against.
     bool legacy_thread_per_process{false};
-    /// Per-host trace ring depth (0 = tracing off). When on, Env::trace
-    /// keeps the last `trace_depth` events per host so monitor violation
-    /// reports can show what the offending host last did.
+    /// Per-host event-ring depth (0 = tracing off). When on, the system
+    /// owns an obs::Recorder keeping the last `trace_depth` events per
+    /// host so monitor violation reports can show what the offending host
+    /// last did. Ignored when an external recorder is attached.
     int trace_depth{0};
   };
 
@@ -296,6 +297,15 @@ class ThreadSystem {
   /// as last published by each worker; exact at quiescence.
   [[nodiscard]] std::int64_t wheel_entries() const;
 
+  /// Attaches an external typed event recorder (tools that export traces).
+  /// Must be called before start(); \p rec must outlive this system.
+  /// Overrides the Config::trace_depth internal recorder.
+  void attach_recorder(obs::Recorder* rec);
+
+  /// The active recorder: external if attached, else the internal
+  /// Config::trace_depth one, else nullptr.
+  [[nodiscard]] obs::Recorder* recorder() const { return recorder_; }
+
  private:
   friend class ThreadHost;
   friend class Worker;
@@ -307,8 +317,14 @@ class ThreadSystem {
     return stopping_.load(std::memory_order_acquire);
   }
 
+  void bind_recorder_rings();
+
   Config cfg_;
   std::chrono::steady_clock::time_point epoch_;
+  /// Owned recorder (Config::trace_depth); declared before hosts_/workers_
+  /// so rings outlive every thread that can still push into them.
+  std::unique_ptr<obs::Recorder> recorder_owned_;
+  obs::Recorder* recorder_{nullptr};
   /// Delay/loss draws for sends from threads that are not workers (tests,
   /// monitors, legacy host threads). In legacy mode this lock on every
   /// route IS the old design — and the contention bench_e9 measures.

@@ -41,6 +41,35 @@ SocketEnv::SocketEnv(Options opts)
       epoch_(std::chrono::steady_clock::now()) {
   assert(!opts_.peers.empty());
   assert(opts_.self >= 0 && opts_.self < n());
+  // Register-once, bump-direct: the wire paths below never build counter
+  // name strings.
+  peer_cells_.resize(static_cast<std::size_t>(n()));
+  for (ProcessId p = 0; p < n(); ++p) {
+    const std::string suffix = ".p" + std::to_string(p);
+    auto& cells = peer_cells_[static_cast<std::size_t>(p)];
+    cells.sent = metrics_.counter("net.sent" + suffix);
+    cells.sent_batched = metrics_.counter("net.sent_batched" + suffix);
+    cells.sent_single = metrics_.counter("net.sent_single" + suffix);
+    cells.recv = metrics_.counter("net.recv" + suffix);
+  }
+  send_batch_hist_ = metrics_.histogram("net.send_batch");
+}
+
+void SocketEnv::attach_recorder(obs::Recorder* rec) {
+  assert(!started_ && "attach_recorder before start()");
+  if (rec == nullptr) {
+    bind_obs(nullptr, -1);
+    return;
+  }
+  rec->meta().source = "socket";
+  rec->meta().clock = obs::ClockDomain::kMonotonic;
+  rec->meta().wall_epoch_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count() -
+      now();
+  rec->bind_hosts(n());
+  bind_obs(rec, opts_.self);
 }
 
 SocketEnv::~SocketEnv() {
@@ -121,6 +150,7 @@ void SocketEnv::send(ProcessId dst, Message m) {
   assert(dst >= 0 && dst < n());
   m.src = opts_.self;
   m.dst = dst;
+  record(EventType::kSend, dst, m.protocol);
 
   if (dst == opts_.self) {
     // Self-sends never touch the wire (mirrors the other backends'
@@ -133,17 +163,18 @@ void SocketEnv::send(ProcessId dst, Message m) {
   std::vector<std::uint8_t> frame;
   std::string error;
   if (!wire::encode_message(m, &frame, &error)) {
-    counters_.add("net.encode_error");
+    metrics_.add("net.encode_error");
     trace("net.encode_error", key + ": " + error);
     return;
   }
 
   // Injected chaos: drop, or hold the encoded frame back for a while.
   if (opts_.loss > 0.0 && rng_.chance(opts_.loss)) {
-    counters_.add(key + ".dropped");
+    metrics_.add(key + ".dropped");
+    record(EventType::kDrop, dst, m.protocol);
     return;
   }
-  counters_.add(key + ".sent");
+  metrics_.add(key + ".sent");
   if (opts_.max_extra_delay > 0) {
     const DurUs delay =
         rng_.range(opts_.min_extra_delay, opts_.max_extra_delay);
@@ -182,9 +213,11 @@ void SocketEnv::flush_sends() {
       if (sent > 0) {
         for (int i = 0; i < sent; ++i) {
           const ProcessId dst = out_[done + static_cast<std::size_t>(i)].dst;
-          counters_.add("net.sent.p" + std::to_string(dst));
-          counters_.add("net.sent_batched.p" + std::to_string(dst));
+          auto& cells = peer_cells_[static_cast<std::size_t>(dst)];
+          cells.sent->fetch_add(1, std::memory_order_relaxed);
+          cells.sent_batched->fetch_add(1, std::memory_order_relaxed);
         }
+        send_batch_hist_->observe(sent);
         done += static_cast<std::size_t>(sent);
         continue;
       }
@@ -194,7 +227,7 @@ void SocketEnv::flush_sends() {
       }
       // UDP is lossy by contract; ENOBUFS etc. just drop the head datagram
       // (matching the old per-datagram behaviour) and keep making progress.
-      counters_.add("net.send_error");
+      metrics_.add("net.send_error");
       ++done;
       continue;
     }
@@ -205,10 +238,12 @@ void SocketEnv::flush_sends() {
                  reinterpret_cast<const sockaddr*>(sa.data()),
                  static_cast<socklen_t>(sa.size()));
     if (sent < 0) {
-      counters_.add("net.send_error");
+      metrics_.add("net.send_error");
     } else {
-      counters_.add("net.sent.p" + std::to_string(ps.dst));
-      counters_.add("net.sent_single.p" + std::to_string(ps.dst));
+      auto& cells = peer_cells_[static_cast<std::size_t>(ps.dst)];
+      cells.sent->fetch_add(1, std::memory_order_relaxed);
+      cells.sent_single->fetch_add(1, std::memory_order_relaxed);
+      send_batch_hist_->observe(1);
     }
     ++done;
   }
@@ -219,14 +254,21 @@ TimerId SocketEnv::set_timer(DurUs delay, std::function<void()> fn) {
   const TimerId id = next_timer_++;
   timers_.push(Timer{now() + (delay < 0 ? 0 : delay), next_seq_++, id,
                      std::move(fn)});
+  record(EventType::kTimerSet, -1, static_cast<std::int64_t>(id));
   return id;
 }
 
 void SocketEnv::cancel_timer(TimerId id) {
-  if (id != kInvalidTimer) cancelled_.insert(id);
+  if (id == kInvalidTimer) return;
+  cancelled_.insert(id);
+  record(EventType::kTimerCancel, -1, static_cast<std::int64_t>(id));
 }
 
 void SocketEnv::trace(const std::string& tag, const std::string& detail) {
+  if (recording()) {
+    record(EventType::kNote, -1, recorder()->intern(detail),
+           recorder()->intern(tag));
+  }
   if (!opts_.trace_to_stderr) return;
   std::fprintf(stderr, "[%lld] p%d %s %s\n",
                static_cast<long long>(now()), opts_.self, tag.c_str(),
@@ -253,9 +295,10 @@ void SocketEnv::fire_due_timers() {
 void SocketEnv::deliver(const Message& m) {
   const auto it = by_id_.find(m.protocol);
   if (it == by_id_.end()) {
-    counters_.add("net.unknown_protocol");
+    metrics_.add("net.unknown_protocol");
     return;
   }
+  record(EventType::kDeliver, m.src, m.protocol);
   it->second->on_message(m);
 }
 
@@ -263,17 +306,18 @@ void SocketEnv::handle_frame(const std::uint8_t* data, std::size_t len) {
   std::string error;
   auto decoded = wire::decode_message(data, len, &error);
   if (!decoded) {
-    counters_.add("net.decode_error");
+    metrics_.add("net.decode_error");
     trace("net.decode_error", error);
     return;
   }
   // A frame for another node (misconfigured peer table, stale sender)
   // is rejected here — protocols only ever see their own traffic.
   if (decoded->dst != opts_.self || decoded->src < 0 || decoded->src >= n()) {
-    counters_.add("net.misaddressed");
+    metrics_.add("net.misaddressed");
     return;
   }
-  counters_.add("net.recv.p" + std::to_string(decoded->src));
+  peer_cells_[static_cast<std::size_t>(decoded->src)].recv->fetch_add(
+      1, std::memory_order_relaxed);
   deliver(*decoded);
 }
 

@@ -10,7 +10,7 @@
 #include <vector>
 
 #include "net/env.hpp"
-#include "sim/stats.hpp"
+#include "obs/metrics.hpp"
 #include "transport/node_config.hpp"
 
 /// \file socket_env.hpp
@@ -89,14 +89,22 @@ class SocketEnv final : public Env {
   /// timer or message callback.
   void stop() { stopping_ = true; }
 
-  /// Per-peer and per-label traffic counters:
+  /// Per-peer and per-label traffic accounting, now on the unified
+  /// obs::MetricsRegistry (same .get() lookups as the old sim::Counters):
   ///   "msg.<label>.sent/.dropped", "net.sent.p<dst>", "net.recv.p<src>",
   ///   "net.decode_error", "net.misaddressed", "net.unknown_protocol".
   /// Syscall batching is observable per peer: "net.sent_batched.p<dst>"
   /// counts datagrams that left in a sendmmsg(2) batch of two or more,
   /// "net.sent_single.p<dst>" those sent one-at-a-time (batch of one, or
   /// the sendto(2) fallback); the two always sum to "net.sent.p<dst>".
-  [[nodiscard]] sim::Counters& counters() { return counters_; }
+  /// The "net.send_batch" histogram records the datagrams-per-syscall
+  /// distribution the batching achieves.
+  [[nodiscard]] obs::MetricsRegistry& counters() { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Attaches a typed event recorder; this node's events go to ring(self).
+  /// Call before start(); \p rec must outlive this env.
+  void attach_recorder(obs::Recorder* rec);
 
   /// Local UDP port actually bound (differs from the peer table when the
   /// configured port was 0 = ephemeral; used by tests).
@@ -145,8 +153,19 @@ class SocketEnv final : public Env {
   void handle_frame(const std::uint8_t* data, std::size_t len);
   void deliver(const Message& m);
 
+  /// Pre-registered per-peer counter cells (bind-time registration,
+  /// direct bumps on the send/receive paths — see MetricsRegistry docs).
+  struct PeerCells {
+    obs::MetricsRegistry::Cell* sent{nullptr};
+    obs::MetricsRegistry::Cell* sent_batched{nullptr};
+    obs::MetricsRegistry::Cell* sent_single{nullptr};
+    obs::MetricsRegistry::Cell* recv{nullptr};
+  };
+
   Options opts_;
-  sim::Counters counters_;
+  obs::MetricsRegistry metrics_;
+  std::vector<PeerCells> peer_cells_;
+  obs::Histogram* send_batch_hist_{nullptr};
   Rng rng_;
   std::chrono::steady_clock::time_point epoch_;
 

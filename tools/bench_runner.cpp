@@ -9,6 +9,7 @@
 // from the counting operator new linked into this binary.
 //
 //   bench_runner [--quick] [--jobs N] [--json FILE] [--check]
+//                [--metrics FILE] [--trace FILE] [--trace-case EXP]
 //
 // --quick    CI-sized suite (seconds, not minutes)
 // --jobs N   worker threads for the parallel pass (default: all cores)
@@ -17,6 +18,11 @@
 // --check    prepend a property-checked pass: a fault-injection matrix
 //            (4 profiles x seeds) run under the online monitors
 //            (src/check/); any required-property violation fails the run
+// --metrics F  write the run's counters and per-case wall-time histograms
+//            as ecfd.metrics.v1 JSON
+// --trace F  re-run one case with the typed event recorder attached and
+//            write its ecfd.trace.v1 timeline; --trace-case picks the
+//            experiment (first case of it; default: first traceable case)
 //
 // Exit status: 0 on success, 1 on sequential-vs-parallel hash mismatch or
 // a --check property violation, 2 on bad usage.
@@ -24,12 +30,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "check/fuzz.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "runner/suite.hpp"
 #include "runner/thread_pool.hpp"
 #include "sim/alloc_counter.hpp"
@@ -118,6 +127,9 @@ int main(int argc, char** argv) {
   bool quick = false;
   bool check = false;
   std::string json_path;
+  std::string metrics_path;
+  std::string trace_path;
+  std::string trace_case;
   unsigned jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 2;
 
@@ -132,10 +144,17 @@ int main(int argc, char** argv) {
       if (jobs == 0) jobs = 1;
     } else if (arg == "--json" && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--trace-case" && i + 1 < argc) {
+      trace_case = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: bench_runner [--quick] [--jobs N] [--json FILE] "
-                   "[--check]\n");
+                   "[--check] [--metrics FILE] [--trace FILE] "
+                   "[--trace-case EXP]\n");
       return 2;
     }
   }
@@ -317,6 +336,85 @@ int main(int argc, char** argv) {
       std::fputs(j.c_str(), f);
       std::fclose(f);
     }
+  }
+
+  // --- ecfd.metrics.v1 report -------------------------------------------
+  if (!metrics_path.empty()) {
+    ecfd::obs::MetricsRegistry metrics;
+    metrics.add("bench.cases", static_cast<std::int64_t>(suite.size()));
+    metrics.add("bench.mismatches", static_cast<std::int64_t>(mismatches));
+    metrics.add("bench.check_violations",
+                static_cast<std::int64_t>(check_violations));
+    metrics.add("bench.events", static_cast<std::int64_t>(total_events));
+    metrics.add("bench.msgs", total_msgs);
+    metrics.add("bench.allocs.seq", static_cast<std::int64_t>(seq_allocs));
+    metrics.add("bench.allocs.par", static_cast<std::int64_t>(par_allocs));
+    metrics.add("bench.seq_wall_us",
+                static_cast<std::int64_t>(seq_wall * 1e6));
+    metrics.add("bench.par_wall_us",
+                static_cast<std::int64_t>(par_wall * 1e6));
+    for (const auto& [name, a] : agg) {
+      metrics.add("bench." + name + ".cases",
+                  static_cast<std::int64_t>(a.cases));
+      metrics.add("bench." + name + ".events",
+                  static_cast<std::int64_t>(a.events));
+      metrics.add("bench." + name + ".msgs", a.msgs);
+    }
+    // Per-case wall times as log-bucketed histograms, one per experiment
+    // and pass — the distribution (straggler cases, parallel-pass skew) is
+    // invisible in the aggregate means above.
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+      metrics.histogram("bench." + suite[i].experiment + ".case_wall_us.seq")
+          ->observe(static_cast<std::int64_t>(seq_case_wall[i] * 1e6));
+    }
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                   metrics_path.c_str());
+      return 2;
+    }
+    metrics.write_json(os, "bench_runner");
+    std::fprintf(stderr, "bench_runner: metrics written: %s\n",
+                 metrics_path.c_str());
+  }
+
+  // --- One traced case --------------------------------------------------
+  if (!trace_path.empty()) {
+    const CaseSpec* pick = nullptr;
+    for (const CaseSpec& spec : suite) {
+      if (!spec.run_traced) continue;
+      if (trace_case.empty() || spec.experiment == trace_case) {
+        pick = &spec;
+        break;
+      }
+    }
+    if (pick == nullptr) {
+      std::fprintf(stderr, "bench_runner: no traceable case%s%s\n",
+                   trace_case.empty() ? "" : " in experiment ",
+                   trace_case.c_str());
+      return 2;
+    }
+    ecfd::obs::Recorder recorder(4096);
+    const CaseMetrics traced = pick->run_traced(&recorder);
+    const CaseMetrics* ref = &seq[static_cast<std::size_t>(pick - suite.data())];
+    if (traced.hash != ref->hash) {
+      // Recording must be invisible to the simulation; a hash drift here
+      // means an observability probe perturbed the run.
+      std::fprintf(stderr,
+                   "bench_runner: traced re-run hash mismatch on %s %s\n",
+                   pick->experiment.c_str(), pick->config.c_str());
+      return 1;
+    }
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::fprintf(stderr, "bench_runner: cannot write %s\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    recorder.write_trace_json(os);
+    std::fprintf(stderr, "bench_runner: trace of %s %s written: %s\n",
+                 pick->experiment.c_str(), pick->config.c_str(),
+                 trace_path.c_str());
   }
 
   return mismatches == 0 && check_violations == 0 ? 0 : 1;

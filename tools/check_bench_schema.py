@@ -1,13 +1,23 @@
 #!/usr/bin/env python3
-"""Compare two ecfd.bench.v1 JSON reports by SCHEMA, never by value.
+"""Validate ecfd observability/benchmark JSON by SCHEMA, never by value.
 
-Usage: check_bench_schema.py BASELINE.json CANDIDATE.json
+Usage:
+  check_bench_schema.py BASELINE.json CANDIDATE.json
+  check_bench_schema.py --metrics FILE.json
+  check_bench_schema.py --trace FILE.json
+  check_bench_schema.py --chrome FILE.json
 
-Wall-clock benchmark numbers move between machines and runs, so CI cannot
-gate on them. What CI *can* gate on is the report shape: same schema tag,
-same bench name, same table sections in the same order, same column headers,
-rows present with the right arity. A refactor that silently drops a table or
-renames a column fails here; a slower runner does not.
+Default mode compares two ecfd.bench.v1 reports. Wall-clock benchmark
+numbers move between machines and runs, so CI cannot gate on them. What CI
+*can* gate on is the report shape: same schema tag, same bench name, same
+table sections in the same order, same column headers, rows present with
+the right arity. A refactor that silently drops a table or renames a column
+fails here; a slower runner does not.
+
+The flag modes validate a single file against the corresponding fixed
+schema: --metrics checks an ecfd.metrics.v1 registry dump, --trace an
+ecfd.trace.v1 typed event trace, --chrome a Chrome-trace JSON export
+(the object form with "traceEvents").
 
 Exit status: 0 on match, 1 on mismatch (with a diff-style explanation on
 stderr), 2 on unreadable input.
@@ -15,6 +25,12 @@ stderr), 2 on unreadable input.
 
 import json
 import sys
+
+TRACE_EVENT_TYPES = {
+    "send", "deliver", "timer_set", "timer_cancel", "drop", "suspect",
+    "unsuspect", "leader_change", "round_start", "decide", "crash",
+    "verdict", "note",
+}
 
 
 def fail(msg: str) -> None:
@@ -53,7 +69,114 @@ def table_shape(doc, path: str):
     return doc["schema"], doc["bench"], shape
 
 
+def check_metrics(path: str) -> int:
+    """Validates one ecfd.metrics.v1 registry dump."""
+    doc = load(path)
+    if doc.get("schema") != "ecfd.metrics.v1":
+        fail(f"{path}: schema tag '{doc.get('schema')}' != 'ecfd.metrics.v1'")
+    if not isinstance(doc.get("source"), str) or not doc["source"]:
+        fail(f"{path}: missing/empty 'source'")
+    for section in ("counters", "gauges"):
+        if not isinstance(doc.get(section), dict):
+            fail(f"{path}: '{section}' is not an object")
+        for name, v in doc[section].items():
+            if not isinstance(v, int):
+                fail(f"{path}: {section}['{name}'] is not an integer")
+    if not isinstance(doc.get("histograms"), dict):
+        fail(f"{path}: 'histograms' is not an object")
+    for name, h in doc["histograms"].items():
+        for key in ("count", "sum", "buckets"):
+            if key not in h:
+                fail(f"{path}: histograms['{name}'] missing '{key}'")
+        if not isinstance(h["buckets"], list) or not all(
+            isinstance(b, int) and b >= 0 for b in h["buckets"]
+        ):
+            fail(f"{path}: histograms['{name}'].buckets malformed")
+        if sum(h["buckets"]) != h["count"]:
+            fail(
+                f"{path}: histograms['{name}'] bucket sum "
+                f"{sum(h['buckets'])} != count {h['count']}"
+            )
+    print(
+        f"metrics schema OK: {path}, {len(doc['counters'])} counters, "
+        f"{len(doc['gauges'])} gauges, {len(doc['histograms'])} histograms"
+    )
+    return 0
+
+
+def check_trace(path: str) -> int:
+    """Validates one ecfd.trace.v1 typed event trace."""
+    doc = load(path)
+    if doc.get("schema") != "ecfd.trace.v1":
+        fail(f"{path}: schema tag '{doc.get('schema')}' != 'ecfd.trace.v1'")
+    if doc.get("source") not in ("sim", "runtime", "socket"):
+        fail(f"{path}: unknown source '{doc.get('source')}'")
+    if doc.get("clock") not in ("virtual", "monotonic"):
+        fail(f"{path}: unknown clock '{doc.get('clock')}'")
+    for key in ("wall_epoch_us", "n", "depth", "dropped"):
+        if not isinstance(doc.get(key), int):
+            fail(f"{path}: '{key}' missing or not an integer")
+    strings = doc.get("strings")
+    if not isinstance(strings, list) or not all(
+        isinstance(s, str) for s in strings
+    ):
+        fail(f"{path}: 'strings' is not a list of strings")
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail(f"{path}: 'events' is not a list")
+    n = doc["n"]
+    for i, e in enumerate(events):
+        if not isinstance(e, list) or len(e) != 6:
+            fail(f"{path}: events[{i}] is not a 6-element row")
+        time_us, host, etype, a, b, label = e
+        if not isinstance(time_us, int) or time_us < 0:
+            fail(f"{path}: events[{i}] bad time {time_us!r}")
+        if not isinstance(host, int) or host < -1 or host >= max(n, 1):
+            fail(f"{path}: events[{i}] host {host!r} out of range for n={n}")
+        if etype not in TRACE_EVENT_TYPES:
+            fail(f"{path}: events[{i}] unknown type '{etype}'")
+        if not isinstance(label, int) or label >= len(strings):
+            fail(f"{path}: events[{i}] label {label!r} out of string table")
+    print(f"trace schema OK: {path}, n={n}, {len(events)} events")
+    return 0
+
+
+def check_chrome(path: str) -> int:
+    """Validates a Chrome-trace JSON export (the object form)."""
+    doc = load(path)
+    if not isinstance(doc.get("traceEvents"), list):
+        fail(f"{path}: 'traceEvents' is not a list")
+    if not doc["traceEvents"]:
+        fail(f"{path}: empty traceEvents")
+    phases = {"M", "i", "X"}
+    for i, e in enumerate(doc["traceEvents"]):
+        ph = e.get("ph")
+        if ph not in phases:
+            fail(f"{path}: traceEvents[{i}] unknown phase '{ph}'")
+        if "pid" not in e:
+            fail(f"{path}: traceEvents[{i}] missing 'pid'")
+        if ph != "M":
+            if "ts" not in e or "name" not in e:
+                fail(f"{path}: traceEvents[{i}] ({ph}) missing ts/name")
+            if ph == "X" and "dur" not in e:
+                fail(f"{path}: traceEvents[{i}] span missing 'dur'")
+    other = doc.get("otherData", {})
+    if other.get("schema") != "ecfd.trace.v1":
+        fail(f"{path}: otherData.schema != 'ecfd.trace.v1'")
+    print(f"chrome trace OK: {path}, {len(doc['traceEvents'])} events")
+    return 0
+
+
 def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] in (
+        "--metrics", "--trace", "--chrome"
+    ):
+        mode, path = sys.argv[1], sys.argv[2]
+        if mode == "--metrics":
+            return check_metrics(path)
+        if mode == "--trace":
+            return check_trace(path)
+        return check_chrome(path)
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)
         return 2

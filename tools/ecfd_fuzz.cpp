@@ -9,7 +9,12 @@
 // schedule and written as a replayable repro file; the run exits 1.
 //
 // Replay mode (--replay FILE): re-run a recorded repro and verify the run
-// digest matches bit for bit; exits 0 on an exact reproduction.
+// digest matches bit for bit; exits 0 on an exact reproduction. With
+// --trace the replay records the typed event timeline (including the
+// monitor's verdict flips) as ecfd.trace.v1 JSON for tools/ecfd_trace —
+// the intended debugging loop: fuzz finds and shrinks a schedule, replay
+// turns it into a causally ordered story. --metrics dumps the replay's
+// counter registry as ecfd.metrics.v1 JSON.
 //
 //   ecfd_fuzz [--seeds N] [--seed0 S] [--n N] [--jobs T]
 //             [--profile crash|partition|loss_delay|churn|all]
@@ -17,18 +22,22 @@
 //             [--fd ring|heartbeat_p|omega_heartbeat|efficient_p]
 //             [--horizon-ms M] [--chaos-end-ms M] [--margin-ms M]
 //             [--out DIR] [--no-shrink] [--replay FILE] [--verbose]
+//             [--trace FILE] [--trace-depth N] [--metrics FILE]
 //
 // Exit status: 0 = no violations (or exact replay), 1 = violation found
 // (or replay mismatch), 2 = bad usage.
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "check/fuzz.hpp"
 #include "check/repro.hpp"
+#include "obs/metrics.hpp"
 #include "runner/thread_pool.hpp"
 
 using namespace ecfd;
@@ -42,17 +51,60 @@ void usage() {
                "                 [--profile P|all] [--algo A] [--fd F]\n"
                "                 [--horizon-ms M] [--chaos-end-ms M]\n"
                "                 [--margin-ms M] [--out DIR] [--no-shrink]\n"
-               "                 [--replay FILE] [--verbose]\n");
+               "                 [--replay FILE] [--verbose]\n"
+               "                 [--trace FILE] [--trace-depth N] "
+               "[--metrics FILE]   (replay mode)\n");
 }
 
-int replay_file(const std::string& path, bool verbose) {
+/// Replay-mode observability outputs; empty paths = off.
+struct ReplayObs {
+  std::string trace_path;
+  std::size_t trace_depth{4096};
+  std::string metrics_path;
+};
+
+int replay_file(const std::string& path, bool verbose, const ReplayObs& o) {
   std::string err;
   const auto repro = load_repro(path, &err);
   if (!repro) {
     std::fprintf(stderr, "ecfd_fuzz: %s\n", err.c_str());
     return 2;
   }
-  const FuzzOutcome out = replay(*repro);
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!o.trace_path.empty()) {
+    recorder = std::make_unique<obs::Recorder>(o.trace_depth);
+  }
+  const FuzzOutcome out = replay(*repro, recorder.get());
+  if (recorder != nullptr) {
+    std::ofstream os(o.trace_path);
+    if (!os) {
+      std::fprintf(stderr, "ecfd_fuzz: cannot open %s for the trace\n",
+                   o.trace_path.c_str());
+      return 2;
+    }
+    recorder->write_trace_json(os);
+    std::fprintf(stderr, "replay: trace written: %s\n", o.trace_path.c_str());
+  }
+  if (!o.metrics_path.empty()) {
+    obs::MetricsRegistry metrics;
+    metrics.import_counters(out.counters);
+    metrics.add("run.sim_end_us", out.sim_end);
+    metrics.add("run.violations",
+                static_cast<std::int64_t>(out.violations.size()));
+    if (recorder != nullptr) {
+      metrics.add("obs.dropped",
+                  static_cast<std::int64_t>(recorder->dropped_total()));
+    }
+    std::ofstream os(o.metrics_path);
+    if (!os) {
+      std::fprintf(stderr, "ecfd_fuzz: cannot open %s for metrics\n",
+                   o.metrics_path.c_str());
+      return 2;
+    }
+    metrics.write_json(os, "ecfd_fuzz");
+    std::fprintf(stderr, "replay: metrics written: %s\n",
+                 o.metrics_path.c_str());
+  }
   if (verbose) {
     for (const Verdict& v : out.verdicts) {
       std::fprintf(stderr, "  %s\n", v.to_string().c_str());
@@ -86,6 +138,7 @@ int main(int argc, char** argv) {
   std::string profile_arg = "all";
   std::string out_dir = ".";
   std::string replay_path;
+  ReplayObs robs;
   bool shrink = true;
   bool verbose = false;
 
@@ -140,6 +193,12 @@ int main(int argc, char** argv) {
       shrink = false;
     } else if (a == "--replay") {
       replay_path = next();
+    } else if (a == "--trace") {
+      robs.trace_path = next();
+    } else if (a == "--trace-depth") {
+      robs.trace_depth = std::stoul(next());
+    } else if (a == "--metrics") {
+      robs.metrics_path = next();
     } else if (a == "--verbose") {
       verbose = true;
     } else {
@@ -149,7 +208,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  if (!replay_path.empty()) return replay_file(replay_path, verbose);
+  if (!replay_path.empty()) return replay_file(replay_path, verbose, robs);
+  if (!robs.trace_path.empty() || !robs.metrics_path.empty()) {
+    std::fprintf(stderr, "--trace/--metrics require --replay\n");
+    return 2;
+  }
 
   std::vector<FuzzProfile> profiles;
   if (profile_arg == "all") {

@@ -9,6 +9,7 @@
 //
 //   ecfd_node --config cluster.ini --id 0 [--fd F] [--consensus]
 //             [--propose V] [--run-ms MS] [--report-ms MS] [--verbose]
+//             [--metrics-port P] [--metrics FILE] [--trace FILE]
 //
 //   --fd F       heartbeat_p   all-to-all heartbeat ◇P (n(n-1) msgs/period)
 //                efficient_p   Section 4 piggybacked 2(n-1) ◇P + Omega
@@ -20,6 +21,12 @@
 //                this node's id) once the cluster has had a moment to form
 //   --run-ms     exit after this long (default: run until killed)
 //   --report-ms  output period (default 500)
+//   --metrics-port P  serve the live counter registry as a plain-text
+//                HTTP endpoint on 127.0.0.1:P (curl or nc it any time)
+//   --metrics FILE  write the final registry as ecfd.metrics.v1 JSON
+//   --trace FILE  record typed events and write this node's ecfd.trace.v1
+//                timeline at exit; merge the per-node files with
+//                tools/ecfd_trace (wall-clock epochs align them)
 //
 // Output: one JSON line per report period on stdout,
 //   {"t_ms":1500,"node":0,"fd":"ecfd","suspected":[2],"trusted":1,
@@ -28,13 +35,20 @@
 // Exit code: 0 on clean --run-ms exit, 2 on usage/config errors.
 // See README.md ("Real-network quickstart") and examples/cluster_demo.sh.
 
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "broadcast/reliable_broadcast.hpp"
 #include "core/c_to_p.hpp"
@@ -66,7 +80,10 @@ void usage() {
       "  --propose V     consensus proposal (default: node id)\n"
       "  --run-ms MS     exit after MS ms (default: until SIGINT/SIGTERM)\n"
       "  --report-ms MS  report period (default 500)\n"
-      "  --verbose       trace protocol events to stderr\n";
+      "  --verbose       trace protocol events to stderr\n"
+      "  --metrics-port P  serve live counters as text on 127.0.0.1:P\n"
+      "  --metrics FILE  write final counters as ecfd.metrics.v1 JSON\n"
+      "  --trace FILE    write this node's ecfd.trace.v1 timeline at exit\n";
 }
 
 /// The assembled detector stack; all protocols are owned by the env, the
@@ -135,7 +152,7 @@ Stack build_fd(SocketEnv& env, const NodeConfig& cfg, const std::string& fd) {
 std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
                         const Stack& stack,
                         const consensus::ConsensusProtocol* cons,
-                        sim::Counters& counters, int n) {
+                        obs::MetricsRegistry& counters, int n) {
   std::string out = "{\"t_ms\":" + std::to_string(t / 1000) +
                     ",\"node\":" + std::to_string(self) + ",\"fd\":\"" + fd +
                     "\"";
@@ -167,6 +184,50 @@ std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
   return out;
 }
 
+/// Serves the registry's text exposition on 127.0.0.1:\p port, one
+/// connection at a time, from a detached thread. MetricsRegistry reads are
+/// thread-safe (atomic cells), so the event loop is never blocked.
+/// Returns false (with a perror) when the port cannot be bound.
+bool serve_metrics(std::uint16_t port, obs::MetricsRegistry& metrics) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("ecfd_node: metrics socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd, 4) < 0) {
+    std::perror("ecfd_node: metrics bind/listen");
+    ::close(fd);
+    return false;
+  }
+  std::thread([fd, &metrics] {
+    for (;;) {
+      const int conn = ::accept(fd, nullptr, nullptr);
+      if (conn < 0) continue;
+      std::ostringstream body;
+      metrics.write_text(body);
+      const std::string text = body.str();
+      const std::string resp =
+          "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
+          std::to_string(text.size()) + "\r\n\r\n" + text;
+      std::size_t off = 0;
+      while (off < resp.size()) {
+        const ssize_t w = ::write(conn, resp.data() + off, resp.size() - off);
+        if (w <= 0) break;
+        off += static_cast<std::size_t>(w);
+      }
+      ::close(conn);
+    }
+  }).detach();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -178,6 +239,9 @@ int main(int argc, char** argv) {
   std::int64_t run_ms = -1;
   std::int64_t report_ms = 500;
   bool verbose = false;
+  int metrics_port = -1;
+  std::string metrics_path;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -207,6 +271,12 @@ int main(int argc, char** argv) {
       report_ms = std::stoll(next());
     } else if (a == "--verbose") {
       verbose = true;
+    } else if (a == "--metrics-port") {
+      metrics_port = std::stoi(next());
+    } else if (a == "--metrics") {
+      metrics_path = next();
+    } else if (a == "--trace") {
+      trace_path = next();
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       usage();
@@ -244,6 +314,17 @@ int main(int argc, char** argv) {
   SocketEnv env(opts);
   if (!env.open(&error)) {
     std::cerr << "ecfd_node: " << error << "\n";
+    return 2;
+  }
+
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!trace_path.empty()) {
+    recorder = std::make_unique<obs::Recorder>(4096);
+    env.attach_recorder(recorder.get());
+  }
+  if (metrics_port >= 0 &&
+      !serve_metrics(static_cast<std::uint16_t>(metrics_port),
+                     env.metrics())) {
     return 2;
   }
 
@@ -304,5 +385,22 @@ int main(int argc, char** argv) {
   std::cout << report_line(env.now(), id, fd_name, stack, cons,
                            env.counters(), env.n())
             << std::endl;
+
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "ecfd_node: cannot open " << metrics_path << "\n";
+      return 2;
+    }
+    env.metrics().write_json(os, "ecfd_node");
+  }
+  if (recorder != nullptr) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "ecfd_node: cannot open " << trace_path << "\n";
+      return 2;
+    }
+    recorder->write_trace_json(os);
+  }
   return 0;
 }

@@ -8,6 +8,8 @@
 //            [--gst MS] [--delta MS] [--stable-at MS] [--horizon MS]
 //            [--max-rounds R] [--ewa-only] [--leader K] [--verbose]
 //            [--check] [--check-margin MS]
+//            [--trace FILE] [--trace-chrome FILE] [--trace-depth N]
+//            [--metrics FILE]
 //
 // Examples:
 //   ecfd_sim --n 7 --algo c --fd ring --crash 0@300 --crash 5@500
@@ -18,16 +20,27 @@
 // monitors (src/check/) and prints a per-property verdict table; eventual
 // properties must stabilize at least --check-margin ms before the end.
 //
+// With --trace the run records typed events (sends, deliveries, suspicions,
+// leader changes, rounds, decisions — plus monitor verdict flips under
+// --check) into per-host rings and writes an ecfd.trace.v1 JSON file for
+// tools/ecfd_trace; --trace-chrome writes the Chrome-trace rendering
+// directly. --metrics writes the run's counter registry as
+// ecfd.metrics.v1 JSON.
+//
 // Exit code: 0 when every correct process decided and all consensus
 // properties held (and, with --check, no monitored property failed);
 // 1 otherwise.
 
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "check/sim_monitor.hpp"
 #include "consensus/harness.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 using namespace ecfd;
 using namespace ecfd::consensus;
@@ -53,7 +66,11 @@ void usage() {
       "  --verbose        print the per-process outcome table\n"
       "  --check          attach online property monitors; run to horizon\n"
       "  --check-margin MS  stabilization margin for eventual properties\n"
-      "                     (default 2000)\n";
+      "                     (default 2000)\n"
+      "  --trace FILE     write the typed event trace (ecfd.trace.v1 JSON)\n"
+      "  --trace-chrome FILE  write the Chrome-trace rendering directly\n"
+      "  --trace-depth N  per-host hot-ring capacity (default 4096)\n"
+      "  --metrics FILE   write run counters as ecfd.metrics.v1 JSON\n";
 }
 
 bool parse_crash(const std::string& arg, ScenarioConfig& sc) {
@@ -79,6 +96,10 @@ int main(int argc, char** argv) {
   bool verbose = false;
   bool check_mode = false;
   DurUs check_margin = sec(2);
+  std::string trace_path;
+  std::string trace_chrome_path;
+  std::size_t trace_depth = 4096;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -136,17 +157,37 @@ int main(int argc, char** argv) {
       check_mode = true;
     } else if (a == "--check-margin") {
       check_margin = msec(std::stoll(next()));
+    } else if (a == "--trace") {
+      trace_path = next();
+    } else if (a == "--trace-chrome") {
+      trace_chrome_path = next();
+    } else if (a == "--trace-depth") {
+      trace_depth = std::stoul(next());
+    } else if (a == "--metrics") {
+      metrics_path = next();
     } else {
       std::cerr << "unknown flag " << a << " (try --help)\n";
       return 2;
     }
   }
 
+  // The recorder outlives the simulated System (it is snapshotted after
+  // run_consensus returns), so it lives here and is attached by the
+  // instrument hook.
+  std::unique_ptr<obs::Recorder> recorder;
+  if (!trace_path.empty() || !trace_chrome_path.empty()) {
+    recorder = std::make_unique<obs::Recorder>(trace_depth);
+  }
+
   check::SimMonitor monitor(check::SimMonitor::Config{});
-  if (check_mode) {
-    cfg.run_to_horizon = true;  // monitors need the stabilization tail
+  if (check_mode || recorder != nullptr) {
+    if (check_mode) cfg.run_to_horizon = true;  // monitors need the tail
     cfg.instrument = [&](const HarnessInstruments& inst) {
-      monitor.install_from(inst, cfg.horizon);
+      if (recorder != nullptr) inst.sys.attach_recorder(recorder.get());
+      if (check_mode) {
+        if (recorder != nullptr) monitor.set_recorder(recorder.get());
+        monitor.install_from(inst, cfg.horizon);
+      }
     };
   }
 
@@ -180,6 +221,47 @@ int main(int argc, char** argv) {
     }
     ok = ok && monitor.violations(r.sim_end, check_margin).empty();
   }
+
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    if (!os) {
+      std::cerr << "cannot open " << trace_path << " for the trace\n";
+      return 2;
+    }
+    recorder->write_trace_json(os);
+    std::cout << "trace written: " << trace_path << "\n";
+  }
+  if (!trace_chrome_path.empty()) {
+    std::ofstream os(trace_chrome_path);
+    if (!os) {
+      std::cerr << "cannot open " << trace_chrome_path << " for the trace\n";
+      return 2;
+    }
+    obs::write_chrome_trace(
+        os, obs::merge({obs::snapshot_doc(*recorder, "ecfd_sim")}));
+    std::cout << "chrome trace written: " << trace_chrome_path << "\n";
+  }
+  if (!metrics_path.empty()) {
+    obs::MetricsRegistry metrics;
+    metrics.import_counters(r.counters);
+    metrics.add("run.events_fired", static_cast<std::int64_t>(r.events_fired));
+    metrics.add("run.sim_end_us", r.sim_end);
+    metrics.add("run.msgs.consensus", r.consensus_msgs);
+    metrics.add("run.msgs.rb", r.rb_msgs);
+    metrics.add("run.msgs.fd", r.fd_msgs);
+    if (recorder != nullptr) {
+      metrics.add("obs.dropped",
+                  static_cast<std::int64_t>(recorder->dropped_total()));
+    }
+    std::ofstream os(metrics_path);
+    if (!os) {
+      std::cerr << "cannot open " << metrics_path << " for metrics\n";
+      return 2;
+    }
+    metrics.write_json(os, "ecfd_sim");
+    std::cout << "metrics written: " << metrics_path << "\n";
+  }
+
   std::cout << (ok ? "OK" : "FAILED") << "\n";
   return ok ? 0 : 1;
 }
