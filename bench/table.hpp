@@ -1,10 +1,13 @@
 #pragma once
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -108,7 +111,21 @@ inline int finish() {
   detail::close_open_table();
   std::string j = "{\n  \"schema\": \"ecfd.bench.v1\",\n  \"bench\": \"";
   detail::json_escape(&j, s.bench);
-  j += "\",\n  \"tables\": [";
+  // Machine context, so checked-in baselines say what they were measured
+  // on. Shape-gated (not value-gated) by tools/check_bench_schema.py.
+  const long page = ::sysconf(_SC_PAGESIZE);
+  j += "\",\n  \"host\": {\n    \"hardware_threads\": ";
+  j += std::to_string(std::thread::hardware_concurrency());
+  j += ",\n    \"page_size\": " + std::to_string(page > 0 ? page : 0);
+  j += ",\n    \"build_type\": \"";
+  // This project strips -DNDEBUG from Release flags (asserts stay on in
+  // every build), so optimization level is the meaningful distinction.
+#if defined(__OPTIMIZE__) || defined(NDEBUG)
+  j += "release";
+#else
+  j += "debug";
+#endif
+  j += "\"\n  },\n  \"tables\": [";
   j += s.body;
   j += s.any_table ? "\n  ]\n}\n" : "]\n}\n";
   if (s.path == "-") {

@@ -23,8 +23,18 @@ ConsensusC::ConsensusC(Env& env, const EcfdOracle* fd,
 
 void ConsensusC::start() {
   started_ = true;
-  env_.set_timer(cfg_.poll_period, [this]() { poll(); });
+  // Classic instances poll from the very start (existing deterministic
+  // schedules depend on it). Instances with a wakeup hook are dormant
+  // until first proposed — their poll timer arms in begin_round_one(),
+  // so a pre-provisioned log slot nobody touches costs nothing.
+  if (!on_wakeup_) arm_poll();
   if (proposed_ && round_ == 0) begin_round_one();
+}
+
+void ConsensusC::arm_poll() {
+  if (poll_armed_ || !started_) return;
+  poll_armed_ = true;
+  env_.set_timer(cfg_.poll_period, [this]() { poll(); });
 }
 
 void ConsensusC::propose(consensus::Value v) {
@@ -36,6 +46,7 @@ void ConsensusC::propose(consensus::Value v) {
 }
 
 void ConsensusC::begin_round_one() {
+  arm_poll();
   enter_round(1);
   // Replay everything that arrived before we proposed (e.g. the round-1
   // coordinator announcement of a faster process).
@@ -357,6 +368,10 @@ void ConsensusC::on_message(const Message& m) {
   if (halted_) return;
   if (round_ == 0) {
     pre_propose_buffer_.push_back(m);
+    if (on_wakeup_ && !wakeup_fired_) {
+      wakeup_fired_ = true;
+      on_wakeup_();  // may propose() reentrantly; the buffer replays then
+    }
     return;
   }
   switch (m.type) {

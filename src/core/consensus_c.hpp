@@ -102,6 +102,13 @@ class ConsensusC final : public consensus::ConsensusProtocol {
   void propose(consensus::Value v) override;
   void on_message(const Message& m) override;
 
+  /// Invoked once, on the first message that arrives before this process
+  /// has proposed. Lets an embedding that keeps instances dormant until
+  /// needed (a quiescent replicated log) join in as soon as some other
+  /// replica starts the instance; the callback may call propose()
+  /// directly — buffered messages are replayed afterwards.
+  void set_on_wakeup(std::function<void()> fn) { on_wakeup_ = std::move(fn); }
+
   [[nodiscard]] int current_round() const override { return round_; }
   /// True when the round cap stopped the protocol.
   [[nodiscard]] bool gave_up() const { return gave_up_; }
@@ -156,6 +163,7 @@ class ConsensusC final : public consensus::ConsensusProtocol {
                                     const ProcessSet& responders) const;
 
   void on_rb_deliver(const broadcast::RbEnvelope& e);
+  void arm_poll();
   void poll();
   void step();
   bool step_once();  ///< returns true when a transition fired
@@ -201,6 +209,9 @@ class ConsensusC final : public consensus::ConsensusProtocol {
   /// announce a round only once, so dropping an early announcement would
   /// stall the whole round; instead it is replayed on propose().
   std::vector<Message> pre_propose_buffer_;
+  std::function<void()> on_wakeup_;
+  bool wakeup_fired_{false};
+  bool poll_armed_{false};
 };
 
 }  // namespace ecfd::core

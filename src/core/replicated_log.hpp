@@ -1,8 +1,11 @@
 #pragma once
 
+#include <cassert>
 #include <functional>
 #include <limits>
+#include <map>
 #include <optional>
+#include <set>
 #include <vector>
 
 #include "broadcast/reliable_broadcast.hpp"
@@ -23,9 +26,17 @@
 ///
 /// Usage: construct one LogReplica per process (same capacity and
 /// protocol_base everywhere), submit() commands at any time, and read the
-/// applied log. Slots are proposed strictly in order with pipeline depth
-/// one: slot k+1 is proposed once this replica has learned slot k's
-/// decision.
+/// applied log. Slots are proposed strictly in order. With the default
+/// pipeline_depth of 1, slot k+1 is proposed once this replica has
+/// learned slot k's decision; deeper pipelines keep up to that many
+/// consecutive slots in flight, tracking which pending commands are
+/// already proposed so the same command is never racing itself in two
+/// slots.
+///
+/// The ctor is templated over the host because the same replica runs on
+/// all three Env backends (sim ProcessHost, sharded ThreadHost, UDP
+/// SocketEnv) — each exposes `emplace<P>(args...)` for protocol
+/// installation.
 
 namespace ecfd::core {
 
@@ -53,13 +64,58 @@ class LogReplica {
     /// consumes ids base+2k (consensus) and base+2k+1 (broadcast). Must
     /// not collide with other protocols and must match across processes.
     ProtocolId protocol_base{1000};
+    /// Max consecutive slots proposed ahead of the decided prefix.
+    int pipeline_depth{1};
+    /// When false (the classic mode), every replica proposes a no-op the
+    /// moment a slot's gate opens, so the pipeline free-runs and the log
+    /// consumes slots even while idle — fine for unbounded demos, fatal
+    /// for a bounded service log. When true, a replica proposes into a
+    /// slot only when it has a pending command or the slot has shown
+    /// foreign traffic (another replica proposed first): an idle cluster
+    /// consumes no slots at all. A replica that submits while not the
+    /// FD leader can leave its slot parked until the leader next
+    /// submits — services that redirect writes to the leader (ecfd-kv)
+    /// make that window both rare and self-healing, because the retried
+    /// client lands on the leader and its submission unparks the slot.
+    bool quiescent{false};
     ConsensusC::Config consensus;
   };
 
-  /// Installs the instances on \p host. \p fd is the host's ◇C module
-  /// (not owned; must outlive the host).
-  LogReplica(ProcessHost& host, const EcfdOracle* fd);
-  LogReplica(ProcessHost& host, const EcfdOracle* fd, Config cfg);
+  /// Installs the instances on \p host (anything with
+  /// `emplace<P>(args...)` constructing P with (Env&, args...)). \p fd is
+  /// the host's ◇C module (not owned; must outlive the host).
+  template <class Host>
+  LogReplica(Host& host, const EcfdOracle* fd) : LogReplica(host, fd, Config{}) {}
+
+  template <class Host>
+  LogReplica(Host& host, const EcfdOracle* fd, Config cfg)
+      : cfg_(cfg),
+        decided_(static_cast<std::size_t>(cfg.capacity)),
+        proposed_(static_cast<std::size_t>(cfg.capacity), kNoOpCommand),
+        sent_(static_cast<std::size_t>(cfg.capacity), 0) {
+    assert(cfg_.capacity > 0);
+    assert(cfg_.pipeline_depth > 0);
+    slots_.reserve(static_cast<std::size_t>(cfg_.capacity));
+    ConsensusC::Config slot_cfg = cfg_.consensus;
+    slot_cfg.deprioritized = kNoOpCommand;  // real commands win ties
+    for (int k = 0; k < cfg_.capacity; ++k) {
+      auto& rb = host.template emplace<broadcast::ReliableBroadcast>(
+          cfg_.protocol_base + 2 * k + 1);
+      auto& cons = host.template emplace<ConsensusC>(
+          fd, &rb, slot_cfg, cfg_.protocol_base + 2 * k);
+      cons.set_on_decide([this, k](const consensus::Decision& d) {
+        on_slot_decided(k, d);
+      });
+      if (cfg_.quiescent) {
+        cons.set_on_wakeup([this, k]() { on_slot_activity(k); });
+      }
+      slots_.push_back(&cons);
+    }
+    // Kick slot 0 so the pipeline runs even if nothing is ever submitted
+    // (other replicas' slots need our participation). Quiescent logs skip
+    // this: slots start on first submit or first foreign traffic.
+    propose_next();
+  }
 
   LogReplica(const LogReplica&) = delete;
   LogReplica& operator=(const LogReplica&) = delete;
@@ -70,7 +126,8 @@ class LogReplica {
   /// Callback invoked, in slot order, for every applied entry.
   void set_apply(ApplyFn fn) { apply_ = std::move(fn); }
 
-  /// The applied log so far (slot order, no-ops filtered out).
+  /// The applied log so far (slot order, no-ops filtered out, compacted
+  /// prefix dropped).
   [[nodiscard]] const std::vector<Entry>& log() const { return log_; }
 
   /// Slots whose decision this replica has learned and applied.
@@ -81,17 +138,45 @@ class LogReplica {
 
   [[nodiscard]] int capacity() const { return cfg_.capacity; }
 
+  /// True when every slot has been consumed: nothing further can commit.
+  [[nodiscard]] bool exhausted() const {
+    return applied_upto_ >= cfg_.capacity;
+  }
+
+  /// Drops applied log entries for slots < \p upto_slot (the caller holds
+  /// a snapshot of the state machine at that point). Clamped to the
+  /// applied prefix; monotone.
+  void compact(int upto_slot);
+
+  /// Slots below this are compacted away; log() starts here.
+  [[nodiscard]] int compacted_upto() const { return compacted_upto_; }
+
+  /// Fast-forwards a lagging replica past slots [0, upto_slot): the
+  /// caller has installed a state-machine snapshot covering them, so they
+  /// are marked decided-and-applied without running apply callbacks.
+  /// Decisions that later arrive for those slots are ignored. No-op when
+  /// upto_slot <= applied_slots().
+  void install_snapshot(int upto_slot);
+
  private:
   void on_slot_decided(int slot, const consensus::Decision& d);
+  void on_slot_activity(int slot);
+  void propose_into(int slot, consensus::Value v);
+  [[nodiscard]] consensus::Value pick_pending() const;
   void propose_next();
+  void drain_applied();
 
   Config cfg_;
   std::vector<ConsensusC*> slots_;  // owned by the host
   std::vector<std::optional<consensus::Decision>> decided_;
+  std::vector<consensus::Value> proposed_;  // per-slot proposed value
+  std::vector<char> sent_;                  // proposed into this slot yet?
   std::vector<consensus::Value> pending_;
+  std::multiset<consensus::Value> in_flight_;  // proposed, not yet decided
   std::vector<Entry> log_;
   int next_proposal_slot_{0};
   int applied_upto_{0};
+  int compacted_upto_{0};
   ApplyFn apply_;
 };
 

@@ -1,0 +1,21 @@
+#include "kv/command.hpp"
+
+namespace ecfd::kv {
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotFound: return "not_found";
+    case Status::kCasMismatch: return "cas_mismatch";
+    case Status::kNoSession: return "no_session";
+    case Status::kNotLeader: return "not_leader";
+    case Status::kOverloaded: return "overloaded";
+    case Status::kOutOfOrder: return "out_of_order";
+    case Status::kTooLarge: return "too_large";
+    case Status::kBadVersion: return "bad_version";
+    case Status::kTimeout: return "timeout";
+  }
+  return "unknown";
+}
+
+}  // namespace ecfd::kv

@@ -1,0 +1,209 @@
+#include "kv/store.hpp"
+
+#include <algorithm>
+
+#include "wire/buffer.hpp"
+
+namespace ecfd::kv {
+namespace {
+
+/// Snapshot image format version — bump on any layout change.
+constexpr std::uint32_t kSnapMagic = 0xEC5D'4B56;  // "ECFD KV"-ish
+constexpr std::uint32_t kSnapVersion = 1;
+
+/// Caps applied while deserializing, so a corrupt image can never force a
+/// huge allocation. Generous relative to the wire-level bounds.
+constexpr std::uint32_t kMaxSnapEntries = 1u << 22;
+constexpr std::uint32_t kMaxSnapSessions = 1u << 20;
+constexpr std::uint32_t kMaxSnapWindow = 1u << 12;
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  return fnv1a(h, b, sizeof b);
+}
+
+}  // namespace
+
+OpResult KvStore::apply(const Cmd& cmd) {
+  // Session management commands are writes too, but they are idempotent by
+  // construction and carry no seq (retrying kOpenSession is harmless).
+  if (cmd.op == OpKind::kOpenSession) {
+    sessions_.try_emplace(cmd.session);
+    return {Status::kOk, {}};
+  }
+  if (cmd.op == OpKind::kCloseSession) {
+    sessions_.erase(cmd.session);
+    return {Status::kOk, {}};
+  }
+
+  if (cmd.op == OpKind::kGet) {
+    // Reads through the log are idempotent: no session/seq bookkeeping.
+    ++stats_.log_reads;
+    return read(cmd.key);
+  }
+
+  // Writes: exactly-once via the replicated session window.
+  auto it = sessions_.find(cmd.session);
+  if (it == sessions_.end()) return {Status::kNoSession, {}};
+  Session& s = it->second;
+
+  if (cmd.seq <= s.last_seq) {
+    // A retry of something that already committed (possibly through a
+    // previous leader). Answer from the window if still cached; a hit
+    // outside the window means the client violated the pipelining bound.
+    ++stats_.dedup_hits;
+    for (const auto& [seq, result] : s.window)
+      if (seq == cmd.seq) return result;
+    return {Status::kOutOfOrder, {}};
+  }
+  if (cmd.seq != s.last_seq + 1) {
+    // Gap: the client skipped a seq. Never apply out of order.
+    ++stats_.out_of_order;
+    return {Status::kOutOfOrder, {}};
+  }
+
+  OpResult r = apply_to_map(cmd);
+  ++stats_.applied_writes;
+  s.last_seq = cmd.seq;
+  s.window.emplace_back(cmd.seq, r);
+  while (s.window.size() > cfg_.dedup_window) s.window.pop_front();
+  return r;
+}
+
+OpResult KvStore::apply_to_map(const Cmd& cmd) {
+  switch (cmd.op) {
+    case OpKind::kPut:
+      map_[cmd.key] = cmd.value;
+      return {Status::kOk, {}};
+    case OpKind::kDel: {
+      const bool erased = map_.erase(cmd.key) != 0;
+      return {erased ? Status::kOk : Status::kNotFound, {}};
+    }
+    case OpKind::kCas: {
+      auto it = map_.find(cmd.key);
+      const std::string current = it == map_.end() ? std::string{} : it->second;
+      if (current != cmd.expected) return {Status::kCasMismatch, current};
+      map_[cmd.key] = cmd.value;
+      return {Status::kOk, {}};
+    }
+    default:
+      return {Status::kOutOfOrder, {}};
+  }
+}
+
+OpResult KvStore::read(const std::string& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return {Status::kNotFound, {}};
+  return {Status::kOk, it->second};
+}
+
+std::optional<OpResult> KvStore::cached(std::uint64_t session,
+                                        std::uint64_t seq) const {
+  auto it = sessions_.find(session);
+  if (it == sessions_.end()) return std::nullopt;
+  for (const auto& [s, result] : it->second.window)
+    if (s == seq) return result;
+  return std::nullopt;
+}
+
+std::uint64_t KvStore::session_last_seq(std::uint64_t id) const {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? 0 : it->second.last_seq;
+}
+
+std::vector<std::uint8_t> KvStore::serialize() const {
+  wire::WireWriter w;
+  w.u32(kSnapMagic);
+  w.u32(kSnapVersion);
+  w.u32(static_cast<std::uint32_t>(map_.size()));
+  w.u32(static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [key, value] : map_) {
+    w.str(key);
+    w.str(value);
+  }
+  for (const auto& [id, s] : sessions_) {
+    w.u64(id);
+    w.u64(s.last_seq);
+    w.u32(static_cast<std::uint32_t>(s.window.size()));
+    for (const auto& [seq, result] : s.window) {
+      w.u64(seq);
+      w.u8(static_cast<std::uint8_t>(result.status));
+      w.str(result.value);
+    }
+  }
+  return w.take();
+}
+
+bool KvStore::deserialize(const std::uint8_t* data, std::size_t len,
+                          std::string* error) {
+  auto fail = [&](const char* why) {
+    if (error) *error = why;
+    return false;
+  };
+  wire::WireReader r(data, len);
+  if (r.u32() != kSnapMagic) return fail("kv snapshot: bad magic");
+  if (r.u32() != kSnapVersion) return fail("kv snapshot: unknown version");
+  const std::uint32_t n_entries = r.u32();
+  const std::uint32_t n_sessions = r.u32();
+  if (!r.ok() || n_entries > kMaxSnapEntries || n_sessions > kMaxSnapSessions)
+    return fail("kv snapshot: bad header");
+
+  std::map<std::string, std::string> map;
+  std::map<std::uint64_t, Session> sessions;
+  for (std::uint32_t i = 0; i < n_entries; ++i) {
+    std::string key = r.str();
+    std::string value = r.str();
+    if (!r.ok()) return fail("kv snapshot: truncated entry");
+    map.emplace(std::move(key), std::move(value));
+  }
+  for (std::uint32_t i = 0; i < n_sessions; ++i) {
+    const std::uint64_t id = r.u64();
+    Session s;
+    s.last_seq = r.u64();
+    const std::uint32_t n_window = r.u32();
+    if (!r.ok() || n_window > kMaxSnapWindow)
+      return fail("kv snapshot: bad session");
+    for (std::uint32_t j = 0; j < n_window; ++j) {
+      const std::uint64_t seq = r.u64();
+      const std::uint8_t status = r.u8();
+      std::string value = r.str();
+      if (!r.ok() || status > static_cast<std::uint8_t>(Status::kTimeout))
+        return fail("kv snapshot: bad window entry");
+      s.window.emplace_back(
+          seq, OpResult{static_cast<Status>(status), std::move(value)});
+    }
+    sessions.emplace(id, std::move(s));
+  }
+  if (!r.exhausted()) return fail("kv snapshot: trailing bytes");
+
+  map_ = std::move(map);
+  sessions_ = std::move(sessions);
+  return true;
+}
+
+std::uint64_t KvStore::content_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  h = fnv1a_u64(h, map_.size());
+  for (const auto& [key, value] : map_) {
+    h = fnv1a(h, key.data(), key.size());
+    h = fnv1a(h, value.data(), value.size());
+  }
+  h = fnv1a_u64(h, sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    h = fnv1a_u64(h, id);
+    h = fnv1a_u64(h, s.last_seq);
+  }
+  return h;
+}
+
+}  // namespace ecfd::kv

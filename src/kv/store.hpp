@@ -1,0 +1,111 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "kv/command.hpp"
+
+/// \file store.hpp
+/// The deterministic key-value state machine replicated by the kv service.
+///
+/// Everything here is a pure function of the applied command sequence: two
+/// replicas that apply the same Cmds in the same order hold byte-identical
+/// state (pinned by content_hash() in tests). That includes the session
+/// table — sessions and their dedup windows are themselves replicated
+/// state, which is what makes retried commands exactly-once *across leader
+/// failover*: the new leader's store already remembers which (session,
+/// seq) pairs were applied and what they returned.
+///
+/// Dedup protocol: write ops carry consecutive per-session sequence
+/// numbers assigned by the client. apply() applies seq == last_seq + 1,
+/// returns the cached result for seq <= last_seq (a retry of a command
+/// that already committed, possibly through a previous leader), and
+/// rejects gaps. Clients keep at most `dedup_window` writes outstanding
+/// per session (the stock client pipelines far fewer).
+///
+/// serialize()/deserialize() produce a versioned binary image (keys,
+/// values, sessions, windows) used for log compaction and for
+/// install-on-join snapshot transfer.
+
+namespace ecfd::kv {
+
+class KvStore {
+ public:
+  struct Config {
+    /// Cached results retained per session; retries older than this
+    /// window cannot happen with a sane client (it would need more than
+    /// dedup_window writes in flight at once).
+    std::size_t dedup_window{64};
+  };
+
+  /// Apply-path accounting (monotonic; mirrored into the metrics registry
+  /// by the service).
+  struct Stats {
+    std::int64_t applied_writes{0};   ///< first-time write applications
+    std::int64_t dedup_hits{0};       ///< retries answered from the window
+    std::int64_t out_of_order{0};     ///< rejected seq gaps (client bugs)
+    std::int64_t log_reads{0};        ///< kGet commands through the log
+  };
+
+  KvStore() = default;
+  explicit KvStore(Config cfg) : cfg_(cfg) {}
+
+  /// Applies one replicated command. Deterministic; safe to call with the
+  /// same (session, seq) any number of times — only the first application
+  /// mutates state.
+  OpResult apply(const Cmd& cmd);
+
+  /// Local read, NOT through the log — the leader-lease fast path.
+  [[nodiscard]] OpResult read(const std::string& key) const;
+
+  /// Cached result of an applied write, when still in the session's dedup
+  /// window. Lets the service answer retries without burning a log slot.
+  [[nodiscard]] std::optional<OpResult> cached(std::uint64_t session,
+                                               std::uint64_t seq) const;
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t session_count() const { return sessions_.size(); }
+  [[nodiscard]] bool has_session(std::uint64_t id) const {
+    return sessions_.count(id) != 0;
+  }
+  /// Highest applied write seq of a session (0 when unknown).
+  [[nodiscard]] std::uint64_t session_last_seq(std::uint64_t id) const;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Versioned binary image of the full state (kv map + session table).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// Replaces this store's state with a serialized image. Returns false
+  /// (state unchanged) on a malformed or version-mismatched image.
+  bool deserialize(const std::uint8_t* data, std::size_t len,
+                   std::string* error = nullptr);
+  bool deserialize(const std::vector<std::uint8_t>& image,
+                   std::string* error = nullptr) {
+    return deserialize(image.data(), image.size(), error);
+  }
+
+  /// FNV-1a over the ordered (key, value) pairs and session watermarks;
+  /// replicas that applied the same prefix agree on this.
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+ private:
+  struct Session {
+    std::uint64_t last_seq{0};
+    /// (seq, result) pairs, ascending, at most cfg_.dedup_window long.
+    std::deque<std::pair<std::uint64_t, OpResult>> window;
+  };
+
+  OpResult apply_to_map(const Cmd& cmd);
+
+  Config cfg_;
+  Stats stats_;
+  std::map<std::string, std::string> map_;        // ordered: deterministic
+  std::map<std::uint64_t, Session> sessions_;     // serialization
+};
+
+}  // namespace ecfd::kv

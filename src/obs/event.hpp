@@ -34,9 +34,11 @@ enum class EventType : std::uint8_t {
   kDrop = 11,        ///< a = destination, message dropped before the wire
   kVerdict = 12,     ///< a = VerdictState, label = property name
   kNote = 13,        ///< label = tag, b = interned detail (Env::trace text)
+  kLeaseGrant = 14,  ///< kv leader lease established; b = lease term
+  kLeaseRevoke = 15, ///< kv leader lease lost;        b = lease term
 };
 
-inline constexpr int kNumEventTypes = 14;
+inline constexpr int kNumEventTypes = 16;
 
 /// High-frequency per-message/per-timer events. These go to a host's "hot"
 /// ring; everything else (suspicions, leader changes, rounds, decides,

@@ -22,6 +22,8 @@ const char* event_type_name(EventType t) {
     case EventType::kDrop: return "drop";
     case EventType::kVerdict: return "verdict";
     case EventType::kNote: return "note";
+    case EventType::kLeaseGrant: return "lease_grant";
+    case EventType::kLeaseRevoke: return "lease_revoke";
   }
   return "unknown";
 }

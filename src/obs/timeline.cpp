@@ -243,6 +243,12 @@ void write_text(std::ostream& os, const MergedTimeline& t) {
           if (!detail.empty()) line += ": " + detail;
         }
         break;
+      case EventType::kLeaseGrant:
+        line += "lease_grant term=" + std::to_string(e.b);
+        break;
+      case EventType::kLeaseRevoke:
+        line += "lease_revoke term=" + std::to_string(e.b);
+        break;
       case EventType::kNone:
         line += "?";
         break;

@@ -95,7 +95,8 @@ std::optional<NodeConfig> parse_node_config(const std::string& text,
     if (line.front() == '[') {
       if (line.back() != ']') return bad("unterminated section header");
       section = trim(line.substr(1, line.size() - 2));
-      if (section != "cluster" && section != "peers" && section != "chaos") {
+      if (section != "cluster" && section != "peers" && section != "chaos" &&
+          section != "kv") {
         return bad("unknown section [" + section + "]");
       }
       continue;
@@ -152,6 +153,44 @@ std::optional<NodeConfig> parse_node_config(const std::string& text,
         cfg.max_delay = msec(i);
       } else {
         return bad("unknown [chaos] key '" + key + "'");
+      }
+    } else if (section == "kv") {
+      std::int64_t i = 0;
+      if (key == "enabled") {
+        if (!parse_bool(value, &cfg.kv_enabled)) return bad("bad kv enabled");
+      } else if (key == "capacity") {
+        if (!parse_i64(value, &i) || i <= 0 || i > (1 << 20)) {
+          return bad("bad kv capacity");
+        }
+        cfg.kv_capacity = static_cast<int>(i);
+      } else if (key == "pipeline_depth") {
+        if (!parse_i64(value, &i) || i <= 0 || i > 256) {
+          return bad("bad kv pipeline_depth");
+        }
+        cfg.kv_pipeline_depth = static_cast<int>(i);
+      } else if (key == "batch_max_ops") {
+        if (!parse_i64(value, &i) || i <= 0 || i > 448) {
+          return bad("bad kv batch_max_ops (1..448)");
+        }
+        cfg.kv_batch_max_ops = static_cast<int>(i);
+      } else if (key == "batch_wait_ms") {
+        if (!parse_i64(value, &i) || i < 0) return bad("bad kv batch_wait_ms");
+        cfg.kv_batch_wait = msec(i);
+      } else if (key == "lease_establish_ms") {
+        if (!parse_i64(value, &i) || i < 0) {
+          return bad("bad kv lease_establish_ms");
+        }
+        cfg.kv_lease_establish = msec(i);
+      } else if (key == "snapshot_every") {
+        if (!parse_i64(value, &i) || i < 0) return bad("bad kv snapshot_every");
+        cfg.kv_snapshot_every = static_cast<int>(i);
+      } else if (key == "dedup_window") {
+        if (!parse_i64(value, &i) || i <= 0 || i > 4096) {
+          return bad("bad kv dedup_window");
+        }
+        cfg.kv_dedup_window = static_cast<int>(i);
+      } else {
+        return bad("unknown [kv] key '" + key + "'");
       }
     } else {
       return bad("key outside any section");

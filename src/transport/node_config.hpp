@@ -32,6 +32,16 @@
 ///   min_delay_ms = 0
 ///   max_delay_ms = 0
 ///
+///   [kv]                      ; optional replicated key-value service
+///   enabled = true
+///   capacity = 1024           ; replicated-log slots (fixed up front)
+///   pipeline_depth = 4        ; slots proposed ahead of the decided prefix
+///   batch_max_ops = 64
+///   batch_wait_ms = 2
+///   lease_establish_ms = 500
+///   snapshot_every = 64       ; applied slots between snapshots/compactions
+///   dedup_window = 64         ; cached results per client session
+///
 /// Peer ids must be exactly 0..n-1; every node of the cluster loads the
 /// same file and is told which row is "self" on its command line.
 
@@ -57,6 +67,16 @@ struct NodeConfig {
   double loss{0.0};
   DurUs min_delay{0};
   DurUs max_delay{0};
+
+  // [kv] — the replicated key-value service (tools/ecfd_node --kv).
+  bool kv_enabled{false};
+  int kv_capacity{1024};
+  int kv_pipeline_depth{4};
+  int kv_batch_max_ops{64};
+  DurUs kv_batch_wait{msec(2)};
+  DurUs kv_lease_establish{msec(500)};
+  int kv_snapshot_every{64};
+  int kv_dedup_window{64};
 
   [[nodiscard]] int n() const { return static_cast<int>(peers.size()); }
 };

@@ -32,6 +32,21 @@ std::vector<std::uint8_t> make_sockaddr(const PeerAddr& peer) {
   return out;
 }
 
+/// Packs a sender's IPv4 address + port into the opaque external token
+/// ((ip << 16) | port, both host byte order).
+SocketEnv::ExternalToken token_of(const sockaddr_in& sa) {
+  return (static_cast<std::uint64_t>(ntohl(sa.sin_addr.s_addr)) << 16) |
+         ntohs(sa.sin_port);
+}
+
+sockaddr_in sockaddr_of(SocketEnv::ExternalToken token) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(static_cast<std::uint32_t>(token >> 16));
+  sa.sin_port = htons(static_cast<std::uint16_t>(token & 0xffff));
+  return sa;
+}
+
 }  // namespace
 
 SocketEnv::SocketEnv(Options opts)
@@ -187,7 +202,24 @@ void SocketEnv::send(ProcessId dst, Message m) {
 }
 
 void SocketEnv::transmit(ProcessId dst, std::vector<std::uint8_t> frame) {
-  out_.push_back(PendingSend{dst, std::move(frame)});
+  out_.push_back(PendingSend{dst, std::move(frame), {}});
+}
+
+void SocketEnv::send_external(ExternalToken token, Message m) {
+  m.src = opts_.self;
+  m.dst = kNoProcess;
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  if (!wire::encode_message(m, &frame, &error)) {
+    metrics_.add("net.encode_error");
+    trace("net.encode_error", error);
+    return;
+  }
+  metrics_.add("net.sent_external");
+  const sockaddr_in sa = sockaddr_of(token);
+  std::vector<std::uint8_t> addr(sizeof(sa));
+  std::memcpy(addr.data(), &sa, sizeof(sa));
+  out_.push_back(PendingSend{kNoProcess, std::move(frame), std::move(addr)});
 }
 
 void SocketEnv::flush_sends() {
@@ -200,7 +232,9 @@ void SocketEnv::flush_sends() {
       std::memset(msgs, 0, batch * sizeof(mmsghdr));
       for (std::size_t i = 0; i < batch; ++i) {
         PendingSend& ps = out_[done + i];
-        auto& sa = peer_sockaddrs_[static_cast<std::size_t>(ps.dst)];
+        auto& sa = ps.addr.empty()
+                       ? peer_sockaddrs_[static_cast<std::size_t>(ps.dst)]
+                       : ps.addr;
         iovs[i].iov_base = ps.frame.data();
         iovs[i].iov_len = ps.frame.size();
         msgs[i].msg_hdr.msg_iov = &iovs[i];
@@ -213,6 +247,7 @@ void SocketEnv::flush_sends() {
       if (sent > 0) {
         for (int i = 0; i < sent; ++i) {
           const ProcessId dst = out_[done + static_cast<std::size_t>(i)].dst;
+          if (dst < 0) continue;  // external: counted at queue time
           auto& cells = peer_cells_[static_cast<std::size_t>(dst)];
           cells.sent->fetch_add(1, std::memory_order_relaxed);
           cells.sent_batched->fetch_add(1, std::memory_order_relaxed);
@@ -232,14 +267,16 @@ void SocketEnv::flush_sends() {
       continue;
     }
     const PendingSend& ps = out_[done];
-    const auto& sa = peer_sockaddrs_[static_cast<std::size_t>(ps.dst)];
+    const auto& sa = ps.addr.empty()
+                         ? peer_sockaddrs_[static_cast<std::size_t>(ps.dst)]
+                         : ps.addr;
     const auto sent =
         ::sendto(fd_, ps.frame.data(), ps.frame.size(), 0,
                  reinterpret_cast<const sockaddr*>(sa.data()),
                  static_cast<socklen_t>(sa.size()));
     if (sent < 0) {
       metrics_.add("net.send_error");
-    } else {
+    } else if (ps.dst >= 0) {
       auto& cells = peer_cells_[static_cast<std::size_t>(ps.dst)];
       cells.sent->fetch_add(1, std::memory_order_relaxed);
       cells.sent_single->fetch_add(1, std::memory_order_relaxed);
@@ -302,12 +339,22 @@ void SocketEnv::deliver(const Message& m) {
   it->second->on_message(m);
 }
 
-void SocketEnv::handle_frame(const std::uint8_t* data, std::size_t len) {
+void SocketEnv::handle_frame(const std::uint8_t* data, std::size_t len,
+                             ExternalToken from_token) {
   std::string error;
   auto decoded = wire::decode_message(data, len, &error);
   if (!decoded) {
     metrics_.add("net.decode_error");
     trace("net.decode_error", error);
+    return;
+  }
+  // src = kNoProcess marks a frame from outside the universe (a kv
+  // client); route it to the external handler with the sender's address
+  // token so a reply can find its way back.
+  if (decoded->dst == opts_.self && decoded->src < 0 && external_) {
+    metrics_.add("net.recv_external");
+    record(EventType::kDeliver, kNoProcess, decoded->protocol);
+    external_(from_token, *decoded);
     return;
   }
   // A frame for another node (misconfigured peer table, stale sender)
@@ -328,12 +375,16 @@ void SocketEnv::drain_socket() {
     }
     mmsghdr msgs[kRecvBatch];
     iovec iovs[kRecvBatch];
+    sockaddr_in froms[kRecvBatch];
     std::memset(msgs, 0, sizeof(msgs));
+    std::memset(froms, 0, sizeof(froms));
     for (std::size_t i = 0; i < kRecvBatch; ++i) {
       iovs[i].iov_base = recv_bufs_.data() + i * wire::kMaxFrameBytes;
       iovs[i].iov_len = wire::kMaxFrameBytes;
       msgs[i].msg_hdr.msg_iov = &iovs[i];
       msgs[i].msg_hdr.msg_iovlen = 1;
+      msgs[i].msg_hdr.msg_name = &froms[i];
+      msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
     }
     const int got =
         ::recvmmsg(fd_, msgs, static_cast<unsigned int>(kRecvBatch), 0,
@@ -350,15 +401,19 @@ void SocketEnv::drain_socket() {
     for (int i = 0; i < got; ++i) {
       handle_frame(recv_bufs_.data() +
                        static_cast<std::size_t>(i) * wire::kMaxFrameBytes,
-                   msgs[i].msg_len);
+                   msgs[i].msg_len, token_of(froms[i]));
     }
     if (static_cast<std::size_t>(got) < kRecvBatch) return;  // drained
   }
   std::uint8_t buf[wire::kMaxFrameBytes];
   for (;;) {
-    const auto got = ::recvfrom(fd_, buf, sizeof(buf), 0, nullptr, nullptr);
+    sockaddr_in from{};
+    socklen_t from_len = sizeof(from);
+    const auto got =
+        ::recvfrom(fd_, buf, sizeof(buf), 0,
+                   reinterpret_cast<sockaddr*>(&from), &from_len);
     if (got < 0) return;  // EAGAIN: drained (anything else: pass is over)
-    handle_frame(buf, static_cast<std::size_t>(got));
+    handle_frame(buf, static_cast<std::size_t>(got), token_of(from));
   }
 }
 

@@ -110,6 +110,29 @@ class SocketEnv final : public Env {
   /// configured port was 0 = ephemeral; used by tests).
   [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
 
+  // --- External clients -------------------------------------------------
+  // Datagrams whose decoded src is kNoProcess are not peer traffic: they
+  // come from clients outside the universe (the kv client library). They
+  // are routed to the external handler together with an opaque token that
+  // identifies the sender's address; send_external() routes a reply back.
+  // Without a handler such frames count as misaddressed, exactly as
+  // before.
+
+  /// IPv4 address + UDP port of an external sender, packed
+  /// (ip << 16) | port; stable for the sender's lifetime, usable as a map
+  /// key, and round-trippable through send_external.
+  using ExternalToken = std::uint64_t;
+  using ExternalHandler = std::function<void(ExternalToken, const Message&)>;
+
+  /// Installs the handler for external frames (before start()).
+  void set_external_handler(ExternalHandler fn) {
+    external_ = std::move(fn);
+  }
+
+  /// Encodes and queues \p m for the external sender \p token (stamps
+  /// src = self, dst = kNoProcess). Counted as "net.sent_external".
+  void send_external(ExternalToken token, Message m);
+
   // --- Env --------------------------------------------------------------
   [[nodiscard]] TimeUs now() const override;
   void send(ProcessId dst, Message m) override;
@@ -149,8 +172,10 @@ class SocketEnv final : public Env {
   /// datagrams per syscall, falling back to per-datagram sendto(2) when
   /// the kernel lacks the batched call.
   void flush_sends();
-  /// Decodes one received datagram and routes it (counters on error).
-  void handle_frame(const std::uint8_t* data, std::size_t len);
+  /// Decodes one received datagram and routes it (counters on error);
+  /// \p from_token identifies the sender address for the external path.
+  void handle_frame(const std::uint8_t* data, std::size_t len,
+                    ExternalToken from_token);
   void deliver(const Message& m);
 
   /// Pre-registered per-peer counter cells (bind-time registration,
@@ -176,8 +201,9 @@ class SocketEnv final : public Env {
   static constexpr std::size_t kSendBatch = 64;  ///< datagrams per sendmmsg
   static constexpr std::size_t kRecvBatch = 16;  ///< datagrams per recvmmsg
   struct PendingSend {
-    ProcessId dst{};
+    ProcessId dst{};  ///< kNoProcess for external sends (addr set instead)
     std::vector<std::uint8_t> frame;
+    std::vector<std::uint8_t> addr;  ///< raw sockaddr; empty = peer table
   };
   std::vector<PendingSend> out_;       ///< queued until flush_sends()
   std::vector<std::uint8_t> recv_bufs_;  ///< kRecvBatch frame-sized buffers
@@ -191,6 +217,7 @@ class SocketEnv final : public Env {
 
   std::vector<std::unique_ptr<Protocol>> owned_;
   std::unordered_map<ProtocolId, Protocol*> by_id_;
+  ExternalHandler external_;
   bool started_{false};
 };
 

@@ -9,6 +9,7 @@
 #include "broadcast/reliable_broadcast.hpp"
 #include "consensus/bodies.hpp"
 #include "fd/ring_fd.hpp"
+#include "kv/command.hpp"
 #include "net/process_set.hpp"
 #include "wire/buffer.hpp"
 #include "wire/crc32.hpp"
@@ -55,6 +56,171 @@ void encode_u64_vector(const std::vector<std::uint64_t>& v, WireWriter& w) {
   for (const std::uint64_t x : v) w.u64(x);
 }
 
+// --- kv payloads ----------------------------------------------------------
+//
+// One shared shape for client Ops and replicated Cmds (an op plus its
+// session), so request decode and batch decode enforce identical bounds.
+
+void encode_kv_op(kv::OpKind op, std::uint64_t seq, const std::string& key,
+                  const std::string& value, const std::string& expected,
+                  WireWriter& w) {
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(seq);
+  w.str(key);
+  w.str(value);
+  w.str(expected);
+}
+
+bool decode_kv_op(WireReader& r, kv::OpKind* op, std::uint64_t* seq,
+                  std::string* key, std::string* value, std::string* expected,
+                  std::string* error) {
+  const std::uint8_t raw = r.u8();
+  if (raw > static_cast<std::uint8_t>(kv::OpKind::kCloseSession)) {
+    return set_error(error, "bad kv op kind");
+  }
+  *op = static_cast<kv::OpKind>(raw);
+  *seq = r.u64();
+  *key = r.str();
+  *value = r.str();
+  *expected = r.str();
+  if (!r.ok() || key->size() > kv::kMaxKeyBytes ||
+      value->size() > kv::kMaxValueBytes ||
+      expected->size() > kv::kMaxValueBytes) {
+    return set_error(error, "bad kv op");
+  }
+  return true;
+}
+
+void encode_kv_request(const kv::Request& b, WireWriter& w) {
+  w.u8(b.version);
+  w.u8(b.flags);
+  w.u64(b.session);
+  w.u64(b.tag);
+  w.u32(static_cast<std::uint32_t>(b.ops.size()));
+  for (const kv::Op& op : b.ops) {
+    encode_kv_op(op.op, op.seq, op.key, op.value, op.expected, w);
+  }
+}
+
+bool decode_kv_request(WireReader& r, kv::Request* out, std::string* error) {
+  out->version = r.u8();
+  out->flags = r.u8();
+  out->session = r.u64();
+  out->tag = r.u64();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > kv::kMaxOpsPerRequest) {
+    return set_error(error, "bad kv request header");
+  }
+  out->ops.clear();
+  out->ops.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    kv::Op op;
+    if (!decode_kv_op(r, &op.op, &op.seq, &op.key, &op.value, &op.expected,
+                      error)) {
+      return false;
+    }
+    out->ops.push_back(std::move(op));
+  }
+  return true;
+}
+
+void encode_kv_reply(const kv::Reply& b, WireWriter& w) {
+  w.u64(b.session);
+  w.u64(b.tag);
+  w.u8(static_cast<std::uint8_t>(b.status));
+  w.i32(b.leader_hint);
+  w.i32(b.applied_slot);
+  w.u32(static_cast<std::uint32_t>(b.results.size()));
+  for (const kv::OpResult& res : b.results) {
+    w.u8(static_cast<std::uint8_t>(res.status));
+    w.str(res.value);
+  }
+}
+
+bool decode_kv_reply(WireReader& r, kv::Reply* out, std::string* error) {
+  out->session = r.u64();
+  out->tag = r.u64();
+  const std::uint8_t status = r.u8();
+  out->leader_hint = r.i32();
+  out->applied_slot = r.i32();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || status > static_cast<std::uint8_t>(kv::Status::kTimeout) ||
+      count > kv::kMaxOpsPerRequest) {
+    return set_error(error, "bad kv reply header");
+  }
+  out->status = static_cast<kv::Status>(status);
+  out->results.clear();
+  out->results.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    kv::OpResult res;
+    const std::uint8_t rs = r.u8();
+    res.value = r.str();
+    if (!r.ok() || rs > static_cast<std::uint8_t>(kv::Status::kTimeout) ||
+        res.value.size() > kv::kMaxValueBytes) {
+      return set_error(error, "bad kv reply result");
+    }
+    res.status = static_cast<kv::Status>(rs);
+    out->results.push_back(std::move(res));
+  }
+  return true;
+}
+
+void encode_kv_batch(const kv::BatchBody& b, WireWriter& w) {
+  w.i64(b.id);
+  w.u32(static_cast<std::uint32_t>(b.cmds.size()));
+  for (const kv::Cmd& c : b.cmds) {
+    w.u64(c.session);
+    encode_kv_op(c.op, c.seq, c.key, c.value, c.expected, w);
+  }
+}
+
+bool decode_kv_batch(WireReader& r, kv::BatchBody* out, std::string* error) {
+  out->id = r.i64();
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || out->id <= 0 || count > kv::kMaxOpsPerBatch) {
+    return set_error(error, "bad kv batch header");
+  }
+  out->cmds.clear();
+  out->cmds.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    kv::Cmd c;
+    c.session = r.u64();
+    if (!r.ok()) return set_error(error, "truncated kv batch");
+    if (!decode_kv_op(r, &c.op, &c.seq, &c.key, &c.value, &c.expected,
+                      error)) {
+      return false;
+    }
+    out->cmds.push_back(std::move(c));
+  }
+  return true;
+}
+
+void encode_kv_snapshot(const kv::SnapshotChunk& b, WireWriter& w) {
+  w.u64(b.snap_id);
+  w.i32(b.upto_slot);
+  w.u32(b.index);
+  w.u32(b.total);
+  w.u32(static_cast<std::uint32_t>(b.bytes.size()));
+  w.bytes(b.bytes.data(), b.bytes.size());
+}
+
+bool decode_kv_snapshot(WireReader& r, kv::SnapshotChunk* out,
+                        std::string* error) {
+  out->snap_id = r.u64();
+  out->upto_slot = r.i32();
+  out->index = r.u32();
+  out->total = r.u32();
+  const std::uint32_t len = r.u32();
+  if (!r.ok() || out->upto_slot < 0 || out->total == 0 ||
+      out->index >= out->total || len > kv::kMaxSnapshotChunkBytes ||
+      len > r.remaining()) {
+    return set_error(error, "bad kv snapshot chunk");
+  }
+  out->bytes.resize(len);
+  for (std::uint32_t i = 0; i < len; ++i) out->bytes[i] = r.u8();
+  return r.ok();
+}
+
 /// Flattens one typed payload; returns false for types not in the registry.
 bool encode_payload(const std::type_info* type, const void* body,
                     PayloadKind* kind, WireWriter& w, std::string* error) {
@@ -96,6 +262,18 @@ bool encode_payload(const std::type_info* type, const void* body,
   } else if (t == std::type_index(typeid(std::int64_t))) {
     *kind = PayloadKind::kI64;
     w.i64(*static_cast<const std::int64_t*>(body));
+  } else if (t == std::type_index(typeid(kv::Request))) {
+    *kind = PayloadKind::kKvRequest;
+    encode_kv_request(*static_cast<const kv::Request*>(body), w);
+  } else if (t == std::type_index(typeid(kv::Reply))) {
+    *kind = PayloadKind::kKvReply;
+    encode_kv_reply(*static_cast<const kv::Reply*>(body), w);
+  } else if (t == std::type_index(typeid(kv::BatchBody))) {
+    *kind = PayloadKind::kKvBatch;
+    encode_kv_batch(*static_cast<const kv::BatchBody*>(body), w);
+  } else if (t == std::type_index(typeid(kv::SnapshotChunk))) {
+    *kind = PayloadKind::kKvSnapshot;
+    encode_kv_snapshot(*static_cast<const kv::SnapshotChunk*>(body), w);
   } else if (t == std::type_index(typeid(RbEnvelope))) {
     *kind = PayloadKind::kRbEnvelope;
     const auto& e = *static_cast<const RbEnvelope*>(body);
@@ -231,6 +409,30 @@ bool decode_payload(PayloadKind kind, WireReader& r, int depth,
       const std::int64_t v = r.i64();
       if (!r.ok()) return set_error(error, "truncated i64 body");
       emplace_payload(out, v);
+      return true;
+    }
+    case PayloadKind::kKvRequest: {
+      kv::Request b;
+      if (!decode_kv_request(r, &b, error)) return false;
+      emplace_payload(out, std::move(b));
+      return true;
+    }
+    case PayloadKind::kKvReply: {
+      kv::Reply b;
+      if (!decode_kv_reply(r, &b, error)) return false;
+      emplace_payload(out, std::move(b));
+      return true;
+    }
+    case PayloadKind::kKvBatch: {
+      kv::BatchBody b;
+      if (!decode_kv_batch(r, &b, error)) return false;
+      emplace_payload(out, std::move(b));
+      return true;
+    }
+    case PayloadKind::kKvSnapshot: {
+      kv::SnapshotChunk b;
+      if (!decode_kv_snapshot(r, &b, error)) return false;
+      emplace_payload(out, std::move(b));
       return true;
     }
     case PayloadKind::kRbEnvelope: {

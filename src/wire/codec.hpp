@@ -53,6 +53,10 @@ enum class PayloadKind : std::uint16_t {
   kDecide = 7,      ///< consensus::DecideBody (usually nested in kRbEnvelope)
   kRbEnvelope = 8,  ///< broadcast::RbEnvelope (carries a nested payload)
   kI64 = 9,         ///< plain std::int64_t (application values over RB)
+  kKvRequest = 10,  ///< kv::Request (client -> server envelope)
+  kKvReply = 11,    ///< kv::Reply (server -> client envelope)
+  kKvBatch = 12,    ///< kv::BatchBody (replicated command batch, over RB)
+  kKvSnapshot = 13, ///< kv::SnapshotChunk (store snapshot transfer)
 };
 
 /// Encodes \p m into a self-contained frame. Returns false (and sets

@@ -1,0 +1,212 @@
+// The kv state machine in isolation: op semantics, session dedup windows
+// (the exactly-once mechanism), snapshot images, and the content hash two
+// replicas use to agree they applied the same prefix.
+#include "kv/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ecfd::kv {
+namespace {
+
+constexpr std::uint64_t kSess = 0xABCD;
+
+Cmd open_session(std::uint64_t id = kSess) {
+  Cmd c;
+  c.session = id;
+  c.op = OpKind::kOpenSession;
+  return c;
+}
+
+Cmd put(std::uint64_t seq, const std::string& key, const std::string& value,
+        std::uint64_t session = kSess) {
+  Cmd c;
+  c.session = session;
+  c.seq = seq;
+  c.op = OpKind::kPut;
+  c.key = key;
+  c.value = value;
+  return c;
+}
+
+Cmd get(const std::string& key) {
+  Cmd c;
+  c.session = kSess;
+  c.op = OpKind::kGet;
+  c.key = key;
+  return c;
+}
+
+TEST(KvStore, PutGetDelCasSemantics) {
+  KvStore s;
+  EXPECT_EQ(s.apply(open_session()).status, Status::kOk);
+
+  EXPECT_EQ(s.apply(put(1, "a", "1")).status, Status::kOk);
+  EXPECT_EQ(s.apply(get("a")).value, "1");
+  EXPECT_EQ(s.apply(get("missing")).status, Status::kNotFound);
+
+  Cmd cas;
+  cas.session = kSess;
+  cas.seq = 2;
+  cas.op = OpKind::kCas;
+  cas.key = "a";
+  cas.expected = "1";
+  cas.value = "2";
+  EXPECT_EQ(s.apply(cas).status, Status::kOk);
+  EXPECT_EQ(s.apply(get("a")).value, "2");
+
+  // Mismatched CAS reports the current value and changes nothing.
+  cas.seq = 3;
+  cas.expected = "stale";
+  cas.value = "3";
+  const OpResult r = s.apply(cas);
+  EXPECT_EQ(r.status, Status::kCasMismatch);
+  EXPECT_EQ(r.value, "2");
+  EXPECT_EQ(s.apply(get("a")).value, "2");
+
+  Cmd del;
+  del.session = kSess;
+  del.seq = 4;
+  del.op = OpKind::kDel;
+  del.key = "a";
+  EXPECT_EQ(s.apply(del).status, Status::kOk);
+  EXPECT_EQ(s.apply(get("a")).status, Status::kNotFound);
+}
+
+TEST(KvStore, WritesRequireASession) {
+  KvStore s;
+  EXPECT_EQ(s.apply(put(1, "k", "v")).status, Status::kNoSession);
+  EXPECT_EQ(s.size(), 0u);
+  // Reads don't.
+  EXPECT_EQ(s.apply(get("k")).status, Status::kNotFound);
+}
+
+TEST(KvStore, RetriedWriteAppliesOnceAndReturnsTheCachedResult) {
+  KvStore s;
+  s.apply(open_session());
+  EXPECT_EQ(s.apply(put(1, "k", "first")).status, Status::kOk);
+  EXPECT_EQ(s.apply(put(2, "k", "second")).status, Status::kOk);
+
+  // A retry of seq 1 (leader died before acking) must NOT clobber seq 2's
+  // effect — it returns what seq 1 returned the first time.
+  EXPECT_EQ(s.apply(put(1, "k", "first")).status, Status::kOk);
+  EXPECT_EQ(s.apply(get("k")).value, "second");
+  EXPECT_EQ(s.stats().applied_writes, 2);
+  EXPECT_EQ(s.stats().dedup_hits, 1);
+
+  // cached() exposes the same window to the service layer.
+  ASSERT_TRUE(s.cached(kSess, 2).has_value());
+  EXPECT_EQ(s.cached(kSess, 2)->status, Status::kOk);
+  EXPECT_FALSE(s.cached(kSess, 99).has_value());
+}
+
+TEST(KvStore, SequenceGapsAreRejected) {
+  KvStore s;
+  s.apply(open_session());
+  EXPECT_EQ(s.apply(put(1, "k", "v")).status, Status::kOk);
+  EXPECT_EQ(s.apply(put(3, "k", "vv")).status, Status::kOutOfOrder);
+  EXPECT_EQ(s.session_last_seq(kSess), 1u);
+  EXPECT_EQ(s.stats().out_of_order, 1);
+}
+
+TEST(KvStore, DedupWindowIsBounded) {
+  KvStore s{KvStore::Config{.dedup_window = 4}};
+  s.apply(open_session());
+  for (std::uint64_t q = 1; q <= 10; ++q) {
+    EXPECT_EQ(s.apply(put(q, "k" + std::to_string(q), "v")).status,
+              Status::kOk);
+  }
+  // Recent seqs still answered from the window; evicted ones are not.
+  EXPECT_TRUE(s.cached(kSess, 10).has_value());
+  EXPECT_TRUE(s.cached(kSess, 7).has_value());
+  EXPECT_FALSE(s.cached(kSess, 6).has_value());
+  // A retry that fell off the window is treated as out-of-order rather
+  // than re-applied.
+  EXPECT_EQ(s.apply(put(6, "k6", "other")).status, Status::kOutOfOrder);
+  EXPECT_EQ(s.apply(get("k6")).value, "v");
+}
+
+TEST(KvStore, SerializeRoundTripPreservesStateAndSessions) {
+  KvStore a;
+  a.apply(open_session(7));
+  a.apply(open_session(8));
+  for (std::uint64_t q = 1; q <= 5; ++q) {
+    a.apply(put(q, "key" + std::to_string(q), std::string(100, 'x'), 7));
+  }
+  a.apply(put(1, "other", "y", 8));
+
+  const std::vector<std::uint8_t> image = a.serialize();
+  KvStore b;
+  std::string error;
+  ASSERT_TRUE(b.deserialize(image, &error)) << error;
+
+  EXPECT_EQ(b.size(), a.size());
+  EXPECT_EQ(b.session_count(), 2u);
+  EXPECT_EQ(b.content_hash(), a.content_hash());
+  // The restored session window still dedups: a retry of seq 5 must not
+  // re-apply on the replica that installed the snapshot.
+  EXPECT_EQ(b.apply(put(5, "key5", "clobber", 7)).status, Status::kOk);
+  EXPECT_EQ(b.apply(get("key5")).value, std::string(100, 'x'));
+  // And the next fresh seq applies normally.
+  EXPECT_EQ(b.apply(put(6, "new", "n", 7)).status, Status::kOk);
+}
+
+TEST(KvStore, DeserializeRejectsCorruptImagesWithoutChangingState) {
+  KvStore a;
+  a.apply(open_session());
+  a.apply(put(1, "k", "v"));
+  auto image = a.serialize();
+
+  KvStore b;
+  b.apply(open_session(42));
+  const std::uint64_t before = b.content_hash();
+
+  // Truncations at every length must fail cleanly.
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    EXPECT_FALSE(b.deserialize(image.data(), len)) << "length " << len;
+  }
+  // Bad magic.
+  auto bad = image;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(b.deserialize(bad));
+  // Trailing garbage.
+  bad = image;
+  bad.push_back(0);
+  EXPECT_FALSE(b.deserialize(bad));
+
+  EXPECT_EQ(b.content_hash(), before) << "failed install must not mutate";
+}
+
+TEST(KvStore, ContentHashDetectsDivergence) {
+  KvStore a;
+  KvStore b;
+  a.apply(open_session());
+  b.apply(open_session());
+  a.apply(put(1, "k", "v1"));
+  b.apply(put(1, "k", "v2"));
+  EXPECT_NE(a.content_hash(), b.content_hash());
+
+  // Same commands, same order -> same hash.
+  KvStore c;
+  c.apply(open_session());
+  c.apply(put(1, "k", "v1"));
+  EXPECT_EQ(a.content_hash(), c.content_hash());
+}
+
+TEST(KvStore, CloseSessionForgetsTheWindow) {
+  KvStore s;
+  s.apply(open_session());
+  s.apply(put(1, "k", "v"));
+  Cmd close;
+  close.session = kSess;
+  close.op = OpKind::kCloseSession;
+  EXPECT_EQ(s.apply(close).status, Status::kOk);
+  EXPECT_FALSE(s.has_session(kSess));
+  // The data outlives the session; only the dedup state is gone.
+  EXPECT_EQ(s.apply(get("k")).value, "v");
+}
+
+}  // namespace
+}  // namespace ecfd::kv

@@ -19,7 +19,8 @@ struct Cluster {
 };
 
 Cluster make_cluster(int n, std::uint64_t seed, int capacity,
-                     std::vector<CrashPlan> crashes = {}) {
+                     std::vector<CrashPlan> crashes = {},
+                     bool quiescent = false) {
   ScenarioConfig cfg;
   cfg.n = n;
   cfg.seed = seed;
@@ -38,6 +39,7 @@ Cluster make_cluster(int n, std::uint64_t seed, int capacity,
     c.oracles.push_back(std::make_unique<EcfdFromRing>(rings[p]));
     LogReplica::Config lc;
     lc.capacity = capacity;
+    lc.quiescent = quiescent;
     c.replicas.push_back(std::make_unique<LogReplica>(
         c.sys->host(p), c.oracles.back().get(), lc));
   }
@@ -124,6 +126,113 @@ TEST(LogReplica, CapacityBoundsTheRun) {
   EXPECT_EQ(c.replicas[0]->applied_slots(), 2);
   EXPECT_LE(c.replicas[0]->log().size(), 2u);
   EXPECT_GE(c.replicas[0]->pending(), 3u) << "overflow stays pending";
+}
+
+TEST(LogReplica, QuiescentIdleClusterConsumesNoSlots) {
+  // The flip side of NoOpsFillSlots: with quiescent mode on, an idle
+  // cluster leaves the bounded log untouched — the property the kv
+  // service relies on to not burn through its capacity between requests.
+  auto c = make_cluster(3, 2, 5, {}, /*quiescent=*/true);
+  c.sys->start();
+  c.sys->run_until(sec(10));
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(c.replicas[p]->applied_slots(), 0) << "replica " << p;
+    EXPECT_TRUE(c.replicas[p]->log().empty()) << "replica " << p;
+  }
+}
+
+TEST(LogReplica, QuiescentClusterStillReplicatesLeaderSubmissions) {
+  // Foreign traffic on a slot wakes the dormant instances, so a quiescent
+  // log still commits: the leader proposes, everyone else joins in.
+  auto c = make_cluster(3, 9, 8, {}, /*quiescent=*/true);
+  c.sys->start();
+  c.sys->run_until(msec(300));  // FD stable; p0 is the ring leader
+  c.replicas[0]->submit(601);
+  c.replicas[0]->submit(602);
+  c.sys->run_until(sec(10));
+
+  const auto reference = commands_of(*c.replicas[0]);
+  EXPECT_EQ(reference, (std::vector<consensus::Value>{601, 602}));
+  for (int p = 1; p < 3; ++p) {
+    EXPECT_EQ(commands_of(*c.replicas[p]), reference) << "replica " << p;
+  }
+  // Only the slots that carried commands were consumed; the rest of the
+  // bounded log is still available.
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_LT(c.replicas[p]->applied_slots(), 8) << "replica " << p;
+    EXPECT_FALSE(c.replicas[p]->exhausted());
+  }
+}
+
+TEST(LogReplica, CompactDropsTheAppliedPrefix) {
+  auto c = make_cluster(3, 7, 8);
+  c.sys->start();
+  for (int i = 0; i < 4; ++i) c.replicas[0]->submit(500 + i);
+  c.sys->run_until(sec(10));
+  auto& r = *c.replicas[0];
+  ASSERT_EQ(r.applied_slots(), 8);
+  ASSERT_EQ(r.log().size(), 4u);
+
+  const int cut = r.log()[2].slot;  // keep the last two entries
+  r.compact(cut);
+  EXPECT_EQ(r.compacted_upto(), cut);
+  ASSERT_EQ(r.log().size(), 2u);
+  for (const auto& e : r.log()) EXPECT_GE(e.slot, cut);
+
+  // Monotone: compacting backwards is a no-op.
+  r.compact(0);
+  EXPECT_EQ(r.compacted_upto(), cut);
+  ASSERT_EQ(r.log().size(), 2u);
+
+  // Clamped to the applied prefix (here: everything).
+  r.compact(1000);
+  EXPECT_EQ(r.compacted_upto(), 8);
+  EXPECT_TRUE(r.log().empty());
+}
+
+TEST(LogReplica, InstallSnapshotFastForwardsPastMissedSlots) {
+  // The install-on-join flow: a partitioned-away replica misses the whole
+  // run (decide messages are one-shot diffusion, never retransmitted), and
+  // a snapshot covering the decided prefix fast-forwards it — without
+  // running apply callbacks for the covered slots.
+  auto c = make_cluster(3, 8, 8);
+  int p2_applies = 0;
+  c.replicas[2]->set_apply(
+      [&p2_applies](const LogReplica::Entry&) { ++p2_applies; });
+  c.sys->start();
+
+  ProcessSet majority_side(3);
+  majority_side.add(0);
+  majority_side.add(1);
+  c.sys->network().partition(majority_side);  // {p0, p1} vs {p2}
+
+  for (int i = 0; i < 4; ++i) c.replicas[0]->submit(700 + i);
+  c.sys->run_until(sec(10));
+  // The majority decided every slot without p2 (it is suspected, so the
+  // Phase 2/4 waits don't block on it); p2 learned none of it.
+  ASSERT_EQ(c.replicas[0]->applied_slots(), 8);
+  ASSERT_EQ(c.replicas[0]->log().size(), 4u);
+  ASSERT_EQ(c.replicas[2]->applied_slots(), 0);
+
+  // Shrinking/no-op installs do nothing.
+  c.replicas[2]->install_snapshot(0);
+  EXPECT_EQ(c.replicas[2]->applied_slots(), 0);
+
+  // The real install: the service hands p2 a state snapshot covering the
+  // full decided prefix and fast-forwards the log.
+  c.replicas[2]->install_snapshot(8);
+  EXPECT_EQ(c.replicas[2]->applied_slots(), 8);
+  EXPECT_EQ(c.replicas[2]->compacted_upto(), 8);
+  EXPECT_TRUE(c.replicas[2]->log().empty()) << "covered slots not replayed";
+  EXPECT_EQ(p2_applies, 0) << "no apply callbacks for installed slots";
+  EXPECT_TRUE(c.replicas[2]->exhausted());
+
+  // Healing afterwards changes nothing: stray messages for covered slots
+  // are ignored.
+  c.sys->network().heal();
+  c.sys->run_until(sec(12));
+  EXPECT_EQ(c.replicas[2]->applied_slots(), 8);
+  EXPECT_EQ(p2_applies, 0);
 }
 
 TEST(LogReplica, ScriptedStableClusterIsFast) {

@@ -29,7 +29,7 @@ import sys
 TRACE_EVENT_TYPES = {
     "send", "deliver", "timer_set", "timer_cancel", "drop", "suspect",
     "unsuspect", "leader_change", "round_start", "decide", "crash",
-    "verdict", "note",
+    "verdict", "note", "lease_grant", "lease_revoke",
 }
 
 
@@ -47,11 +47,28 @@ def load(path: str):
         sys.exit(2)
 
 
+def check_host(doc, path: str) -> None:
+    """Validates the optional 'host' block (machine facts for reading a
+    report's absolute numbers; never compared across files)."""
+    host = doc.get("host")
+    if host is None:
+        return
+    if not isinstance(host, dict):
+        fail(f"{path}: 'host' is not an object")
+    for key in ("hardware_threads", "page_size"):
+        if not isinstance(host.get(key), int) or host[key] <= 0:
+            fail(f"{path}: host.{key} missing or not a positive integer")
+    if host.get("build_type") not in ("release", "debug"):
+        fail(f"{path}: host.build_type '{host.get('build_type')}' "
+             "not 'release'/'debug'")
+
+
 def table_shape(doc, path: str):
     """Reduce a report to its comparable shape."""
     for key in ("schema", "bench", "tables"):
         if key not in doc:
             fail(f"{path}: missing top-level key '{key}'")
+    check_host(doc, path)
     shape = []
     for i, t in enumerate(doc["tables"]):
         for key in ("section", "headers", "rows"):

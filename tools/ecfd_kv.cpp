@@ -1,0 +1,534 @@
+// ecfd_kv — client CLI + closed-loop load generator for the replicated
+// key-value service (kv/service.hpp) served by `ecfd_node --kv`.
+//
+//   ecfd_kv --config cluster.ini put KEY VALUE
+//   ecfd_kv --config cluster.ini get KEY
+//   ecfd_kv --config cluster.ini del KEY
+//   ecfd_kv --config cluster.ini cas KEY EXPECTED VALUE
+//   ecfd_kv --config cluster.ini bench [options]
+//
+// The config's [peers] table doubles as the server list; clients are
+// external to the universe (src = kNoProcess frames through SocketEnv's
+// external path), follow kNotLeader redirects, rotate servers on timeout,
+// and reuse write sequence numbers on retry so every write is applied
+// exactly once even across a leader kill -9.
+//
+// bench options (YCSB-style closed loop; one session per client thread):
+//   --clients N        concurrent closed-loop clients (default 4)
+//   --ops N            operations per client (default 1000; 0 = duration)
+//   --duration-ms MS   run for wall time instead of an op count
+//   --read-pct P       percent GETs in the mix (default 50)
+//   --keys N           key-space size (default 1000)
+//   --dist uniform|zipf  key popularity (default uniform; zipf theta .99)
+//   --value-bytes B    value payload size (default 100)
+//   --batch N          write ops packed per request envelope (default 1)
+//   --suite            run the checked-in baseline matrix (lease vs log
+//                      reads, batched vs unbatched writes) in one process
+//   --no-lease         clear kFlagLeaseRead: reads go through the log
+//   --timeout-ms MS    per-attempt reply timeout (default 200)
+//   --verify           read back every key at the end; exit 1 if any
+//                      acked write was lost (the smoke test's teeth)
+//   --json FILE        mirror results as ecfd.bench.v1 (bench/table.hpp)
+//
+// Output: a fixed-width table (throughput, p50/p95/p99 latency, retries)
+// plus per-run accounting; exit 0 on success, 1 on verification failure,
+// 2 on usage/config/connect errors.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/table.hpp"
+#include "kv/client.hpp"
+#include "sim/rng.hpp"
+#include "transport/node_config.hpp"
+
+using namespace ecfd;
+
+namespace {
+
+std::int64_t wall_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct BenchOptions {
+  int clients{4};
+  std::int64_t ops{1000};
+  std::int64_t duration_ms{0};
+  int read_pct{50};
+  int keys{1000};
+  std::string dist{"uniform"};
+  int value_bytes{100};
+  int batch{1};  ///< write ops packed per request envelope
+  bool lease{true};
+  std::int64_t timeout_ms{200};
+  bool verify{false};
+  bool suite{false};
+};
+
+/// Zipf(theta) sampler over [0, n) via inverse-CDF on a precomputed table
+/// (n is small — the key space — so the table is cheap and exact).
+class ZipfPicker {
+ public:
+  ZipfPicker(int n, double theta) : cdf_(static_cast<std::size_t>(n)) {
+    double sum = 0;
+    for (int i = 0; i < n; ++i) sum += 1.0 / std::pow(i + 1, theta);
+    double acc = 0;
+    for (int i = 0; i < n; ++i) {
+      acc += 1.0 / std::pow(i + 1, theta) / sum;
+      cdf_[static_cast<std::size_t>(i)] = acc;
+    }
+  }
+  int pick(double u) const {
+    const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<int>(it - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct ClientResult {
+  std::int64_t ops_done{0};
+  std::int64_t acked_writes{0};
+  std::int64_t reads{0};
+  std::int64_t failures{0};  ///< calls with no reply (attempt budget gone)
+  kv::KvClient::Stats net;
+  std::vector<std::int64_t> latencies_us;
+  /// key -> (last acked value, was the *last issued* write acked?). Keys
+  /// are partitioned per client, so this is the ground truth for --verify.
+  std::map<std::string, std::pair<std::string, bool>> last_write;
+};
+
+std::string ops_value(const std::string& base, int client, std::int64_t req,
+                      std::size_t b) {
+  return base + "." + std::to_string(client) + "." + std::to_string(req) +
+         "." + std::to_string(b);
+}
+
+std::string key_name(int client, int k) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "c%02d.k%06d", client, k);
+  return buf;
+}
+
+ClientResult run_client(int idx, const transport::NodeConfig& cfg,
+                        const BenchOptions& opt,
+                        const std::atomic<bool>* stop_flag) {
+  ClientResult res;
+  kv::KvClient::Config cc;
+  cc.servers = cfg.peers;
+  cc.request_timeout = msec(opt.timeout_ms);
+  cc.lease_reads = opt.lease;
+  // Sessions are replicated state with monotone seqs: a fresh client MUST
+  // NOT reuse an id a previous run opened (its restarted seq counter would
+  // collide with the server-side window), so derive a unique one per
+  // client instance — clock salted with the client index, since all
+  // threads start in the same microsecond.
+  cc.session = (static_cast<std::uint64_t>(wall_us()) << 8) ^
+               (0x4B56ULL << 48) ^ static_cast<std::uint64_t>(idx + 1);
+  kv::KvClient client(cc);
+  std::string err;
+  if (!client.connect(&err) || !client.open_session(&err)) {
+    std::cerr << "client " << idx << ": " << err << "\n";
+    res.failures = 1;
+    return res;
+  }
+
+  Rng rng(0x9E37ULL * static_cast<std::uint64_t>(idx + 1));
+  std::optional<ZipfPicker> zipf;
+  if (opt.dist == "zipf") zipf.emplace(opt.keys, 0.99);
+  const std::string value(static_cast<std::size_t>(opt.value_bytes), 'v');
+
+  const std::int64_t deadline =
+      opt.duration_ms > 0 ? wall_us() + msec(opt.duration_ms) : 0;
+  for (std::int64_t i = 0; opt.ops <= 0 || i < opt.ops; ++i) {
+    if (deadline > 0 && wall_us() >= deadline) break;
+    if (stop_flag != nullptr && stop_flag->load()) break;
+
+    const int k = zipf ? zipf->pick(rng.uniform01())
+                       : static_cast<int>(rng.below(
+                             static_cast<std::uint64_t>(opt.keys)));
+    const std::string key = key_name(idx, k);
+    const bool is_read =
+        static_cast<int>(rng.below(100)) < opt.read_pct;
+
+    const std::int64_t t0 = wall_us();
+    if (is_read) {
+      std::string out;
+      const kv::Status st = client.get(key, &out);
+      if (st == kv::Status::kOk || st == kv::Status::kNotFound) {
+        ++res.reads;
+        res.latencies_us.push_back(wall_us() - t0);
+      } else {
+        ++res.failures;
+      }
+      ++res.ops_done;
+    } else {
+      // One request envelope carrying opt.batch puts (1 = unbatched).
+      // Values are tagged with (client, op#) so verification can't be
+      // fooled by an identical older write.
+      std::vector<kv::Op> ops;
+      std::vector<std::string> keys;
+      for (int b = 0; b < opt.batch; ++b) {
+        const int bk =
+            b == 0 ? k
+                   : static_cast<int>(rng.below(
+                         static_cast<std::uint64_t>(opt.keys)));
+        kv::Op op;
+        op.op = kv::OpKind::kPut;
+        op.key = key_name(idx, bk);
+        op.value = ops_value(value, idx, i, static_cast<std::size_t>(b));
+        res.last_write[op.key] = {op.value, false};
+        keys.push_back(op.key);
+        ops.push_back(std::move(op));
+      }
+      const auto reply = client.execute(std::move(ops));
+      if (reply && reply->status == kv::Status::kOk) {
+        res.latencies_us.push_back(wall_us() - t0);
+        for (std::size_t b = 0; b < reply->results.size(); ++b) {
+          if (reply->results[b].status != kv::Status::kOk) {
+            ++res.failures;
+            continue;
+          }
+          ++res.acked_writes;
+          ++res.ops_done;
+          // A later op in the same envelope may rewrite the key; only the
+          // envelope's last write per key (the value recorded above) is
+          // the final state, so only that one is marked acked-for-verify.
+          auto it = res.last_write.find(keys[b]);
+          if (it != res.last_write.end() &&
+              it->second.first == ops_value(value, idx, i, b)) {
+            it->second.second = true;
+          }
+        }
+      } else {
+        res.failures += static_cast<std::int64_t>(keys.size());
+      }
+    }
+  }
+  res.net = client.stats();
+  return res;
+}
+
+/// Reads back every acked write; returns the number of lost ones. A key
+/// whose *last issued* write was never acked is skipped (the unacked
+/// write may legitimately have committed).
+std::int64_t verify(const transport::NodeConfig& cfg, const BenchOptions& opt,
+                    const std::vector<ClientResult>& results) {
+  kv::KvClient::Config cc;
+  cc.servers = cfg.peers;
+  cc.request_timeout = msec(opt.timeout_ms);
+  cc.max_attempts = 50;
+  kv::KvClient client(cc);
+  std::string err;
+  if (!client.connect(&err) || !client.open_session(&err)) {
+    std::cerr << "verify: " << err << "\n";
+    return -1;
+  }
+  std::int64_t lost = 0;
+  std::int64_t checked = 0;
+  for (const ClientResult& r : results) {
+    for (const auto& [key, vw] : r.last_write) {
+      const auto& [val, acked] = vw;
+      if (!acked) continue;  // last issued write unacked: value ambiguous
+      std::string out;
+      const kv::Status st = client.get(key, &out);
+      ++checked;
+      if (st != kv::Status::kOk || out != val) {
+        ++lost;
+        if (lost <= 10) {
+          std::cerr << "verify: LOST acked write " << key << " (got "
+                    << (st == kv::Status::kOk ? out : kv::status_name(st))
+                    << ")\n";
+        }
+      }
+    }
+  }
+  std::cout << "verify: " << checked << " acked keys checked, " << lost
+            << " lost\n";
+  return lost;
+}
+
+std::int64_t pct(std::vector<std::int64_t>& v, double p) {
+  if (v.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) / 100.0);
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(idx),
+                   v.end());
+  return v[idx];
+}
+
+int run_bench(const transport::NodeConfig& cfg, const BenchOptions& opt) {
+  std::atomic<bool> stop{false};
+  std::vector<ClientResult> results(static_cast<std::size_t>(opt.clients));
+  std::vector<std::thread> threads;
+  const std::int64_t t0 = wall_us();
+  threads.reserve(static_cast<std::size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    threads.emplace_back([&, c] {
+      results[static_cast<std::size_t>(c)] = run_client(c, cfg, opt, &stop);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      static_cast<double>(wall_us() - t0) / 1e6;
+
+  std::int64_t ops = 0;
+  std::int64_t acked = 0;
+  std::int64_t reads = 0;
+  std::int64_t failures = 0;
+  std::int64_t redirects = 0;
+  std::int64_t timeouts = 0;
+  std::int64_t attempts = 0;
+  std::vector<std::int64_t> lat;
+  for (auto& r : results) {
+    ops += r.ops_done;
+    acked += r.acked_writes;
+    reads += r.reads;
+    failures += r.failures;
+    redirects += r.net.redirects;
+    timeouts += r.net.timeouts;
+    attempts += r.net.attempts;
+    lat.insert(lat.end(), r.latencies_us.begin(), r.latencies_us.end());
+  }
+  const double thru = elapsed_s > 0 ? static_cast<double>(ops) / elapsed_s : 0;
+  std::vector<std::int64_t> l50 = lat;
+  std::vector<std::int64_t> l95 = lat;
+  std::vector<std::int64_t> l99 = lat;
+
+  bench::section("kv load (" + std::to_string(opt.read_pct) + "% reads, " +
+                 (opt.lease ? "lease" : "log") + " reads, " + opt.dist +
+                 (opt.batch > 1 ? ", batch " + std::to_string(opt.batch)
+                                : std::string(", unbatched")) +
+                 ")");
+  bench::Table t({"clients", "ops", "acked_w", "reads", "fail", "thru_ops_s",
+                  "p50_us", "p95_us", "p99_us", "redirects", "timeouts"},
+                 12);
+  t.print_header();
+  t.print_row(opt.clients, ops, acked, reads, failures, thru, pct(l50, 50),
+              pct(l95, 95), pct(l99, 99), redirects, timeouts);
+  std::cout << "elapsed " << elapsed_s << " s, " << attempts
+            << " datagrams sent\n";
+
+  int rc = 0;
+  if (opt.verify) {
+    const std::int64_t lost = verify(cfg, opt, results);
+    if (lost != 0) rc = 1;
+  }
+  // Every client failing outright (e.g. no cluster) is an error even
+  // without --verify.
+  if (ops == 0 && failures > 0) rc = 2;
+  return rc;
+}
+
+/// The checked-in-baseline matrix (BENCH_KV.json): lease vs log reads on a
+/// read-heavy mix, a balanced mix, and unbatched vs batched pure writes.
+int run_suite(const transport::NodeConfig& cfg, const BenchOptions& base) {
+  struct Cell {
+    int read_pct;
+    bool lease;
+    int batch;
+  };
+  const Cell cells[] = {
+      {95, true, 1},   // read-heavy, leader-local lease reads
+      {95, false, 1},  // read-heavy, every read through the log
+      {50, true, 1},   // balanced mix
+      {0, true, 1},    // pure writes, one op per request
+      {0, true, 16},   // pure writes, 16 ops per request envelope
+  };
+  int rc = 0;
+  for (const Cell& c : cells) {
+    BenchOptions opt = base;
+    opt.read_pct = c.read_pct;
+    opt.lease = c.lease;
+    opt.batch = c.batch;
+    const int cell_rc = run_bench(cfg, opt);
+    if (rc == 0) rc = cell_rc;
+  }
+  return rc;
+}
+
+void usage() {
+  std::cout
+      << "ecfd_kv — client for the replicated kv service (ecfd_node --kv)\n"
+         "\n"
+         "  ecfd_kv --config FILE [--servers H:P,H:P,...] COMMAND\n"
+         "\n"
+         "  put KEY VALUE | get KEY | del KEY | cas KEY EXPECTED VALUE\n"
+         "  bench [--clients N] [--ops N] [--duration-ms MS] [--read-pct P]\n"
+         "        [--keys N] [--dist uniform|zipf] [--value-bytes B]\n"
+         "        [--batch N] [--no-lease] [--timeout-ms MS] [--verify]\n"
+         "        [--suite] [--json FILE]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string servers_arg;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << a << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (a == "--config") {
+      config_path = next();
+    } else if (a == "--servers") {
+      servers_arg = next();
+    } else {
+      rest.push_back(a);
+    }
+  }
+
+  transport::NodeConfig cfg;
+  if (!config_path.empty()) {
+    std::string error;
+    const auto loaded = transport::load_node_config(config_path, &error);
+    if (!loaded) {
+      std::cerr << "ecfd_kv: " << error << "\n";
+      return 2;
+    }
+    cfg = *loaded;
+  }
+  if (!servers_arg.empty()) {
+    cfg.peers.clear();
+    std::size_t pos = 0;
+    while (pos <= servers_arg.size()) {
+      const auto comma = servers_arg.find(',', pos);
+      const std::string part = servers_arg.substr(
+          pos, comma == std::string::npos ? std::string::npos : comma - pos);
+      const auto addr = transport::parse_peer_addr(part);
+      if (!addr) {
+        std::cerr << "ecfd_kv: bad server address '" << part << "'\n";
+        return 2;
+      }
+      cfg.peers.push_back(*addr);
+      if (comma == std::string::npos) break;
+      pos = comma + 1;
+    }
+  }
+  if (cfg.peers.empty() || rest.empty()) {
+    usage();
+    return 2;
+  }
+
+  const std::string cmd = rest[0];
+  if (cmd == "bench") {
+    BenchOptions opt;
+    for (std::size_t i = 1; i < rest.size(); ++i) {
+      const std::string& a = rest[i];
+      auto next = [&]() -> std::string {
+        if (i + 1 >= rest.size()) {
+          std::cerr << "missing value for " << a << "\n";
+          std::exit(2);
+        }
+        return rest[++i];
+      };
+      if (a == "--clients") {
+        opt.clients = std::stoi(next());
+      } else if (a == "--ops") {
+        opt.ops = std::stoll(next());
+      } else if (a == "--duration-ms") {
+        opt.duration_ms = std::stoll(next());
+        if (opt.ops == 1000) opt.ops = 0;  // duration overrides default
+      } else if (a == "--read-pct") {
+        opt.read_pct = std::stoi(next());
+      } else if (a == "--keys") {
+        opt.keys = std::stoi(next());
+      } else if (a == "--dist") {
+        opt.dist = next();
+      } else if (a == "--value-bytes") {
+        opt.value_bytes = std::stoi(next());
+      } else if (a == "--batch") {
+        opt.batch = std::stoi(next());
+      } else if (a == "--suite") {
+        opt.suite = true;
+      } else if (a == "--no-lease") {
+        opt.lease = false;
+      } else if (a == "--timeout-ms") {
+        opt.timeout_ms = std::stoll(next());
+      } else if (a == "--verify") {
+        opt.verify = true;
+      } else if (a == "--json") {
+        // handled by bench::init below; need argc/argv-style passthrough
+        ++i;
+      } else {
+        std::cerr << "ecfd_kv: unknown bench option " << a << "\n";
+        return 2;
+      }
+    }
+    if (opt.clients < 1 || opt.keys < 1 || opt.read_pct < 0 ||
+        opt.read_pct > 100 || opt.value_bytes < 0 ||
+        opt.value_bytes > static_cast<int>(kv::kMaxValueBytes) - 32 ||
+        opt.batch < 1 ||
+        opt.batch > static_cast<int>(kv::kMaxOpsPerRequest) ||
+        (opt.dist != "uniform" && opt.dist != "zipf")) {
+      std::cerr << "ecfd_kv: bad bench options\n";
+      return 2;
+    }
+    bench::init(argc, argv, "kv_load");
+    const int rc = opt.suite ? run_suite(cfg, opt) : run_bench(cfg, opt);
+    const int json_rc = bench::finish();
+    return rc != 0 ? rc : json_rc;
+  }
+
+  // Single-shot commands.
+  kv::KvClient::Config cc;
+  cc.servers = cfg.peers;
+  kv::KvClient client(cc);
+  std::string err;
+  if (!client.connect(&err) || !client.open_session(&err)) {
+    std::cerr << "ecfd_kv: " << err << "\n";
+    return 2;
+  }
+  if (cmd == "put" && rest.size() == 3) {
+    const kv::Status st = client.put(rest[1], rest[2]);
+    std::cout << kv::status_name(st) << "\n";
+    return st == kv::Status::kOk ? 0 : 1;
+  }
+  if (cmd == "get" && rest.size() == 2) {
+    std::string out;
+    const kv::Status st = client.get(rest[1], &out);
+    if (st == kv::Status::kOk) {
+      std::cout << out << "\n";
+      return 0;
+    }
+    std::cout << kv::status_name(st) << "\n";
+    return 1;
+  }
+  if (cmd == "del" && rest.size() == 2) {
+    const kv::Status st = client.del(rest[1]);
+    std::cout << kv::status_name(st) << "\n";
+    return st == kv::Status::kOk ? 0 : 1;
+  }
+  if (cmd == "cas" && rest.size() == 4) {
+    std::string current;
+    const kv::Status st = client.cas(rest[1], rest[2], rest[3], &current);
+    std::cout << kv::status_name(st);
+    if (st == kv::Status::kCasMismatch) std::cout << " current=" << current;
+    std::cout << "\n";
+    return st == kv::Status::kOk ? 0 : 1;
+  }
+  usage();
+  return 2;
+}

@@ -7,7 +7,7 @@
 // the survivors' suspicion (and, with --consensus, a decision) happen over
 // a real lossy network:
 //
-//   ecfd_node --config cluster.ini --id 0 [--fd F] [--consensus]
+//   ecfd_node --config cluster.ini --id 0 [--fd F] [--consensus] [--kv]
 //             [--propose V] [--run-ms MS] [--report-ms MS] [--verbose]
 //             [--metrics-port P] [--metrics FILE] [--trace FILE]
 //
@@ -19,10 +19,18 @@
 //                (overrides the config's `fd` key)
 //   --consensus  run ConsensusC on the ◇C view; propose --propose (default:
 //                this node's id) once the cluster has had a moment to form
+//   --kv         serve the replicated key-value store (kv/service.hpp) on
+//                this node: client frames arrive on the same UDP port as
+//                peer traffic (src = kNoProcess routes them to the
+//                service), writes commit through LogReplica consensus
+//                slots, reads are leader-lease-local when ◇C allows.
+//                Tunables come from the config's [kv] section.
 //   --run-ms     exit after this long (default: run until killed)
 //   --report-ms  output period (default 500)
 //   --metrics-port P  serve the live counter registry as a plain-text
-//                HTTP endpoint on 127.0.0.1:P (curl or nc it any time)
+//                HTTP endpoint on 127.0.0.1:P (curl or nc it any time);
+//                GET /metrics.json returns the same registry as an
+//                ecfd.metrics.v1 JSON document
 //   --metrics FILE  write the final registry as ecfd.metrics.v1 JSON
 //   --trace FILE  record typed events and write this node's ecfd.trace.v1
 //                timeline at exit; merge the per-node files with
@@ -54,9 +62,11 @@
 #include "core/c_to_p.hpp"
 #include "core/consensus_c.hpp"
 #include "core/ecfd_compose.hpp"
+#include "core/replicated_log.hpp"
 #include "fd/efficient_p.hpp"
 #include "fd/heartbeat_p.hpp"
 #include "fd/stable_leader.hpp"
+#include "kv/service.hpp"
 #include "transport/node_config.hpp"
 #include "transport/socket_env.hpp"
 
@@ -77,6 +87,7 @@ void usage() {
       "  --id N          which peer-table row is this process (required)\n"
       "  --fd F          heartbeat_p | efficient_p | stable_leader | ecfd\n"
       "  --consensus     also run the ◇C consensus engine\n"
+      "  --kv            serve the replicated key-value store ([kv] config)\n"
       "  --propose V     consensus proposal (default: node id)\n"
       "  --run-ms MS     exit after MS ms (default: until SIGINT/SIGTERM)\n"
       "  --report-ms MS  report period (default 500)\n"
@@ -152,6 +163,7 @@ Stack build_fd(SocketEnv& env, const NodeConfig& cfg, const std::string& fd) {
 std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
                         const Stack& stack,
                         const consensus::ConsensusProtocol* cons,
+                        const kv::KvService* kvs,
                         obs::MetricsRegistry& counters, int n) {
   std::string out = "{\"t_ms\":" + std::to_string(t / 1000) +
                     ",\"node\":" + std::to_string(self) + ",\"fd\":\"" + fd +
@@ -173,6 +185,12 @@ std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
   out += (cons != nullptr && cons->has_decided())
              ? std::to_string(cons->decision()->value)
              : std::string("null");
+  if (kvs != nullptr) {
+    out += ",\"kv\":{\"applied\":" + std::to_string(kvs->applied_slot()) +
+           ",\"keys\":" + std::to_string(kvs->store().size()) +
+           ",\"lease\":" + (kvs->lease_valid() ? "true" : "false") +
+           ",\"leader\":" + (kvs->is_leader() ? "true" : "false") + "}";
+  }
   std::int64_t sent = 0;
   std::int64_t recv = 0;
   for (ProcessId q = 0; q < n; ++q) {
@@ -210,11 +228,25 @@ bool serve_metrics(std::uint16_t port, obs::MetricsRegistry& metrics) {
     for (;;) {
       const int conn = ::accept(fd, nullptr, nullptr);
       if (conn < 0) continue;
+      // One short read is enough for the request line of every client we
+      // care about (curl/nc); the path chooses the representation.
+      char req[1024] = {};
+      const ssize_t got = ::recv(conn, req, sizeof(req) - 1, 0);
+      const bool want_json =
+          got > 0 && std::string(req, static_cast<std::size_t>(got))
+                             .find("/metrics.json") != std::string::npos;
       std::ostringstream body;
-      metrics.write_text(body);
+      std::string content_type = "text/plain";
+      if (want_json) {
+        metrics.write_json(body, "ecfd_node");
+        content_type = "application/json";
+      } else {
+        metrics.write_text(body);
+      }
       const std::string text = body.str();
       const std::string resp =
-          "HTTP/1.0 200 OK\r\nContent-Type: text/plain\r\nContent-Length: " +
+          "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
+          "\r\nContent-Length: " +
           std::to_string(text.size()) + "\r\n\r\n" + text;
       std::size_t off = 0;
       while (off < resp.size()) {
@@ -235,6 +267,7 @@ int main(int argc, char** argv) {
   int id = -1;
   std::string fd_override;
   bool consensus_flag = false;
+  bool kv_flag = false;
   std::optional<consensus::Value> propose;
   std::int64_t run_ms = -1;
   std::int64_t report_ms = 500;
@@ -263,6 +296,8 @@ int main(int argc, char** argv) {
       fd_override = next();
     } else if (a == "--consensus") {
       consensus_flag = true;
+    } else if (a == "--kv") {
+      kv_flag = true;
     } else if (a == "--propose") {
       propose = std::stoll(next());
     } else if (a == "--run-ms") {
@@ -343,6 +378,48 @@ int main(int argc, char** argv) {
     cons = &env.emplace<core::ConsensusC>(stack.ecfd, &rb, cc);
   }
 
+  // The replicated key-value service: a LogReplica (one consensus + RB
+  // pair per slot), a dedicated RB instance for batch bodies, and the
+  // service protocol that ties them to external clients.
+  std::unique_ptr<core::LogReplica> kv_log;
+  kv::KvService* kvs = nullptr;
+  if (kv_flag || cfg->kv_enabled) {
+    if (stack.ecfd == nullptr) {
+      std::cerr << "ecfd_node: --kv requires a consensus-capable fd\n";
+      return 2;
+    }
+    core::LogReplica::Config lc;
+    lc.capacity = cfg->kv_capacity;
+    lc.pipeline_depth = cfg->kv_pipeline_depth;
+    lc.quiescent = true;  // a bounded service log must not idle-burn slots
+    lc.consensus.poll_period = cfg->period / 2 > 0 ? cfg->period / 2 : msec(1);
+    kv_log = std::make_unique<core::LogReplica>(env, stack.ecfd, lc);
+
+    auto& batch_rb =
+        env.emplace<broadcast::ReliableBroadcast>(protocol_ids::kKvBatchRb);
+    kv::KvService::Config kc;
+    kc.batch_max_ops = static_cast<std::size_t>(cfg->kv_batch_max_ops);
+    kc.batch_wait = cfg->kv_batch_wait;
+    kc.lease_establish = cfg->kv_lease_establish;
+    kc.snapshot_every = cfg->kv_snapshot_every;
+    kc.dedup_window = static_cast<std::size_t>(cfg->kv_dedup_window);
+    kvs = &env.emplace<kv::KvService>(stack.ecfd, kv_log.get(), &batch_rb, kc);
+    kvs->bind_metrics(&env.metrics());
+    kvs->set_reply_sink([&env](kv::KvService::Token token,
+                               const kv::Reply& r) {
+      env.send_external(token, Message::make<kv::Reply>(
+                                   protocol_ids::kKvService,
+                                   kv::kMsgClientReply, "kv.reply", r));
+    });
+    env.set_external_handler(
+        [kvs](SocketEnv::ExternalToken token, const Message& m) {
+          if (m.protocol == protocol_ids::kKvService &&
+              m.type == kv::kMsgClientRequest && m.has_payload()) {
+            kvs->handle_request(token, m.as<kv::Request>());
+          }
+        });
+  }
+
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
@@ -350,7 +427,7 @@ int main(int argc, char** argv) {
 
   // Report timer: one JSON line per period, re-armed forever.
   std::function<void()> report = [&]() {
-    std::cout << report_line(env.now(), id, fd_name, stack, cons,
+    std::cout << report_line(env.now(), id, fd_name, stack, cons, kvs,
                              env.counters(), env.n())
               << std::endl;  // flush: readers are pipes and demo scripts
     env.set_timer(msec(report_ms), report);
@@ -382,7 +459,7 @@ int main(int argc, char** argv) {
     while (!g_stop) env.run_for(sec(3600));
   }
 
-  std::cout << report_line(env.now(), id, fd_name, stack, cons,
+  std::cout << report_line(env.now(), id, fd_name, stack, cons, kvs,
                            env.counters(), env.n())
             << std::endl;
 
