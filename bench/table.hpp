@@ -35,6 +35,7 @@ namespace detail {
 struct JsonSink {
   bool active{false};
   std::string bench;
+  std::string schema{"ecfd.bench.v1"};
   std::string path;
   std::string section;     ///< current section title
   std::string body;        ///< accumulated "tables" array contents
@@ -91,10 +92,14 @@ std::string json_cell(const T& value) {
 
 /// Parses bench-wide flags (currently `--json FILE`; "-" = stdout).
 /// Call first in main(); unknown arguments are ignored so binaries keep
-/// tolerating ad-hoc flags.
-inline void init(int argc, char** argv, const std::string& bench_name) {
+/// tolerating ad-hoc flags. Benches whose tables differ structurally from
+/// the default experiment shape pass their own \p schema name (bench_net
+/// emits "ecfd.bench_net.v1") so validators can gate each shape strictly.
+inline void init(int argc, char** argv, const std::string& bench_name,
+                 const std::string& schema = "ecfd.bench.v1") {
   auto& s = detail::sink();
   s.bench = bench_name;
+  s.schema = schema;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--json" && i + 1 < argc) {
       s.active = true;
@@ -109,7 +114,9 @@ inline int finish() {
   auto& s = detail::sink();
   if (!s.active) return 0;
   detail::close_open_table();
-  std::string j = "{\n  \"schema\": \"ecfd.bench.v1\",\n  \"bench\": \"";
+  std::string j = "{\n  \"schema\": \"";
+  detail::json_escape(&j, s.schema);
+  j += "\",\n  \"bench\": \"";
   detail::json_escape(&j, s.bench);
   // Machine context, so checked-in baselines say what they were measured
   // on. Shape-gated (not value-gated) by tools/check_bench_schema.py.

@@ -5,6 +5,8 @@
 #
 # Usage:  examples/cluster_demo.sh [path-to-ecfd_node] [fd]
 #         (default binary: build/tools/ecfd_node, default fd: ecfd)
+#         ECFD_BACKEND=uring selects the io_uring transport (default poll);
+#         nodes degrade to poll at runtime if the kernel lacks io_uring.
 #
 # Exit code 0 when both survivors ended up suspecting the killed node;
 # nonzero otherwise. (With fd=heartbeat_p/efficient_p/ecfd the final
@@ -14,6 +16,7 @@ set -eu
 
 NODE_BIN="${1:-build/tools/ecfd_node}"
 FD="${2:-ecfd}"
+BACKEND="${ECFD_BACKEND:-poll}"
 WORKDIR="$(mktemp -d)"
 trap 'kill $PID0 $PID1 $PID2 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -37,10 +40,10 @@ timeout_increment_ms = 100
 2 = 127.0.0.1:$(( PORT_BASE + 2 ))
 EOF
 
-echo "== launching 3 nodes (fd=$FD, ports $PORT_BASE..$(( PORT_BASE + 2 )))"
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 0 --consensus --run-ms 8000 > "$WORKDIR/node0.out" & PID0=$!
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 1 --consensus --run-ms 8000 > "$WORKDIR/node1.out" & PID1=$!
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 2 --consensus --run-ms 8000 > "$WORKDIR/node2.out" & PID2=$!
+echo "== launching 3 nodes (fd=$FD, backend=$BACKEND, ports $PORT_BASE..$(( PORT_BASE + 2 )))"
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 0 --backend "$BACKEND" --consensus --run-ms 8000 > "$WORKDIR/node0.out" & PID0=$!
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 1 --backend "$BACKEND" --consensus --run-ms 8000 > "$WORKDIR/node1.out" & PID1=$!
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 2 --backend "$BACKEND" --consensus --run-ms 8000 > "$WORKDIR/node2.out" & PID2=$!
 
 sleep 3
 echo "== kill -9 node 2 (pid $PID2)"

@@ -6,6 +6,8 @@
 #
 # Usage:  examples/kv_demo.sh [path-to-ecfd_node] [path-to-ecfd_kv]
 #         (defaults: build/tools/ecfd_node, build/tools/ecfd_kv)
+#         ECFD_BACKEND=uring runs the nodes on the io_uring network
+#         backend (degrades to poll where the kernel lacks it).
 #
 # Exit code 0 when the load generator finishes with no lost acked writes
 # and a survivor took over leadership; nonzero otherwise.
@@ -13,6 +15,7 @@ set -eu
 
 NODE_BIN="${1:-build/tools/ecfd_node}"
 KV_BIN="${2:-build/tools/ecfd_kv}"
+BACKEND="${ECFD_BACKEND:-poll}"
 WORKDIR="$(mktemp -d)"
 trap 'kill $PID0 $PID1 $PID2 $BENCH_PID 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
@@ -48,10 +51,10 @@ dedup_window = 64
 2 = 127.0.0.1:$(( PORT_BASE + 2 ))
 EOF
 
-echo "== launching 3 kv nodes (ports $PORT_BASE..$(( PORT_BASE + 2 )))"
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 0 --kv --run-ms 60000 > "$WORKDIR/node0.out" & PID0=$!
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 1 --kv --run-ms 60000 > "$WORKDIR/node1.out" & PID1=$!
-"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 2 --kv --run-ms 60000 > "$WORKDIR/node2.out" & PID2=$!
+echo "== launching 3 kv nodes (ports $PORT_BASE..$(( PORT_BASE + 2 )), backend $BACKEND)"
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 0 --kv --backend "$BACKEND" --run-ms 60000 > "$WORKDIR/node0.out" & PID0=$!
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 1 --kv --backend "$BACKEND" --run-ms 60000 > "$WORKDIR/node1.out" & PID1=$!
+"$NODE_BIN" --config "$WORKDIR/cluster.ini" --id 2 --kv --backend "$BACKEND" --run-ms 60000 > "$WORKDIR/node2.out" & PID2=$!
 BENCH_PID=""
 
 sleep 1

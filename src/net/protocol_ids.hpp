@@ -26,6 +26,7 @@ inline constexpr ProtocolId kStableLeader = 13;  ///< fd/stable_leader ([2])
 inline constexpr ProtocolId kHeartbeatCounter = 14;  ///< fd/heartbeat_counter ([1])
 inline constexpr ProtocolId kKvService = 15;     ///< kv/service (client + peer msgs)
 inline constexpr ProtocolId kKvBatchRb = 16;     ///< kv batch-body dissemination RB
+inline constexpr ProtocolId kBenchNet = 17;      ///< bench/bench_net flood frames
 inline constexpr ProtocolId kTesting = 100;      ///< unit-test scratch protocols
 inline constexpr ProtocolId kCheckMutantFd = 101;        ///< check/mutants (broken FDs)
 inline constexpr ProtocolId kCheckMutantConsensus = 102; ///< check/mutants (broken consensus)

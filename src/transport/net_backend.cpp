@@ -1,0 +1,41 @@
+#include "transport/dgram_env.hpp"
+#include "transport/socket_env.hpp"
+#if defined(ECFD_URING)
+#include "transport/uring_env.hpp"
+#endif
+
+/// \file net_backend.cpp
+/// The backend factory: the only place that knows both DgramEnv
+/// subclasses exist. Requesting uring is always safe — compiled out,
+/// kernel too old, seccomp-filtered, or ECFD_URING_DISABLE all degrade to
+/// the poll backend with an explanatory note instead of failing, so a
+/// fleet config can say `backend = uring` and heterogeneous hosts do the
+/// right thing.
+
+namespace ecfd::transport {
+
+std::unique_ptr<DgramEnv> make_net_env(Backend requested,
+                                       DgramEnv::Options opts,
+                                       std::string* error,
+                                       std::string* note) {
+  if (requested == Backend::kUring) {
+#if defined(ECFD_URING)
+    auto env = std::make_unique<UringEnv>(opts);
+    std::string uring_error;
+    if (env->open(&uring_error)) return env;
+    if (note) {
+      *note = "io_uring unavailable (" + uring_error + "); using poll backend";
+    }
+#else
+    if (note) {
+      *note = "io_uring backend compiled out (ECFD_URING=OFF); "
+              "using poll backend";
+    }
+#endif
+  }
+  auto env = std::make_unique<SocketEnv>(std::move(opts));
+  if (!env->open(error)) return nullptr;
+  return env;
+}
+
+}  // namespace ecfd::transport

@@ -96,7 +96,7 @@ std::optional<NodeConfig> parse_node_config(const std::string& text,
       if (line.back() != ']') return bad("unterminated section header");
       section = trim(line.substr(1, line.size() - 2));
       if (section != "cluster" && section != "peers" && section != "chaos" &&
-          section != "kv") {
+          section != "net" && section != "kv") {
         return bad("unknown section [" + section + "]");
       }
       continue;
@@ -136,6 +136,11 @@ std::optional<NodeConfig> parse_node_config(const std::string& text,
       } else if (key == "timeout_increment_ms") {
         if (!parse_i64(value, &i) || i < 0) return bad("bad timeout_increment_ms");
         cfg.timeout_increment = msec(i);
+      } else if (key == "backend") {
+        if (value != "poll" && value != "uring") {
+          return bad("backend must be 'poll' or 'uring'");
+        }
+        cfg.backend = value;
       } else {
         return bad("unknown [cluster] key '" + key + "'");
       }
@@ -153,6 +158,40 @@ std::optional<NodeConfig> parse_node_config(const std::string& text,
         cfg.max_delay = msec(i);
       } else {
         return bad("unknown [chaos] key '" + key + "'");
+      }
+    } else if (section == "net") {
+      std::int64_t i = 0;
+      if (key == "coalesce") {
+        if (!parse_bool(value, &cfg.net_coalesce)) return bad("bad coalesce");
+      } else if (key == "max_envelope_frames") {
+        if (!parse_i64(value, &i) || i < 2 || i > 256) {
+          return bad("max_envelope_frames must be in 2..256");
+        }
+        cfg.net_max_envelope_frames = static_cast<int>(i);
+      } else if (key == "max_envelope_bytes") {
+        if (!parse_i64(value, &i) || i < 256 || i > 65536) {
+          return bad("max_envelope_bytes must be in 256..65536");
+        }
+        cfg.net_max_envelope_bytes = static_cast<int>(i);
+      } else if (key == "flush_delay_us") {
+        if (!parse_i64(value, &i) || i < 0 || i > 1000000) {
+          return bad("flush_delay_us must be in 0..1000000");
+        }
+        cfg.net_flush_delay = i;
+      } else if (key == "send_batch") {
+        if (!parse_i64(value, &i) || i < 1 || i > 1024) {
+          return bad("send_batch must be in 1..1024");
+        }
+        cfg.net_send_batch = static_cast<int>(i);
+      } else if (key == "recv_batch") {
+        if (!parse_i64(value, &i) || i < 1 || i > 1024) {
+          return bad("recv_batch must be in 1..1024");
+        }
+        cfg.net_recv_batch = static_cast<int>(i);
+      } else if (key == "mmsg") {
+        if (!parse_bool(value, &cfg.net_mmsg)) return bad("bad mmsg flag");
+      } else {
+        return bad("unknown [net] key '" + key + "'");
       }
     } else if (section == "kv") {
       std::int64_t i = 0;

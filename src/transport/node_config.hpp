@@ -21,6 +21,8 @@
 ///   initial_timeout_ms = 250
 ///   timeout_increment_ms = 100
 ///   consensus = false
+///   backend = poll            ; poll | uring (uring degrades to poll when
+///                             ; the kernel lacks io_uring)
 ///
 ///   [peers]
 ///   0 = 127.0.0.1:9100
@@ -31,6 +33,17 @@
 ///   loss = 0.0
 ///   min_delay_ms = 0
 ///   max_delay_ms = 0
+///
+///   [net]                     ; optional wire tuning (defaults shown)
+///   coalesce = true           ; pack frames per peer per tick into one
+///                             ; batch-envelope datagram (§4 piggybacking)
+///   max_envelope_frames = 64  ; frames per envelope before immediate flush
+///   max_envelope_bytes = 1400 ; payload bytes per envelope (MTU-safe)
+///   flush_delay_us = 0        ; how long a frame may wait for company;
+///                             ; 0 = flush every event-loop iteration
+///   send_batch = 64           ; datagrams per sendmmsg(2) (poll backend)
+///   recv_batch = 16           ; datagrams per recvmmsg(2) (poll backend)
+///   mmsg = true               ; use sendmmsg/recvmmsg (poll backend)
 ///
 ///   [kv]                      ; optional replicated key-value service
 ///   enabled = true
@@ -59,6 +72,7 @@ struct NodeConfig {
   std::uint64_t seed{1};
   std::string fd{"efficient_p"};
   bool consensus{false};
+  std::string backend{"poll"};  ///< "poll" | "uring"
 
   DurUs period{msec(50)};
   DurUs initial_timeout{msec(250)};
@@ -67,6 +81,15 @@ struct NodeConfig {
   double loss{0.0};
   DurUs min_delay{0};
   DurUs max_delay{0};
+
+  // [net] — wire tuning, mapped onto transport::NetTuning by the caller.
+  bool net_coalesce{true};
+  int net_max_envelope_frames{64};
+  int net_max_envelope_bytes{1400};
+  DurUs net_flush_delay{0};
+  int net_send_batch{64};
+  int net_recv_batch{16};
+  bool net_mmsg{true};
 
   // [kv] — the replicated key-value service (tools/ecfd_node --kv).
   bool kv_enabled{false};

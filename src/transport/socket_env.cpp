@@ -1,258 +1,51 @@
 #include "transport/socket_env.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
-#include <unistd.h>
 
-#include <cassert>
+#include <algorithm>
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
 
 #include "wire/codec.hpp"
 
 namespace ecfd::transport {
 
-namespace {
-
-/// Builds an IPv4 sockaddr for a peer row; stored type-erased so the
-/// header stays free of <netinet/in.h>.
-std::vector<std::uint8_t> make_sockaddr(const PeerAddr& peer) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_port = htons(peer.port);
-  if (::inet_pton(AF_INET, peer.host.c_str(), &sa.sin_addr) != 1) {
-    return {};  // caught in open(): the transport is numeric-IPv4 only
-  }
-  std::vector<std::uint8_t> out(sizeof(sa));
-  std::memcpy(out.data(), &sa, sizeof(sa));
-  return out;
-}
-
-/// Packs a sender's IPv4 address + port into the opaque external token
-/// ((ip << 16) | port, both host byte order).
-SocketEnv::ExternalToken token_of(const sockaddr_in& sa) {
-  return (static_cast<std::uint64_t>(ntohl(sa.sin_addr.s_addr)) << 16) |
-         ntohs(sa.sin_port);
-}
-
-sockaddr_in sockaddr_of(SocketEnv::ExternalToken token) {
-  sockaddr_in sa{};
-  sa.sin_family = AF_INET;
-  sa.sin_addr.s_addr = htonl(static_cast<std::uint32_t>(token >> 16));
-  sa.sin_port = htons(static_cast<std::uint16_t>(token & 0xffff));
-  return sa;
-}
-
-}  // namespace
-
-SocketEnv::SocketEnv(Options opts)
-    : opts_(std::move(opts)),
-      rng_(opts_.seed * 0x9E3779B97F4A7C15ULL +
-           static_cast<std::uint64_t>(opts_.self) + 1),
-      epoch_(std::chrono::steady_clock::now()) {
-  assert(!opts_.peers.empty());
-  assert(opts_.self >= 0 && opts_.self < n());
-  // Register-once, bump-direct: the wire paths below never build counter
-  // name strings.
-  peer_cells_.resize(static_cast<std::size_t>(n()));
-  for (ProcessId p = 0; p < n(); ++p) {
-    const std::string suffix = ".p" + std::to_string(p);
-    auto& cells = peer_cells_[static_cast<std::size_t>(p)];
-    cells.sent = metrics_.counter("net.sent" + suffix);
-    cells.sent_batched = metrics_.counter("net.sent_batched" + suffix);
-    cells.sent_single = metrics_.counter("net.sent_single" + suffix);
-    cells.recv = metrics_.counter("net.recv" + suffix);
-  }
-  send_batch_hist_ = metrics_.histogram("net.send_batch");
-}
-
-void SocketEnv::attach_recorder(obs::Recorder* rec) {
-  assert(!started_ && "attach_recorder before start()");
-  if (rec == nullptr) {
-    bind_obs(nullptr, -1);
-    return;
-  }
-  rec->meta().source = "socket";
-  rec->meta().clock = obs::ClockDomain::kMonotonic;
-  rec->meta().wall_epoch_us =
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count() -
-      now();
-  rec->bind_hosts(n());
-  bind_obs(rec, opts_.self);
-}
-
-SocketEnv::~SocketEnv() {
-  if (fd_ >= 0) ::close(fd_);
-}
-
-bool SocketEnv::open(std::string* error) {
-  const auto fail = [&](const std::string& reason) {
-    if (error) *error = reason;
-    if (fd_ >= 0) {
-      ::close(fd_);
-      fd_ = -1;
-    }
-    return false;
-  };
-
-  peer_sockaddrs_.clear();
-  for (const auto& peer : opts_.peers) {
-    auto sa = make_sockaddr(peer);
-    if (sa.empty()) {
-      return fail("bad peer host (numeric IPv4 required): " + peer.host);
-    }
-    peer_sockaddrs_.push_back(std::move(sa));
-  }
-
-  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
-  if (fd_ < 0) return fail(std::string("socket(): ") + std::strerror(errno));
-
-  // Deliberately no SO_REUSEADDR: UDP has no TIME_WAIT to work around, and
-  // on Linux the option would let a second process bind the same unicast
-  // port and silently steal datagrams. A duplicate --id must fail loudly.
-  sockaddr_in self_sa{};
-  std::memcpy(&self_sa, peer_sockaddrs_[static_cast<std::size_t>(opts_.self)].data(),
-              sizeof(self_sa));
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&self_sa),
-             sizeof(self_sa)) != 0) {
-    return fail("bind(" + opts_.peers[static_cast<std::size_t>(opts_.self)].host +
-                ":" +
-                std::to_string(opts_.peers[static_cast<std::size_t>(opts_.self)].port) +
-                "): " + std::strerror(errno));
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
-    bound_port_ = ntohs(bound.sin_port);
-  }
-
-  const int flags = ::fcntl(fd_, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return fail(std::string("fcntl(O_NONBLOCK): ") + std::strerror(errno));
-  }
+bool SocketEnv::wire_init(std::string* error) {
+  (void)error;  // plain sockets: nothing beyond the base's bind can fail
+  send_batch_ = std::max<std::size_t>(1, options().net.send_batch);
+  recv_batch_ = std::max<std::size_t>(1, options().net.recv_batch);
+  use_mmsg_ = options().net.mmsg;
   return true;
 }
 
-void SocketEnv::add_protocol(std::unique_ptr<Protocol> proto) {
-  assert(!started_ && "register protocols before start()");
-  Protocol* p = proto.get();
-  const bool inserted = by_id_.emplace(p->protocol_id(), p).second;
-  assert(inserted && "duplicate protocol id on this node");
-  (void)inserted;
-  owned_.push_back(std::move(proto));
-}
-
-void SocketEnv::start() {
-  assert(fd_ >= 0 && "open() must succeed before start()");
-  started_ = true;
-  for (auto& p : owned_) p->start();
-}
-
-TimeUs SocketEnv::now() const {
-  return std::chrono::duration_cast<std::chrono::microseconds>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
-}
-
-void SocketEnv::send(ProcessId dst, Message m) {
-  assert(dst >= 0 && dst < n());
-  m.src = opts_.self;
-  m.dst = dst;
-  record(EventType::kSend, dst, m.protocol);
-
-  if (dst == opts_.self) {
-    // Self-sends never touch the wire (mirrors the other backends'
-    // minimal-delay local delivery).
-    set_timer(0, [this, m = std::move(m)]() { deliver(m); });
-    return;
-  }
-
-  const std::string key = message_counter_key(m);
-  std::vector<std::uint8_t> frame;
-  std::string error;
-  if (!wire::encode_message(m, &frame, &error)) {
-    metrics_.add("net.encode_error");
-    trace("net.encode_error", key + ": " + error);
-    return;
-  }
-
-  // Injected chaos: drop, or hold the encoded frame back for a while.
-  if (opts_.loss > 0.0 && rng_.chance(opts_.loss)) {
-    metrics_.add(key + ".dropped");
-    record(EventType::kDrop, dst, m.protocol);
-    return;
-  }
-  metrics_.add(key + ".sent");
-  if (opts_.max_extra_delay > 0) {
-    const DurUs delay =
-        rng_.range(opts_.min_extra_delay, opts_.max_extra_delay);
-    set_timer(delay, [this, dst, frame = std::move(frame)]() mutable {
-      transmit(dst, std::move(frame));
-    });
-    return;
-  }
-  transmit(dst, std::move(frame));
-}
-
-void SocketEnv::transmit(ProcessId dst, std::vector<std::uint8_t> frame) {
-  out_.push_back(PendingSend{dst, std::move(frame), {}});
-}
-
-void SocketEnv::send_external(ExternalToken token, Message m) {
-  m.src = opts_.self;
-  m.dst = kNoProcess;
-  std::vector<std::uint8_t> frame;
-  std::string error;
-  if (!wire::encode_message(m, &frame, &error)) {
-    metrics_.add("net.encode_error");
-    trace("net.encode_error", error);
-    return;
-  }
-  metrics_.add("net.sent_external");
-  const sockaddr_in sa = sockaddr_of(token);
-  std::vector<std::uint8_t> addr(sizeof(sa));
-  std::memcpy(addr.data(), &sa, sizeof(sa));
-  out_.push_back(PendingSend{kNoProcess, std::move(frame), std::move(addr)});
-}
-
-void SocketEnv::flush_sends() {
+void SocketEnv::wire_flush(std::vector<Datagram> out) {
   std::size_t done = 0;
-  while (done < out_.size()) {
-    const std::size_t batch = std::min(kSendBatch, out_.size() - done);
+  std::vector<mmsghdr> msgs(send_batch_);
+  std::vector<iovec> iovs(send_batch_);
+  while (done < out.size()) {
+    const std::size_t batch = std::min(send_batch_, out.size() - done);
     if (batch >= 2 && use_mmsg_) {
-      mmsghdr msgs[kSendBatch];
-      iovec iovs[kSendBatch];
-      std::memset(msgs, 0, batch * sizeof(mmsghdr));
+      std::memset(msgs.data(), 0, batch * sizeof(mmsghdr));
       for (std::size_t i = 0; i < batch; ++i) {
-        PendingSend& ps = out_[done + i];
-        auto& sa = ps.addr.empty()
-                       ? peer_sockaddrs_[static_cast<std::size_t>(ps.dst)]
-                       : ps.addr;
-        iovs[i].iov_base = ps.frame.data();
-        iovs[i].iov_len = ps.frame.size();
+        Datagram& d = out[done + i];
+        auto& sa = d.addr.empty() ? peer_sockaddr(d.dst) : d.addr;
+        iovs[i].iov_base = d.bytes.data();
+        iovs[i].iov_len = d.bytes.size();
         msgs[i].msg_hdr.msg_iov = &iovs[i];
         msgs[i].msg_hdr.msg_iovlen = 1;
-        msgs[i].msg_hdr.msg_name = sa.data();
+        msgs[i].msg_hdr.msg_name = const_cast<std::uint8_t*>(sa.data());
         msgs[i].msg_hdr.msg_namelen = static_cast<socklen_t>(sa.size());
       }
       const int sent =
-          ::sendmmsg(fd_, msgs, static_cast<unsigned int>(batch), 0);
+          ::sendmmsg(sock_fd(), msgs.data(), static_cast<unsigned int>(batch),
+                     0);
       if (sent > 0) {
         for (int i = 0; i < sent; ++i) {
-          const ProcessId dst = out_[done + static_cast<std::size_t>(i)].dst;
-          if (dst < 0) continue;  // external: counted at queue time
-          auto& cells = peer_cells_[static_cast<std::size_t>(dst)];
-          cells.sent->fetch_add(1, std::memory_order_relaxed);
-          cells.sent_batched->fetch_add(1, std::memory_order_relaxed);
+          note_dgram_sent(out[done + static_cast<std::size_t>(i)], true);
         }
-        send_batch_hist_->observe(sent);
+        send_batch_hist().observe(sent);
         done += static_cast<std::size_t>(sent);
         continue;
       }
@@ -262,123 +55,37 @@ void SocketEnv::flush_sends() {
       }
       // UDP is lossy by contract; ENOBUFS etc. just drop the head datagram
       // (matching the old per-datagram behaviour) and keep making progress.
-      metrics_.add("net.send_error");
+      note_send_error();
       ++done;
       continue;
     }
-    const PendingSend& ps = out_[done];
-    const auto& sa = ps.addr.empty()
-                         ? peer_sockaddrs_[static_cast<std::size_t>(ps.dst)]
-                         : ps.addr;
+    const Datagram& d = out[done];
+    const auto& sa = d.addr.empty() ? peer_sockaddr(d.dst) : d.addr;
     const auto sent =
-        ::sendto(fd_, ps.frame.data(), ps.frame.size(), 0,
+        ::sendto(sock_fd(), d.bytes.data(), d.bytes.size(), 0,
                  reinterpret_cast<const sockaddr*>(sa.data()),
                  static_cast<socklen_t>(sa.size()));
     if (sent < 0) {
-      metrics_.add("net.send_error");
-    } else if (ps.dst >= 0) {
-      auto& cells = peer_cells_[static_cast<std::size_t>(ps.dst)];
-      cells.sent->fetch_add(1, std::memory_order_relaxed);
-      cells.sent_single->fetch_add(1, std::memory_order_relaxed);
-      send_batch_hist_->observe(1);
+      note_send_error();
+    } else {
+      note_dgram_sent(d, false);
+      send_batch_hist().observe(1);
     }
     ++done;
   }
-  out_.clear();
-}
-
-TimerId SocketEnv::set_timer(DurUs delay, std::function<void()> fn) {
-  const TimerId id = next_timer_++;
-  timers_.push(Timer{now() + (delay < 0 ? 0 : delay), next_seq_++, id,
-                     std::move(fn)});
-  record(EventType::kTimerSet, -1, static_cast<std::int64_t>(id));
-  return id;
-}
-
-void SocketEnv::cancel_timer(TimerId id) {
-  if (id == kInvalidTimer) return;
-  cancelled_.insert(id);
-  record(EventType::kTimerCancel, -1, static_cast<std::int64_t>(id));
-}
-
-void SocketEnv::trace(const std::string& tag, const std::string& detail) {
-  if (recording()) {
-    record(EventType::kNote, -1, recorder()->intern(detail),
-           recorder()->intern(tag));
-  }
-  if (!opts_.trace_to_stderr) return;
-  std::fprintf(stderr, "[%lld] p%d %s %s\n",
-               static_cast<long long>(now()), opts_.self, tag.c_str(),
-               detail.c_str());
-}
-
-TimeUs SocketEnv::next_timer_at() const {
-  return timers_.empty() ? kTimeNever : timers_.top().when;
-}
-
-void SocketEnv::fire_due_timers() {
-  while (!timers_.empty() && timers_.top().when <= now() && !stopping_) {
-    Timer t = timers_.top();
-    timers_.pop();
-    const auto cancelled = cancelled_.find(t.id);
-    if (cancelled != cancelled_.end()) {
-      cancelled_.erase(cancelled);
-      continue;
-    }
-    t.fn();
-  }
-}
-
-void SocketEnv::deliver(const Message& m) {
-  const auto it = by_id_.find(m.protocol);
-  if (it == by_id_.end()) {
-    metrics_.add("net.unknown_protocol");
-    return;
-  }
-  record(EventType::kDeliver, m.src, m.protocol);
-  it->second->on_message(m);
-}
-
-void SocketEnv::handle_frame(const std::uint8_t* data, std::size_t len,
-                             ExternalToken from_token) {
-  std::string error;
-  auto decoded = wire::decode_message(data, len, &error);
-  if (!decoded) {
-    metrics_.add("net.decode_error");
-    trace("net.decode_error", error);
-    return;
-  }
-  // src = kNoProcess marks a frame from outside the universe (a kv
-  // client); route it to the external handler with the sender's address
-  // token so a reply can find its way back.
-  if (decoded->dst == opts_.self && decoded->src < 0 && external_) {
-    metrics_.add("net.recv_external");
-    record(EventType::kDeliver, kNoProcess, decoded->protocol);
-    external_(from_token, *decoded);
-    return;
-  }
-  // A frame for another node (misconfigured peer table, stale sender)
-  // is rejected here — protocols only ever see their own traffic.
-  if (decoded->dst != opts_.self || decoded->src < 0 || decoded->src >= n()) {
-    metrics_.add("net.misaddressed");
-    return;
-  }
-  peer_cells_[static_cast<std::size_t>(decoded->src)].recv->fetch_add(
-      1, std::memory_order_relaxed);
-  deliver(*decoded);
 }
 
 void SocketEnv::drain_socket() {
   while (use_mmsg_) {
-    if (recv_bufs_.size() < kRecvBatch * wire::kMaxFrameBytes) {
-      recv_bufs_.resize(kRecvBatch * wire::kMaxFrameBytes);
+    if (recv_bufs_.size() < recv_batch_ * wire::kMaxFrameBytes) {
+      recv_bufs_.resize(recv_batch_ * wire::kMaxFrameBytes);
     }
-    mmsghdr msgs[kRecvBatch];
-    iovec iovs[kRecvBatch];
-    sockaddr_in froms[kRecvBatch];
-    std::memset(msgs, 0, sizeof(msgs));
-    std::memset(froms, 0, sizeof(froms));
-    for (std::size_t i = 0; i < kRecvBatch; ++i) {
+    std::vector<mmsghdr> msgs(recv_batch_);
+    std::vector<iovec> iovs(recv_batch_);
+    std::vector<sockaddr_in> froms(recv_batch_);
+    std::memset(msgs.data(), 0, recv_batch_ * sizeof(mmsghdr));
+    std::memset(froms.data(), 0, recv_batch_ * sizeof(sockaddr_in));
+    for (std::size_t i = 0; i < recv_batch_; ++i) {
       iovs[i].iov_base = recv_bufs_.data() + i * wire::kMaxFrameBytes;
       iovs[i].iov_len = wire::kMaxFrameBytes;
       msgs[i].msg_hdr.msg_iov = &iovs[i];
@@ -386,9 +93,9 @@ void SocketEnv::drain_socket() {
       msgs[i].msg_hdr.msg_name = &froms[i];
       msgs[i].msg_hdr.msg_namelen = sizeof(froms[i]);
     }
-    const int got =
-        ::recvmmsg(fd_, msgs, static_cast<unsigned int>(kRecvBatch), 0,
-                   nullptr);
+    const int got = ::recvmmsg(sock_fd(), msgs.data(),
+                               static_cast<unsigned int>(recv_batch_), 0,
+                               nullptr);
     if (got < 0) {
       if (errno == ENOSYS || errno == EOPNOTSUPP) {
         use_mmsg_ = false;  // kernel without recvmmsg: per-datagram path
@@ -398,60 +105,38 @@ void SocketEnv::drain_socket() {
       // either way this read pass is over.
       return;
     }
+    recv_batch_hist().observe(got);
     for (int i = 0; i < got; ++i) {
-      handle_frame(recv_bufs_.data() +
-                       static_cast<std::size_t>(i) * wire::kMaxFrameBytes,
-                   msgs[i].msg_len, token_of(froms[i]));
+      on_datagram(recv_bufs_.data() +
+                      static_cast<std::size_t>(i) * wire::kMaxFrameBytes,
+                  msgs[i].msg_len,
+                  pack_external_token(ntohl(froms[i].sin_addr.s_addr),
+                                      ntohs(froms[i].sin_port)));
     }
-    if (static_cast<std::size_t>(got) < kRecvBatch) return;  // drained
+    if (static_cast<std::size_t>(got) < recv_batch_) return;  // drained
   }
   std::uint8_t buf[wire::kMaxFrameBytes];
   for (;;) {
     sockaddr_in from{};
     socklen_t from_len = sizeof(from);
-    const auto got =
-        ::recvfrom(fd_, buf, sizeof(buf), 0,
-                   reinterpret_cast<sockaddr*>(&from), &from_len);
+    const auto got = ::recvfrom(sock_fd(), buf, sizeof(buf), 0,
+                                reinterpret_cast<sockaddr*>(&from), &from_len);
     if (got < 0) return;  // EAGAIN: drained (anything else: pass is over)
-    handle_frame(buf, static_cast<std::size_t>(got), token_of(from));
+    recv_batch_hist().observe(1);
+    on_datagram(buf, static_cast<std::size_t>(got),
+                pack_external_token(ntohl(from.sin_addr.s_addr),
+                                    ntohs(from.sin_port)));
   }
 }
 
-void SocketEnv::poll_once(DurUs max_wait) {
-  fire_due_timers();
-  flush_sends();  // everything queued by timers/protocol starts
-  if (stopping_) return;
-
-  DurUs wait = max_wait;
-  const TimeUs next = next_timer_at();
-  if (next != kTimeNever) {
-    const DurUs until_timer = next - now();
-    if (until_timer < wait) wait = until_timer;
-  }
-  if (wait < 0) wait = 0;
-
+void SocketEnv::wire_wait(DurUs max_wait) {
   pollfd pfd{};
-  pfd.fd = fd_;
+  pfd.fd = sock_fd();
   pfd.events = POLLIN;
   // +1ms so a timer due mid-millisecond is not busy-polled.
-  const int timeout_ms = static_cast<int>(wait / 1000 + 1);
+  const int timeout_ms = static_cast<int>(max_wait / 1000 + 1);
   const int ready = ::poll(&pfd, 1, timeout_ms);
   if (ready > 0 && (pfd.revents & POLLIN) != 0) drain_socket();
-  fire_due_timers();
-  flush_sends();  // replies triggered by received datagrams go out now
-}
-
-void SocketEnv::run_for(DurUs dur) {
-  stopping_ = false;
-  const TimeUs end = now() + dur;
-  while (!stopping_ && now() < end) poll_once(end - now());
-}
-
-bool SocketEnv::run_until(const std::function<bool()>& pred, DurUs deadline) {
-  stopping_ = false;
-  const TimeUs end = now() + deadline;
-  while (!stopping_ && !pred() && now() < end) poll_once(msec(20));
-  return pred();
 }
 
 }  // namespace ecfd::transport

@@ -1,224 +1,50 @@
 #pragma once
 
-#include <chrono>
-#include <functional>
-#include <memory>
-#include <queue>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
-#include "net/env.hpp"
-#include "obs/metrics.hpp"
-#include "transport/node_config.hpp"
+#include "transport/dgram_env.hpp"
 
 /// \file socket_env.hpp
-/// The third Env backend: a real-network runtime over nonblocking UDP.
+/// The poll(2) real-network backend — the portable baseline DgramEnv.
 ///
-/// One SocketEnv is one process of the universe. It binds the UDP port of
-/// its own peer-table row and runs a single-threaded poll(2) event loop that
-/// interleaves datagram receipt with wall-clock timers — the same
-/// deadline-heap discipline as the other two backends, so identical
-/// protocol code runs unchanged on the simulator, the thread runtime, and
-/// real sockets.
+/// Everything interesting (event loop, timers, chaos, coalescing, codec
+/// routing, metrics) lives in the shared base; this class contributes only
+/// the syscall discipline: block in poll(2) for readiness, then move
+/// datagrams with sendmmsg(2)/recvmmsg(2) — up to net.send_batch (resp.
+/// net.recv_batch) datagrams per syscall — falling back to per-datagram
+/// sendto(2)/recvfrom(2) on kernels without the batched calls (or when
+/// Options::net.mmsg is cleared, which bench_net uses to ablate syscall
+/// batching separately from coalescing).
 ///
 /// Transport semantics are exactly what the paper's asynchronous model
 /// asks for: messages can be dropped (UDP, plus optional injected loss),
 /// delayed (network, plus optional injected delay), and a crashed process
-/// is just a killed OS process. Frames are encoded with wire/codec.hpp;
-/// undecodable or misaddressed datagrams are counted and dropped, never
-/// delivered.
-///
-/// Threading: everything — protocol callbacks, timers, sends — happens on
-/// the thread that calls run_for()/run_until(). The class is not
-/// thread-safe; cross-process concurrency comes from running one SocketEnv
-/// per OS process (tools/ecfd_node.cpp) or per thread (tests).
+/// is just a killed OS process. See uring_env.hpp for the io_uring
+/// sibling and dgram_env.hpp for the shared contract.
 
 namespace ecfd::transport {
 
-class SocketEnv final : public Env {
+class SocketEnv final : public DgramEnv {
  public:
-  struct Options {
-    ProcessId self{0};
-    std::vector<PeerAddr> peers;  ///< indexed by ProcessId, size n
+  explicit SocketEnv(Options opts) : DgramEnv(std::move(opts)) {}
 
-    std::uint64_t seed{1};
+  [[nodiscard]] const char* backend_name() const override { return "poll"; }
 
-    /// Injected chaos, applied on send (on top of whatever the real
-    /// network does): drop probability and uniform extra delay.
-    double loss{0.0};
-    DurUs min_extra_delay{0};
-    DurUs max_extra_delay{0};
-
-    /// When set, trace() lines go to stderr as "[t_us] pK tag detail".
-    bool trace_to_stderr{false};
-  };
-
-  explicit SocketEnv(Options opts);
-  ~SocketEnv() override;
-
-  SocketEnv(const SocketEnv&) = delete;
-  SocketEnv& operator=(const SocketEnv&) = delete;
-
-  /// Binds self's UDP port (nonblocking). Must succeed before start().
-  bool open(std::string* error = nullptr);
-
-  /// Registers a protocol (before start()).
-  void add_protocol(std::unique_ptr<Protocol> proto);
-
-  template <class P, class... Args>
-  P& emplace(Args&&... args) {
-    auto owned = std::make_unique<P>(*this, std::forward<Args>(args)...);
-    P& ref = *owned;
-    add_protocol(std::move(owned));
-    return ref;
-  }
-
-  /// Invokes Protocol::start() on every registered protocol.
-  void start();
-
-  /// Runs the event loop for \p dur of wall-clock time (or until stop()).
-  void run_for(DurUs dur);
-
-  /// Runs until \p pred holds (checked after every loop iteration) or
-  /// \p deadline elapses; returns pred's final value.
-  bool run_until(const std::function<bool()>& pred, DurUs deadline);
-
-  /// Makes the current run_for/run_until return promptly; callable from a
-  /// timer or message callback.
-  void stop() { stopping_ = true; }
-
-  /// Per-peer and per-label traffic accounting, now on the unified
-  /// obs::MetricsRegistry (same .get() lookups as the old sim::Counters):
-  ///   "msg.<label>.sent/.dropped", "net.sent.p<dst>", "net.recv.p<src>",
-  ///   "net.decode_error", "net.misaddressed", "net.unknown_protocol".
-  /// Syscall batching is observable per peer: "net.sent_batched.p<dst>"
-  /// counts datagrams that left in a sendmmsg(2) batch of two or more,
-  /// "net.sent_single.p<dst>" those sent one-at-a-time (batch of one, or
-  /// the sendto(2) fallback); the two always sum to "net.sent.p<dst>".
-  /// The "net.send_batch" histogram records the datagrams-per-syscall
-  /// distribution the batching achieves.
-  [[nodiscard]] obs::MetricsRegistry& counters() { return metrics_; }
-  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
-
-  /// Attaches a typed event recorder; this node's events go to ring(self).
-  /// Call before start(); \p rec must outlive this env.
-  void attach_recorder(obs::Recorder* rec);
-
-  /// Local UDP port actually bound (differs from the peer table when the
-  /// configured port was 0 = ephemeral; used by tests).
-  [[nodiscard]] std::uint16_t bound_port() const { return bound_port_; }
-
-  // --- External clients -------------------------------------------------
-  // Datagrams whose decoded src is kNoProcess are not peer traffic: they
-  // come from clients outside the universe (the kv client library). They
-  // are routed to the external handler together with an opaque token that
-  // identifies the sender's address; send_external() routes a reply back.
-  // Without a handler such frames count as misaddressed, exactly as
-  // before.
-
-  /// IPv4 address + UDP port of an external sender, packed
-  /// (ip << 16) | port; stable for the sender's lifetime, usable as a map
-  /// key, and round-trippable through send_external.
-  using ExternalToken = std::uint64_t;
-  using ExternalHandler = std::function<void(ExternalToken, const Message&)>;
-
-  /// Installs the handler for external frames (before start()).
-  void set_external_handler(ExternalHandler fn) {
-    external_ = std::move(fn);
-  }
-
-  /// Encodes and queues \p m for the external sender \p token (stamps
-  /// src = self, dst = kNoProcess). Counted as "net.sent_external".
-  void send_external(ExternalToken token, Message m);
-
-  // --- Env --------------------------------------------------------------
-  [[nodiscard]] TimeUs now() const override;
-  void send(ProcessId dst, Message m) override;
-  TimerId set_timer(DurUs delay, std::function<void()> fn) override;
-  void cancel_timer(TimerId id) override;
-  [[nodiscard]] ProcessId self() const override { return opts_.self; }
-  [[nodiscard]] int n() const override {
-    return static_cast<int>(opts_.peers.size());
-  }
-  Rng& rng() override { return rng_; }
-  void trace(const std::string& tag, const std::string& detail) override;
+ protected:
+  bool wire_init(std::string* error) override;
+  void wire_flush(std::vector<Datagram> out) override;
+  void wire_wait(DurUs max_wait) override;
 
  private:
-  struct Timer {
-    TimeUs when{};
-    std::uint64_t seq{};
-    TimerId id{kInvalidTimer};
-    std::function<void()> fn;
-  };
-  struct TimerLater {
-    bool operator()(const Timer& a, const Timer& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
-  /// One loop iteration: fire due timers, flush queued sends, then block
-  /// in poll(2) for at most \p max_wait waiting for datagrams.
-  void poll_once(DurUs max_wait);
+  /// Reads until EAGAIN, recvmmsg(2) up to recv_batch_ datagrams per
+  /// syscall, routing each through on_datagram().
   void drain_socket();
-  void fire_due_timers();
-  [[nodiscard]] TimeUs next_timer_at() const;
-  /// Queues an encoded frame for \p dst; the wire syscall happens at the
-  /// next flush_sends() (same loop iteration, batched with its neighbours).
-  void transmit(ProcessId dst, std::vector<std::uint8_t> frame);
-  /// Sends everything queued by transmit(), sendmmsg(2) up to kSendBatch
-  /// datagrams per syscall, falling back to per-datagram sendto(2) when
-  /// the kernel lacks the batched call.
-  void flush_sends();
-  /// Decodes one received datagram and routes it (counters on error);
-  /// \p from_token identifies the sender address for the external path.
-  void handle_frame(const std::uint8_t* data, std::size_t len,
-                    ExternalToken from_token);
-  void deliver(const Message& m);
 
-  /// Pre-registered per-peer counter cells (bind-time registration,
-  /// direct bumps on the send/receive paths — see MetricsRegistry docs).
-  struct PeerCells {
-    obs::MetricsRegistry::Cell* sent{nullptr};
-    obs::MetricsRegistry::Cell* sent_batched{nullptr};
-    obs::MetricsRegistry::Cell* sent_single{nullptr};
-    obs::MetricsRegistry::Cell* recv{nullptr};
-  };
-
-  Options opts_;
-  obs::MetricsRegistry metrics_;
-  std::vector<PeerCells> peer_cells_;
-  obs::Histogram* send_batch_hist_{nullptr};
-  Rng rng_;
-  std::chrono::steady_clock::time_point epoch_;
-
-  int fd_{-1};
-  std::uint16_t bound_port_{0};
-  std::vector<std::vector<std::uint8_t>> peer_sockaddrs_;  ///< opaque sockaddr_in
-
-  static constexpr std::size_t kSendBatch = 64;  ///< datagrams per sendmmsg
-  static constexpr std::size_t kRecvBatch = 16;  ///< datagrams per recvmmsg
-  struct PendingSend {
-    ProcessId dst{};  ///< kNoProcess for external sends (addr set instead)
-    std::vector<std::uint8_t> frame;
-    std::vector<std::uint8_t> addr;  ///< raw sockaddr; empty = peer table
-  };
-  std::vector<PendingSend> out_;       ///< queued until flush_sends()
-  std::vector<std::uint8_t> recv_bufs_;  ///< kRecvBatch frame-sized buffers
+  std::size_t send_batch_{64};
+  std::size_t recv_batch_{16};
+  std::vector<std::uint8_t> recv_bufs_;  ///< recv_batch_ frame-sized buffers
   bool use_mmsg_{true};  ///< cleared on ENOSYS; falls back to sendto/recvfrom
-
-  std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
-  std::unordered_set<TimerId> cancelled_;
-  std::uint64_t next_seq_{1};
-  TimerId next_timer_{1};
-  bool stopping_{false};
-
-  std::vector<std::unique_ptr<Protocol>> owned_;
-  std::unordered_map<ProtocolId, Protocol*> by_id_;
-  ExternalHandler external_;
-  bool started_{false};
 };
 
 }  // namespace ecfd::transport

@@ -1,0 +1,241 @@
+#pragma once
+
+/// \file uring_raw.hpp
+/// A minimal io_uring shim: raw syscalls + ring mmap, no liburing.
+///
+/// The container bakes in the kernel UAPI header (<linux/io_uring.h>) but
+/// not the userspace library, so UringEnv talks to the kernel directly.
+/// This header owns exactly the mechanical part liburing would: the three
+/// syscalls, mapping the SQ/CQ rings and SQE array, and the acquire /
+/// release fences the shared-ring protocol requires (kernel-written
+/// indices are load-acquire, our indices store-release). Everything with
+/// a policy in it — buffer rings, multishot arming, completion routing —
+/// stays in uring_env.cpp where it can be read next to the event loop.
+///
+/// Single-threaded by design, like the env it serves: one submitter, one
+/// reaper, no SQPOLL.
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#ifndef __NR_io_uring_setup
+#define __NR_io_uring_setup 425
+#endif
+#ifndef __NR_io_uring_enter
+#define __NR_io_uring_enter 426
+#endif
+#ifndef __NR_io_uring_register
+#define __NR_io_uring_register 427
+#endif
+
+namespace ecfd::transport::uring {
+
+inline int sys_setup(unsigned entries, io_uring_params* p) {
+  const long r = ::syscall(__NR_io_uring_setup, entries, p);
+  return r < 0 ? -errno : static_cast<int>(r);
+}
+
+inline int sys_enter(int fd, unsigned to_submit, unsigned min_complete,
+                     unsigned flags, const void* arg, std::size_t argsz) {
+  const long r = ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete,
+                           flags, arg, argsz);
+  return r < 0 ? -errno : static_cast<int>(r);
+}
+
+inline int sys_register(int fd, unsigned opcode, const void* arg,
+                        unsigned nr_args) {
+  const long r = ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args);
+  return r < 0 ? -errno : static_cast<int>(r);
+}
+
+/// One mapped io_uring instance. init() → get_sqe()/advance_sq() →
+/// submit()/submit_and_wait() → peek_cqe()/seen_cqe().
+class Ring {
+ public:
+  Ring() = default;
+  ~Ring() { close(); }
+  Ring(const Ring&) = delete;
+  Ring& operator=(const Ring&) = delete;
+
+  bool init(unsigned entries, std::string* error) {
+    io_uring_params p{};
+    ring_fd_ = sys_setup(entries, &p);
+    if (ring_fd_ < 0) {
+      if (error) {
+        *error = std::string("io_uring_setup: ") + std::strerror(-ring_fd_);
+      }
+      ring_fd_ = -1;
+      return false;
+    }
+    features_ = p.features;
+
+    sq_mmap_sz_ = p.sq_off.array + p.sq_entries * sizeof(std::uint32_t);
+    cq_mmap_sz_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      sq_mmap_sz_ = cq_mmap_sz_ = std::max(sq_mmap_sz_, cq_mmap_sz_);
+    }
+    sq_mmap_ = ::mmap(nullptr, sq_mmap_sz_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_mmap_ == MAP_FAILED) return fail(error, "mmap(sq ring)");
+    if ((p.features & IORING_FEAT_SINGLE_MMAP) != 0) {
+      cq_mmap_ = sq_mmap_;
+    } else {
+      cq_mmap_ = ::mmap(nullptr, cq_mmap_sz_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_,
+                        IORING_OFF_CQ_RING);
+      if (cq_mmap_ == MAP_FAILED) return fail(error, "mmap(cq ring)");
+    }
+    sqe_mmap_sz_ = p.sq_entries * sizeof(io_uring_sqe);
+    sqe_mmap_ = ::mmap(nullptr, sqe_mmap_sz_, PROT_READ | PROT_WRITE,
+                       MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_mmap_ == MAP_FAILED) return fail(error, "mmap(sqes)");
+
+    auto* sq = static_cast<std::uint8_t*>(sq_mmap_);
+    sq_head_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + p.sq_off.ring_mask);
+    sq_entries_ = p.sq_entries;
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq + p.sq_off.array);
+    sqes_ = static_cast<io_uring_sqe*>(sqe_mmap_);
+
+    auto* cq = static_cast<std::uint8_t*>(cq_mmap_);
+    cq_head_ = reinterpret_cast<std::uint32_t*>(cq + p.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::uint32_t*>(cq + p.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + p.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+
+    sq_tail_local_ = *sq_tail_;
+    cq_head_local_ = *cq_head_;
+    return true;
+  }
+
+  void close() {
+    if (sqe_mmap_ != nullptr) ::munmap(sqe_mmap_, sqe_mmap_sz_);
+    if (cq_mmap_ != nullptr && cq_mmap_ != sq_mmap_) {
+      ::munmap(cq_mmap_, cq_mmap_sz_);
+    }
+    if (sq_mmap_ != nullptr) ::munmap(sq_mmap_, sq_mmap_sz_);
+    sq_mmap_ = cq_mmap_ = sqe_mmap_ = nullptr;
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+    ring_fd_ = -1;
+  }
+
+  [[nodiscard]] int fd() const { return ring_fd_; }
+  [[nodiscard]] unsigned features() const { return features_; }
+  [[nodiscard]] unsigned sq_space() const {
+    return sq_entries_ -
+           (sq_tail_local_ - __atomic_load_n(sq_head_, __ATOMIC_ACQUIRE));
+  }
+
+  /// A zeroed SQE to fill in, or nullptr when the SQ is full (submit and
+  /// reap, then retry).
+  io_uring_sqe* get_sqe() {
+    if (sq_space() == 0) return nullptr;
+    io_uring_sqe* sqe = &sqes_[sq_tail_local_ & sq_mask_];
+    std::memset(sqe, 0, sizeof(*sqe));
+    return sqe;
+  }
+
+  /// Publishes the SQE last returned by get_sqe().
+  void advance_sq() {
+    sq_array_[sq_tail_local_ & sq_mask_] = sq_tail_local_ & sq_mask_;
+    ++sq_tail_local_;
+    __atomic_store_n(sq_tail_, sq_tail_local_, __ATOMIC_RELEASE);
+    ++to_submit_;
+  }
+
+  /// One io_uring_enter covering everything published since the last
+  /// submit; returns 0 or a negative errno (-ETIME on wait timeout).
+  int submit() { return enter(0, nullptr); }
+
+  /// Submit + block for at least one CQE, up to \p ts (nullptr = forever).
+  /// Requires IORING_FEAT_EXT_ARG for the timeout form.
+  int submit_and_wait(const __kernel_timespec* ts) { return enter(1, ts); }
+
+  /// The next unseen CQE, or nullptr when the CQ is drained.
+  io_uring_cqe* peek_cqe() {
+    if (cq_head_local_ == __atomic_load_n(cq_tail_, __ATOMIC_ACQUIRE)) {
+      return nullptr;
+    }
+    return &cqes_[cq_head_local_ & cq_mask_];
+  }
+
+  /// Consumes the CQE last returned by peek_cqe().
+  void seen_cqe() {
+    ++cq_head_local_;
+    __atomic_store_n(cq_head_, cq_head_local_, __ATOMIC_RELEASE);
+  }
+
+ private:
+  bool fail(std::string* error, const char* what) {
+    if (error) *error = std::string(what) + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+
+  int enter(unsigned min_complete, const __kernel_timespec* ts) {
+    unsigned flags = 0;
+    io_uring_getevents_arg arg{};
+    const void* argp = nullptr;
+    std::size_t argsz = 0;
+    if (min_complete > 0) {
+      flags |= IORING_ENTER_GETEVENTS;
+      if (ts != nullptr) {
+        flags |= IORING_ENTER_EXT_ARG;
+        arg.ts = reinterpret_cast<std::uint64_t>(ts);
+        argp = &arg;
+        argsz = sizeof(arg);
+      }
+    }
+    const int r = sys_enter(ring_fd_, to_submit_, min_complete, flags, argp,
+                            argsz);
+    if (r >= 0) {
+      to_submit_ -= static_cast<unsigned>(r) > to_submit_
+                        ? to_submit_
+                        : static_cast<unsigned>(r);
+      return 0;
+    }
+    // -ETIME is a successful timed wait; the submissions still went in.
+    if (r == -ETIME) {
+      to_submit_ = 0;
+      return r;
+    }
+    return r;
+  }
+
+  int ring_fd_{-1};
+  unsigned features_{0};
+
+  void* sq_mmap_{nullptr};
+  void* cq_mmap_{nullptr};
+  void* sqe_mmap_{nullptr};
+  std::size_t sq_mmap_sz_{0};
+  std::size_t cq_mmap_sz_{0};
+  std::size_t sqe_mmap_sz_{0};
+
+  std::uint32_t* sq_head_{nullptr};
+  std::uint32_t* sq_tail_{nullptr};
+  std::uint32_t sq_mask_{0};
+  std::uint32_t sq_entries_{0};
+  std::uint32_t* sq_array_{nullptr};
+  io_uring_sqe* sqes_{nullptr};
+  std::uint32_t sq_tail_local_{0};
+  unsigned to_submit_{0};
+
+  std::uint32_t* cq_head_{nullptr};
+  std::uint32_t* cq_tail_{nullptr};
+  std::uint32_t cq_mask_{0};
+  io_uring_cqe* cqes_{nullptr};
+  std::uint32_t cq_head_local_{0};
+};
+
+}  // namespace ecfd::transport::uring

@@ -119,6 +119,13 @@ class WireReader {
     return s;
   }
 
+  /// Advances past \p k bytes without interpreting them (bounds-checked,
+  /// sticky-failing like every other read).
+  void skip(std::size_t k) {
+    if (!need(k)) return;
+    pos_ += k;
+  }
+
   /// Declares failure from the decoder (semantic error, e.g. a bad tag).
   void fail() { ok_ = false; }
 

@@ -1,0 +1,99 @@
+#include "wire/envelope.hpp"
+
+#include "wire/buffer.hpp"
+#include "wire/crc32.hpp"
+
+namespace ecfd::wire {
+
+namespace {
+
+bool set_error(std::string* error, const char* reason) {
+  if (error) *error = reason;
+  return false;
+}
+
+}  // namespace
+
+bool is_envelope(const std::uint8_t* data, std::size_t len) {
+  return len >= 2 &&
+         (static_cast<std::uint16_t>(data[0]) |
+          static_cast<std::uint16_t>(data[1]) << 8) == kEnvelopeMagic;
+}
+
+bool encode_envelope(const std::vector<std::vector<std::uint8_t>>& frames,
+                     std::vector<std::uint8_t>* out, std::string* error) {
+  if (frames.empty()) return set_error(error, "empty envelope");
+  if (frames.size() > kMaxFramesPerEnvelope) {
+    return set_error(error, "too many frames for one envelope");
+  }
+  std::size_t total = kEnvelopeOverheadBytes;
+  for (const auto& f : frames) {
+    if (f.empty() || f.size() > kMaxFrameBytes) {
+      return set_error(error, "bad inner frame size");
+    }
+    total += kEnvelopeFrameOverheadBytes + f.size();
+  }
+  if (total > kMaxFrameBytes) {
+    return set_error(error, "envelope exceeds kMaxFrameBytes");
+  }
+
+  WireWriter w;
+  w.u16(kEnvelopeMagic);
+  w.u8(kEnvelopeVersion);
+  w.u8(0);  // flags, reserved
+  w.u16(static_cast<std::uint16_t>(frames.size()));
+  w.u16(0);  // reserved
+  for (const auto& f : frames) {
+    w.u32(static_cast<std::uint32_t>(f.size()));
+    w.bytes(f.data(), f.size());
+  }
+  w.u32(crc32(w.data().data(), w.size()));
+  *out = w.take();
+  return true;
+}
+
+std::optional<std::vector<FrameView>> decode_envelope(
+    const std::uint8_t* data, std::size_t len, std::string* error) {
+  const auto fail = [&](const char* reason) -> std::optional<std::vector<FrameView>> {
+    set_error(error, reason);
+    return std::nullopt;
+  };
+
+  if (len < kEnvelopeOverheadBytes || len > kMaxFrameBytes) {
+    return fail("bad envelope size");
+  }
+  // The CRC seals the framing before any length field is trusted, so a
+  // split or bit-flipped envelope is rejected up front.
+  if (crc32(data, len - 4) !=
+      (static_cast<std::uint32_t>(data[len - 4]) |
+       static_cast<std::uint32_t>(data[len - 3]) << 8 |
+       static_cast<std::uint32_t>(data[len - 2]) << 16 |
+       static_cast<std::uint32_t>(data[len - 1]) << 24)) {
+    return fail("envelope checksum mismatch");
+  }
+
+  WireReader r(data, len - 4);
+  if (r.u16() != kEnvelopeMagic) return fail("bad envelope magic");
+  if (r.u8() != kEnvelopeVersion) return fail("unsupported envelope version");
+  if (r.u8() != 0) return fail("nonzero envelope flags");
+  const std::uint16_t count = r.u16();
+  if (r.u16() != 0) return fail("nonzero envelope reserved");
+  if (!r.ok() || count == 0 || count > kMaxFramesPerEnvelope) {
+    return fail("bad envelope frame count");
+  }
+
+  std::vector<FrameView> views;
+  views.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    const std::uint32_t flen = r.u32();
+    if (!r.ok() || flen == 0 || flen > r.remaining()) {
+      return fail("envelope frame length lie");
+    }
+    views.push_back(FrameView{data + r.pos(), flen});
+    r.skip(flen);
+  }
+  if (!r.ok() || !r.exhausted()) return fail("trailing envelope bytes");
+  return views;
+}
+
+}  // namespace ecfd::wire

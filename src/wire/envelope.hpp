@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wire/codec.hpp"
+
+/// \file envelope.hpp
+/// The batch envelope: one CRC-framed datagram carrying every frame due to
+/// a peer in the same tick — the paper's §4 piggybacking idea carried all
+/// the way to the wire. EfficientP folds the suspected list into the leader
+/// heartbeat to amortize periodic traffic at the protocol layer; the
+/// envelope amortizes at the transport layer, so heartbeats, leader
+/// beacons, suspected lists, consensus messages, and RB/KV traffic that a
+/// tick makes due to the same peer leave as ONE datagram instead of k.
+///
+/// Layout (little-endian, mirrors codec.hpp discipline):
+///
+///   u16 magic (0xECBA — distinct from the single-frame 0xECFD)
+///   u8  version
+///   u8  flags     (reserved, must be zero)
+///   u16 count     (1..kMaxFramesPerEnvelope)
+///   u16 reserved  (must be zero)
+///   count × { u32 len; len bytes }   each a complete single-frame encoding
+///   u32 crc32 of everything before
+///
+/// Inner frames keep their own CRC (they are exactly what
+/// wire::encode_message produced), so a receiver reuses decode_message
+/// unchanged and a corrupt inner frame is rejected individually while its
+/// siblings still deliver. The envelope CRC covers the framing itself:
+/// truncation, split-across-datagrams, and length lies are rejected before
+/// any inner byte is interpreted (fuzzed in tests/test_envelope.cpp).
+///
+/// Nesting is rejected: an inner frame that is itself an envelope fails
+/// decode_message's magic check and is counted as a decode error.
+
+namespace ecfd::wire {
+
+inline constexpr std::uint16_t kEnvelopeMagic = 0xECBA;
+inline constexpr std::uint8_t kEnvelopeVersion = 1;
+
+/// Fixed bytes around the frame list: header (8) + trailing CRC (4).
+inline constexpr std::size_t kEnvelopeOverheadBytes = 12;
+/// Per-frame cost on top of the frame itself (the u32 length prefix).
+inline constexpr std::size_t kEnvelopeFrameOverheadBytes = 4;
+
+/// Hard cap on frames per envelope; a corrupt count field can never cause
+/// a large allocation (the byte bound kMaxFrameBytes binds first anyway).
+inline constexpr std::size_t kMaxFramesPerEnvelope = 256;
+
+/// A borrowed view of one inner frame inside a decoded envelope.
+struct FrameView {
+  const std::uint8_t* data{nullptr};
+  std::size_t len{0};
+};
+
+/// True when the datagram starts with the envelope magic — the receive-path
+/// dispatch between batched and single-frame datagrams.
+[[nodiscard]] bool is_envelope(const std::uint8_t* data, std::size_t len);
+
+/// Packs \p frames (each a complete encode_message frame) into one
+/// envelope. Returns false (and sets \p error) when the batch is empty,
+/// exceeds kMaxFramesPerEnvelope, or would not fit kMaxFrameBytes.
+bool encode_envelope(const std::vector<std::vector<std::uint8_t>>& frames,
+                     std::vector<std::uint8_t>* out,
+                     std::string* error = nullptr);
+
+/// Unpacks an envelope into borrowed views (valid while \p data lives).
+/// Rejects — never crashes on — bad magic/version/flags, truncation at any
+/// byte, bit flips (CRC), count or length lies, and trailing garbage.
+/// Inner frames are NOT validated here; feed each view to decode_message.
+std::optional<std::vector<FrameView>> decode_envelope(
+    const std::uint8_t* data, std::size_t len, std::string* error = nullptr);
+
+}  // namespace ecfd::wire

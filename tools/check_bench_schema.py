@@ -6,6 +6,7 @@ Usage:
   check_bench_schema.py --metrics FILE.json
   check_bench_schema.py --trace FILE.json
   check_bench_schema.py --chrome FILE.json
+  check_bench_schema.py --bench-net FILE.json
 
 Default mode compares two ecfd.bench.v1 reports. Wall-clock benchmark
 numbers move between machines and runs, so CI cannot gate on them. What CI
@@ -17,7 +18,12 @@ fails here; a slower runner does not.
 The flag modes validate a single file against the corresponding fixed
 schema: --metrics checks an ecfd.metrics.v1 registry dump, --trace an
 ecfd.trace.v1 typed event trace, --chrome a Chrome-trace JSON export
-(the object form with "traceEvents").
+(the object form with "traceEvents"), --bench-net an ecfd.bench_net.v1
+real-network benchmark report (bench/bench_net). The bench_net shape is
+pinned here rather than diffed against a baseline because its rows carry
+an availability flag: a runner without io_uring still emits all four
+backend x coalesce rows, just marked available=0, and the validator
+enforces exactly that invariant.
 
 Exit status: 0 on match, 1 on mismatch (with a diff-style explanation on
 stderr), 2 on unreadable input.
@@ -184,15 +190,79 @@ def check_chrome(path: str) -> int:
     return 0
 
 
+# The pinned shape of an ecfd.bench_net.v1 report: section -> headers.
+# bench_net always emits one row per {poll,uring} x {single,coalesced}
+# combination; rows where the backend cannot run carry available=0.
+BENCH_NET_SECTIONS = (
+    ("pair_throughput",
+     ("backend", "coalesce", "available", "frames", "frames_per_s",
+      "p50_us", "p99_us")),
+    ("storm",
+     ("backend", "coalesce", "available", "nodes", "frames",
+      "frames_per_s", "dgrams_per_frame")),
+    ("coalescing_ablation",
+     ("backend", "coalesce", "available", "period_ms",
+      "dgrams_per_peer_tick", "detect_ms")),
+)
+BENCH_NET_COMBOS = (("poll", 0), ("poll", 1), ("uring", 0), ("uring", 1))
+
+
+def check_bench_net(path: str) -> int:
+    """Validates one ecfd.bench_net.v1 real-network benchmark report."""
+    doc = load(path)
+    if doc.get("schema") != "ecfd.bench_net.v1":
+        fail(f"{path}: schema tag '{doc.get('schema')}' != 'ecfd.bench_net.v1'")
+    if doc.get("bench") != "bench_net":
+        fail(f"{path}: bench name '{doc.get('bench')}' != 'bench_net'")
+    check_host(doc, path)
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or len(tables) != len(BENCH_NET_SECTIONS):
+        got = len(tables) if isinstance(tables, list) else type(tables).__name__
+        fail(f"{path}: expected {len(BENCH_NET_SECTIONS)} tables, got {got}")
+    for i, ((section, headers), t) in enumerate(zip(BENCH_NET_SECTIONS, tables)):
+        if t.get("section") != section:
+            fail(f"{path}: tables[{i}] section '{t.get('section')}' "
+                 f"!= '{section}'")
+        if tuple(t.get("headers", ())) != headers:
+            fail(f"{path}: tables[{i}] ('{section}') headers "
+                 f"{t.get('headers')} != {list(headers)}")
+        rows = t.get("rows")
+        if not isinstance(rows, list) or len(rows) != len(BENCH_NET_COMBOS):
+            fail(f"{path}: tables[{i}] ('{section}') must have exactly "
+                 f"{len(BENCH_NET_COMBOS)} rows (one per backend x coalesce)")
+        for j, row in enumerate(rows):
+            if len(row) != len(headers):
+                fail(f"{path}: tables[{i}] row {j} has {len(row)} cells "
+                     f"for {len(headers)} headers")
+            backend, coalesce = BENCH_NET_COMBOS[j]
+            if row[0] != backend or row[1] != coalesce:
+                fail(f"{path}: tables[{i}] row {j} is "
+                     f"({row[0]!r}, {row[1]!r}), expected "
+                     f"({backend!r}, {coalesce})")
+            if row[2] not in (0, 1):
+                fail(f"{path}: tables[{i}] row {j} available={row[2]!r} "
+                     "not in {0, 1}")
+            for cell in row[3:]:
+                if not isinstance(cell, (int, float)):
+                    fail(f"{path}: tables[{i}] row {j} non-numeric "
+                         f"measurement {cell!r}")
+    avail = sum(r[2] for r in tables[0]["rows"])
+    print(f"bench_net schema OK: {path}, {len(tables)} sections, "
+          f"{avail}/{len(BENCH_NET_COMBOS)} combos available")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] in (
-        "--metrics", "--trace", "--chrome"
+        "--metrics", "--trace", "--chrome", "--bench-net"
     ):
         mode, path = sys.argv[1], sys.argv[2]
         if mode == "--metrics":
             return check_metrics(path)
         if mode == "--trace":
             return check_trace(path)
+        if mode == "--bench-net":
+            return check_bench_net(path)
         return check_chrome(path)
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)

@@ -7,9 +7,10 @@
 // the survivors' suspicion (and, with --consensus, a decision) happen over
 // a real lossy network:
 //
-//   ecfd_node --config cluster.ini --id 0 [--fd F] [--consensus] [--kv]
-//             [--propose V] [--run-ms MS] [--report-ms MS] [--verbose]
-//             [--metrics-port P] [--metrics FILE] [--trace FILE]
+//   ecfd_node --config cluster.ini --id 0 [--fd F] [--backend B]
+//             [--consensus] [--kv] [--propose V] [--run-ms MS]
+//             [--report-ms MS] [--verbose] [--metrics-port P]
+//             [--metrics FILE] [--trace FILE]
 //
 //   --fd F       heartbeat_p   all-to-all heartbeat ◇P (n(n-1) msgs/period)
 //                efficient_p   Section 4 piggybacked 2(n-1) ◇P + Omega
@@ -17,6 +18,13 @@
 //                ecfd          the paper's stack: stable Omega -> ◇C ->
 //                              Fig. 2 transformation to ◇P
 //                (overrides the config's `fd` key)
+//   --backend B  poll          poll(2) + sendmmsg/recvmmsg UDP event loop
+//                uring         io_uring: multishot receive into registered
+//                              buffers, one submit syscall per tick of
+//                              sends; degrades to poll (with a stderr
+//                              note) when the kernel lacks io_uring or
+//                              the backend was compiled out (ECFD_URING)
+//                (overrides the config's `backend` key)
 //   --consensus  run ConsensusC on the ◇C view; propose --propose (default:
 //                this node's id) once the cluster has had a moment to form
 //   --kv         serve the replicated key-value store (kv/service.hpp) on
@@ -67,12 +75,12 @@
 #include "fd/heartbeat_p.hpp"
 #include "fd/stable_leader.hpp"
 #include "kv/service.hpp"
+#include "transport/dgram_env.hpp"
 #include "transport/node_config.hpp"
-#include "transport/socket_env.hpp"
 
 using namespace ecfd;
+using transport::DgramEnv;
 using transport::NodeConfig;
-using transport::SocketEnv;
 
 namespace {
 
@@ -86,6 +94,7 @@ void usage() {
       "  --config FILE   cluster config (required; see README quickstart)\n"
       "  --id N          which peer-table row is this process (required)\n"
       "  --fd F          heartbeat_p | efficient_p | stable_leader | ecfd\n"
+      "  --backend B     poll | uring (uring degrades to poll when missing)\n"
       "  --consensus     also run the ◇C consensus engine\n"
       "  --kv            serve the replicated key-value store ([kv] config)\n"
       "  --propose V     consensus proposal (default: node id)\n"
@@ -106,7 +115,7 @@ struct Stack {
   std::unique_ptr<core::EcfdOracle> adapter;  ///< owns any composition glue
 };
 
-Stack build_fd(SocketEnv& env, const NodeConfig& cfg, const std::string& fd) {
+Stack build_fd(DgramEnv& env, const NodeConfig& cfg, const std::string& fd) {
   Stack s;
   if (fd == "heartbeat_p") {
     fd::HeartbeatP::Config c;
@@ -161,13 +170,13 @@ Stack build_fd(SocketEnv& env, const NodeConfig& cfg, const std::string& fd) {
 }
 
 std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
-                        const Stack& stack,
+                        const char* backend, const Stack& stack,
                         const consensus::ConsensusProtocol* cons,
                         const kv::KvService* kvs,
                         obs::MetricsRegistry& counters, int n) {
   std::string out = "{\"t_ms\":" + std::to_string(t / 1000) +
                     ",\"node\":" + std::to_string(self) + ",\"fd\":\"" + fd +
-                    "\"";
+                    "\",\"backend\":\"" + backend + "\"";
   out += ",\"suspected\":[";
   if (stack.suspects != nullptr) {
     bool first = true;
@@ -266,6 +275,7 @@ int main(int argc, char** argv) {
   std::string config_path;
   int id = -1;
   std::string fd_override;
+  std::string backend_override;
   bool consensus_flag = false;
   bool kv_flag = false;
   std::optional<consensus::Value> propose;
@@ -294,6 +304,8 @@ int main(int argc, char** argv) {
       id = std::stoi(next());
     } else if (a == "--fd") {
       fd_override = next();
+    } else if (a == "--backend") {
+      backend_override = next();
     } else if (a == "--consensus") {
       consensus_flag = true;
     } else if (a == "--kv") {
@@ -337,7 +349,16 @@ int main(int argc, char** argv) {
   const std::string fd_name = fd_override.empty() ? cfg->fd : fd_override;
   const bool want_consensus = consensus_flag || cfg->consensus;
 
-  SocketEnv::Options opts;
+  const std::string backend_name =
+      backend_override.empty() ? cfg->backend : backend_override;
+  const auto backend = transport::parse_backend(backend_name);
+  if (!backend) {
+    std::cerr << "ecfd_node: unknown backend '" << backend_name
+              << "' (poll | uring)\n";
+    return 2;
+  }
+
+  DgramEnv::Options opts;
   opts.self = id;
   opts.peers = cfg->peers;
   opts.seed = cfg->seed;
@@ -345,12 +366,17 @@ int main(int argc, char** argv) {
   opts.min_extra_delay = cfg->min_delay;
   opts.max_extra_delay = cfg->max_delay;
   opts.trace_to_stderr = verbose;
+  opts.net = transport::net_tuning_from(*cfg);
 
-  SocketEnv env(opts);
-  if (!env.open(&error)) {
+  std::string note;
+  auto env_ptr = transport::make_net_env(*backend, std::move(opts), &error,
+                                         &note);
+  if (env_ptr == nullptr) {
     std::cerr << "ecfd_node: " << error << "\n";
     return 2;
   }
+  if (!note.empty()) std::cerr << "ecfd_node: " << note << "\n";
+  DgramEnv& env = *env_ptr;
 
   std::unique_ptr<obs::Recorder> recorder;
   if (!trace_path.empty()) {
@@ -412,7 +438,7 @@ int main(int argc, char** argv) {
                                    kv::kMsgClientReply, "kv.reply", r));
     });
     env.set_external_handler(
-        [kvs](SocketEnv::ExternalToken token, const Message& m) {
+        [kvs](DgramEnv::ExternalToken token, const Message& m) {
           if (m.protocol == protocol_ids::kKvService &&
               m.type == kv::kMsgClientRequest && m.has_payload()) {
             kvs->handle_request(token, m.as<kv::Request>());
@@ -427,8 +453,8 @@ int main(int argc, char** argv) {
 
   // Report timer: one JSON line per period, re-armed forever.
   std::function<void()> report = [&]() {
-    std::cout << report_line(env.now(), id, fd_name, stack, cons, kvs,
-                             env.counters(), env.n())
+    std::cout << report_line(env.now(), id, fd_name, env.backend_name(),
+                             stack, cons, kvs, env.counters(), env.n())
               << std::endl;  // flush: readers are pipes and demo scripts
     env.set_timer(msec(report_ms), report);
   };
@@ -442,7 +468,7 @@ int main(int argc, char** argv) {
     });
   }
 
-  // Signal poller: SocketEnv is single-threaded, so a timer is the clean
+  // Signal poller: the env is single-threaded, so a timer is the clean
   // place to notice SIGINT/SIGTERM and stop the loop.
   std::function<void()> watch_signals = [&]() {
     if (g_stop) {
@@ -459,8 +485,8 @@ int main(int argc, char** argv) {
     while (!g_stop) env.run_for(sec(3600));
   }
 
-  std::cout << report_line(env.now(), id, fd_name, stack, cons, kvs,
-                           env.counters(), env.n())
+  std::cout << report_line(env.now(), id, fd_name, env.backend_name(),
+                           stack, cons, kvs, env.counters(), env.n())
             << std::endl;
 
   if (!metrics_path.empty()) {
