@@ -4,6 +4,8 @@
 #include <cassert>
 
 #include "check/sim_monitor.hpp"
+#include "fd/heartbeat_p.hpp"
+#include "net/link.hpp"
 #include "runner/fingerprint.hpp"
 
 namespace ecfd::check {
@@ -87,6 +89,70 @@ void add_chaos(const FuzzCaseConfig& cfg, Rng& rng, FaultSchedule& out) {
   });
 }
 
+// --- WAN/geo scenario pack generators -----------------------------------
+// Parameter bounds are chosen so a correct stack still converges well
+// before horizon - stable_margin: windows end by chaos_end like every
+// other fault, and the whole-run geo matrix is bounded enough that the
+// FDs' widening schedules outgrow the worst one-way delay within seconds.
+
+void add_geo(const FuzzCaseConfig& cfg, Rng& rng, FaultSchedule& out) {
+  const auto& names = geo_preset_names();
+  const GeoSpec* preset =
+      geo_preset(names[rng.below(names.size())]);
+  FaultEvent e;
+  e.kind = FaultEvent::Kind::kGeoLatency;
+  e.at = 0;
+  e.until = cfg.horizon;
+  // 60%..150% of the preset, drawn per seed; the scaled matrices are
+  // embedded in the event so replay never consults the preset table.
+  e.geo = preset->scaled(60 + rng.range(0, 90), 100);
+  out.events.push_back(e);
+}
+
+void add_flaps(const FuzzCaseConfig& cfg, Rng& rng, FaultSchedule& out) {
+  add_windows(cfg, rng, 2, [&](TimeUs start, TimeUs until) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kFlapWindow;
+    e.at = start;
+    e.until = until;
+    e.process =
+        static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(cfg.n)));
+    e.flap_period = msec(100) + rng.range(0, msec(400));
+    e.flap_up_ppm = 300'000 + static_cast<std::uint32_t>(rng.below(400'001));
+    out.events.push_back(e);
+  });
+}
+
+void add_grays(const FuzzCaseConfig& cfg, Rng& rng, FaultSchedule& out) {
+  add_windows(cfg, rng, 2, [&](TimeUs start, TimeUs until) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kGrayWindow;
+    e.at = start;
+    e.until = until;
+    e.process =
+        static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(cfg.n)));
+    e.gray_factor_milli =
+        2000 + static_cast<std::uint32_t>(rng.below(6001));  // 2x..8x slow
+    e.gray_send_extra = rng.range(0, msec(30));
+    out.events.push_back(e);
+  });
+}
+
+void add_skews(const FuzzCaseConfig& cfg, Rng& rng, FaultSchedule& out) {
+  add_windows(cfg, rng, 2, [&](TimeUs start, TimeUs until) {
+    FaultEvent e;
+    e.kind = FaultEvent::Kind::kSkewWindow;
+    e.at = start;
+    e.until = until;
+    e.process =
+        static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(cfg.n)));
+    e.skew_bound = msec(20) + rng.range(0, msec(60));
+    e.skew_offset = rng.range(-e.skew_bound, e.skew_bound);
+    e.skew_drift_ppm = static_cast<std::int32_t>(rng.range(-30'000, 30'000));
+    out.events.push_back(e);
+  });
+}
+
 }  // namespace
 
 const char* profile_name(FuzzProfile p) {
@@ -95,13 +161,25 @@ const char* profile_name(FuzzProfile p) {
     case FuzzProfile::kPartition: return "partition";
     case FuzzProfile::kLossDelay: return "loss_delay";
     case FuzzProfile::kChurn: return "churn";
+    case FuzzProfile::kGeo: return "geo";
+    case FuzzProfile::kFlap: return "flap";
+    case FuzzProfile::kGray: return "gray";
+    case FuzzProfile::kSkew: return "skew";
   }
   return "?";
 }
 
+const std::vector<FuzzProfile>& all_profiles() {
+  static const std::vector<FuzzProfile> profiles = {
+      FuzzProfile::kCrash, FuzzProfile::kPartition, FuzzProfile::kLossDelay,
+      FuzzProfile::kChurn, FuzzProfile::kGeo,       FuzzProfile::kFlap,
+      FuzzProfile::kGray,  FuzzProfile::kSkew,
+  };
+  return profiles;
+}
+
 std::optional<FuzzProfile> profile_from_name(const std::string& s) {
-  for (FuzzProfile p : {FuzzProfile::kCrash, FuzzProfile::kPartition,
-                        FuzzProfile::kLossDelay, FuzzProfile::kChurn}) {
+  for (FuzzProfile p : all_profiles()) {
     if (s == profile_name(p)) return p;
   }
   return std::nullopt;
@@ -133,6 +211,7 @@ const char* fd_stack_name(consensus::FdStack f) {
     case consensus::FdStack::kOmegaPlusHeartbeat: return "omega_heartbeat";
     case consensus::FdStack::kEfficientP: return "efficient_p";
     case consensus::FdStack::kScriptedStable: return "scripted";
+    case consensus::FdStack::kHeartbeatAdaptive: return "heartbeat_adaptive";
   }
   return "?";
 }
@@ -142,7 +221,8 @@ std::optional<consensus::FdStack> fd_stack_from_name(const std::string& s) {
        {consensus::FdStack::kRing, consensus::FdStack::kHeartbeatP,
         consensus::FdStack::kOmegaPlusHeartbeat,
         consensus::FdStack::kEfficientP,
-        consensus::FdStack::kScriptedStable}) {
+        consensus::FdStack::kScriptedStable,
+        consensus::FdStack::kHeartbeatAdaptive}) {
     if (s == fd_stack_name(f)) return f;
   }
   return std::nullopt;
@@ -172,6 +252,22 @@ FaultSchedule generate_schedule(const FuzzCaseConfig& cfg) {
       add_partitions(cfg, rng, out);
       add_chaos(cfg, rng, out);
       break;
+    case FuzzProfile::kGeo:
+      add_geo(cfg, rng, out);
+      if (max_crashes > 0 && rng.chance(0.4)) add_crashes(cfg, rng, 1, out);
+      break;
+    case FuzzProfile::kFlap:
+      add_flaps(cfg, rng, out);
+      if (max_crashes > 0 && rng.chance(0.3)) add_crashes(cfg, rng, 1, out);
+      break;
+    case FuzzProfile::kGray:
+      add_grays(cfg, rng, out);
+      if (max_crashes > 0 && rng.chance(0.3)) add_crashes(cfg, rng, 1, out);
+      break;
+    case FuzzProfile::kSkew:
+      add_skews(cfg, rng, out);
+      if (max_crashes > 0 && rng.chance(0.3)) add_crashes(cfg, rng, 1, out);
+      break;
   }
   return out;
 }
@@ -184,7 +280,21 @@ ProcessSet crashed_in(const FaultSchedule& s, int n) {
   return crashed;
 }
 
-void apply_schedule(System& sys, const FaultSchedule& s) {
+namespace {
+
+/// Blocks or unblocks every directed link touching \p v.
+void set_flapped(Network* net, ProcessId v, bool down) {
+  for (ProcessId q = 0; q < net->n(); ++q) {
+    if (q == v) continue;
+    net->set_blocked(v, q, down);
+    net->set_blocked(q, v, down);
+  }
+}
+
+}  // namespace
+
+void apply_schedule(System& sys, const FaultSchedule& s,
+                    SimMonitor* monitor) {
   Network* net = &sys.network();
   for (const FaultEvent& e : s.events) {
     switch (e.kind) {
@@ -202,6 +312,52 @@ void apply_schedule(System& sys, const FaultSchedule& s) {
             e.at, [net, c = e.chaos] { net->set_chaos(c); });
         sys.scheduler().schedule_at(e.until, [net] { net->clear_chaos(); });
         break;
+      case FaultEvent::Kind::kGeoLatency:
+        // The WAN matrix is the run's environment, not a transient fault:
+        // swap the links right away (apply_schedule runs from the harness
+        // instrument hook, before the system starts).
+        assert(e.geo.valid());
+        net->set_links(geo_link_factory(e.geo));
+        break;
+      case FaultEvent::Kind::kFlapWindow: {
+        const ProcessId v = e.process;
+        const DurUs period = std::max<DurUs>(e.flap_period, msec(10));
+        const DurUs up =
+            period * static_cast<DurUs>(e.flap_up_ppm) / 1'000'000;
+        const DurUs down = period - up;
+        if (down <= 0) break;
+        // One up/down duty cycle per period; the window never outlives
+        // its heal — the last down phase is truncated at `until`.
+        for (TimeUs t = e.at + up; t < e.until; t += period) {
+          sys.scheduler().schedule_at(
+              t, [net, v] { set_flapped(net, v, true); });
+          sys.scheduler().schedule_at(
+              std::min<TimeUs>(t + down, e.until),
+              [net, v] { set_flapped(net, v, false); });
+        }
+        break;
+      }
+      case FaultEvent::Kind::kGrayWindow: {
+        ProcessHost* h = &sys.host(e.process);
+        sys.scheduler().schedule_at(
+            e.at, [h, f = e.gray_factor_milli, x = e.gray_send_extra] {
+              h->set_gray(f, x);
+            });
+        sys.scheduler().schedule_at(e.until, [h] { h->set_gray(1000, 0); });
+        break;
+      }
+      case FaultEvent::Kind::kSkewWindow: {
+        ProcessHost* h = &sys.host(e.process);
+        if (monitor != nullptr) {
+          monitor->register_skew_bound(e.process, e.skew_bound);
+        }
+        sys.scheduler().schedule_at(
+            e.at, [h, o = e.skew_offset, d = e.skew_drift_ppm,
+                   b = e.skew_bound] { h->set_clock_skew(o, d, b); });
+        sys.scheduler().schedule_at(e.until,
+                                    [h] { h->clear_clock_skew(); });
+        break;
+      }
     }
   }
 }
@@ -230,6 +386,31 @@ std::uint64_t fuzz_digest(const FuzzCaseConfig& cfg,
     h.u64(e.chaos.loss_ppm);
     h.i64(e.chaos.extra_delay_max);
     h.u64(e.chaos.duplicate_ppm);
+    // Scenario-pack fields are hashed only for their own kinds, so the
+    // byte stream — and thus every pinned digest — of pre-existing
+    // schedules is unchanged.
+    switch (e.kind) {
+      case FaultEvent::Kind::kGeoLatency:
+        h.i64(e.geo.regions);
+        for (DurUs d : e.geo.base) h.i64(d);
+        for (DurUs d : e.geo.jitter) h.i64(d);
+        break;
+      case FaultEvent::Kind::kFlapWindow:
+        h.i64(e.flap_period);
+        h.u64(e.flap_up_ppm);
+        break;
+      case FaultEvent::Kind::kGrayWindow:
+        h.u64(e.gray_factor_milli);
+        h.i64(e.gray_send_extra);
+        break;
+      case FaultEvent::Kind::kSkewWindow:
+        h.i64(e.skew_offset);
+        h.i64(e.skew_drift_ppm);
+        h.i64(e.skew_bound);
+        break;
+      default:
+        break;
+    }
   }
   h.u64(verdicts.size());
   for (const Verdict& v : verdicts) {
@@ -270,7 +451,7 @@ FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
       monitor.set_recorder(recorder);
     }
     monitor.install_from(inst, cfg.horizon);
-    apply_schedule(inst.sys, schedule);
+    apply_schedule(inst.sys, schedule, &monitor);
   };
 
   const consensus::HarnessResult r = consensus::run_consensus(hc);
@@ -333,20 +514,33 @@ FuzzOutcome run_mutant(Mutant m, std::uint64_t seed) {
   sc.links = LinkKind::kReliable;
   if (m == Mutant::kBlind) sc.with_crash(n - 1, sec(2));
   auto sys = make_system(sc);
+  if (m == Mutant::kFrozenMargin) {
+    // One geo-style jittery directed link: p1 -> p0 delays in [1, 60] ms,
+    // far beyond the frozen margin below, while every other link keeps
+    // the tight default band. The observer p0 then flaps on p1 forever
+    // (eventual strong accuracy lost) while everyone's view of everyone
+    // else stabilizes (eventual weak accuracy kept) — the attribution
+    // stays unambiguous.
+    sys->network().set_link(
+        1, 0, std::make_unique<ReliableLink>(msec(1), msec(60)));
+  }
 
   ProcessSet correct = ProcessSet::full(n);
   for (const CrashPlan& c : sc.crashes) correct.remove(c.process);
 
   const bool fd_mutant =
       m == Mutant::kFlappingLeader || m == Mutant::kSlander ||
-      m == Mutant::kBlind || m == Mutant::kCoupledViolation;
+      m == Mutant::kBlind || m == Mutant::kCoupledViolation ||
+      m == Mutant::kFrozenMargin;
+  const bool scenario_mutant = m == Mutant::kSkewBound;
 
   SimMonitor::Config mc;
   mc.check_suspect =
       m == Mutant::kSlander || m == Mutant::kBlind ||
-      m == Mutant::kCoupledViolation;
+      m == Mutant::kCoupledViolation || m == Mutant::kFrozenMargin;
   mc.check_leader =
       m == Mutant::kFlappingLeader || m == Mutant::kCoupledViolation;
+  mc.require_strong_accuracy = m == Mutant::kFrozenMargin;
   SimMonitor monitor(mc);
   monitor.install(*sys, correct, horizon);
 
@@ -375,9 +569,29 @@ FuzzOutcome run_mutant(Mutant m, std::uint64_t seed) {
           monitor.attach_fd(p, &f, &f);
           break;
         }
+        case Mutant::kFrozenMargin: {
+          // The real adaptive ◇P with its mutation hook engaged: a small
+          // margin that never widens. The identical config with
+          // widen_on_mistake=true passes this exact scenario
+          // (tests/test_adaptive_timeout.cpp asserts it).
+          fd::HeartbeatP::Config hbc;
+          hbc.adaptive = true;
+          hbc.predictor.alpha = msec(6);
+          hbc.predictor.widen_on_mistake = false;
+          auto& f = host.emplace<fd::HeartbeatP>(hbc);
+          monitor.attach_fd(p, &f, nullptr);
+          break;
+        }
         default: break;
       }
     }
+  } else if (scenario_mutant) {
+    // The broken injector: declares a 10 ms envelope to the monitor but
+    // applies a raw 40 ms + drift skew with the clamp disabled (bound 0).
+    monitor.register_skew_bound(1, msec(10));
+    ProcessHost* h = &sys->host(1);
+    sys->scheduler().schedule_at(
+        msec(500), [h] { h->set_clock_skew(msec(40), 5000, 0); });
   } else {
     std::vector<consensus::Value> proposals(static_cast<std::size_t>(n));
     for (ProcessId p = 0; p < n; ++p) {

@@ -7,6 +7,7 @@
 #include "check/mutants.hpp"
 #include "check/verdict.hpp"
 #include "consensus/harness.hpp"
+#include "net/geo.hpp"
 #include "net/network.hpp"
 
 /// \file fuzz.hpp
@@ -34,13 +35,41 @@ struct FaultEvent {
     kCrash,            ///< crash-stop `process` at `at`
     kPartitionWindow,  ///< partition `group` vs rest during [at, until)
     kChaosWindow,      ///< message chaos overlay active during [at, until)
+    // WAN/geo scenario pack. New kinds are appended (never reordered) so
+    // the ordinals hashed into historical fuzz digests stay stable.
+    kGeoLatency,  ///< swap every link to the embedded geo matrix at t=0
+    kFlapWindow,  ///< `process`'s links toggle up/down during [at, until)
+    kGrayWindow,  ///< `process` alive-but-slow during [at, until)
+    kSkewWindow,  ///< `process`'s clock skewed during [at, until)
   };
   Kind kind{Kind::kCrash};
   TimeUs at{0};
   TimeUs until{0};          ///< window events only
-  ProcessId process{kNoProcess};  ///< kCrash only
+  ProcessId process{kNoProcess};  ///< kCrash + per-process windows
   ProcessSet group;         ///< kPartitionWindow only
   Network::Chaos chaos;     ///< kChaosWindow only
+
+  // kGeoLatency: the exact matrices drawn, embedded so replays never
+  // depend on the preset tables or the generator.
+  GeoSpec geo;
+
+  // kFlapWindow: duty cycle — each `flap_period` starts with an up phase
+  // of flap_period * flap_up_ppm / 1e6, then the process's links drop
+  // everything until the period ends. The window always heals at `until`.
+  DurUs flap_period{0};
+  std::uint32_t flap_up_ppm{0};
+
+  // kGrayWindow: local timer stretch (1000 = normal) and per-message
+  // extra send latency (ProcessHost::set_gray).
+  std::uint32_t gray_factor_milli{0};
+  DurUs gray_send_extra{0};
+
+  // kSkewWindow: clock offset + drift, clamped by the injector to
+  // +-skew_bound (ProcessHost::set_clock_skew); the bound is also
+  // registered with the monitor's scenario self-check.
+  std::int64_t skew_offset{0};
+  std::int32_t skew_drift_ppm{0};
+  DurUs skew_bound{0};
 };
 
 struct FaultSchedule {
@@ -53,7 +82,16 @@ enum class FuzzProfile {
   kPartition,  ///< partition/heal windows, possibly one crash
   kLossDelay,  ///< chaos windows: loss bursts, delay spikes, duplication
   kChurn,      ///< everything combined
+  // WAN/geo scenario pack (appended: per-profile rng streams and the
+  // ordinals in fuzz digests must not move for the LAN profiles).
+  kGeo,   ///< whole-run asymmetric WAN latency matrix, maybe one crash
+  kFlap,  ///< flapping-link windows, maybe one crash
+  kGray,  ///< alive-but-slow windows, maybe one crash
+  kSkew,  ///< bounded clock skew/drift windows, maybe one crash
 };
+
+/// Every profile, in campaign order ("--profile all").
+[[nodiscard]] const std::vector<FuzzProfile>& all_profiles();
 
 [[nodiscard]] const char* profile_name(FuzzProfile p);
 [[nodiscard]] std::optional<FuzzProfile> profile_from_name(
@@ -90,9 +128,16 @@ struct FuzzCaseConfig {
 /// Processes crashed by the schedule.
 [[nodiscard]] ProcessSet crashed_in(const FaultSchedule& s, int n);
 
+class SimMonitor;
+
 /// Schedules the window events of \p s onto a live system (crash events
-/// are handled by the harness's scenario crash plan, not here).
-void apply_schedule(System& sys, const FaultSchedule& s);
+/// are handled by the harness's scenario crash plan, not here). A
+/// kGeoLatency event swaps the links immediately — the WAN matrix is
+/// environment for the whole run, not a transient fault. When \p monitor
+/// is given, skew windows register their declared bound with its
+/// scenario.skew_bound self-check.
+void apply_schedule(System& sys, const FaultSchedule& s,
+                    SimMonitor* monitor = nullptr);
 
 /// Result of one monitored, fault-injected run.
 struct FuzzOutcome {

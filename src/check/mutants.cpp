@@ -104,6 +104,7 @@ const std::vector<Mutant>& all_mutants() {
       Mutant::kFlappingLeader, Mutant::kSlander,       Mutant::kBlind,
       Mutant::kCoupledViolation, Mutant::kSplitBrain,  Mutant::kInventedValue,
       Mutant::kDoubleDecide,   Mutant::kSilent,        Mutant::kNoMajority,
+      Mutant::kFrozenMargin,   Mutant::kSkewBound,
   };
   return kAll;
 }
@@ -119,6 +120,8 @@ const char* mutant_name(Mutant m) {
     case Mutant::kDoubleDecide: return "double_decide";
     case Mutant::kSilent: return "silent";
     case Mutant::kNoMajority: return "no_majority";
+    case Mutant::kFrozenMargin: return "frozen_margin";
+    case Mutant::kSkewBound: return "skew_bound";
   }
   return "?";
 }
@@ -134,6 +137,8 @@ const char* expected_property(Mutant m) {
     case Mutant::kDoubleDecide: return "consensus.uniform_integrity";
     case Mutant::kSilent: return "consensus.termination";
     case Mutant::kNoMajority: return "consensus.uniform_agreement";
+    case Mutant::kFrozenMargin: return "fd.eventual_strong_accuracy";
+    case Mutant::kSkewBound: return "scenario.skew_bound";
   }
   return "?";
 }

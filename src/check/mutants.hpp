@@ -154,6 +154,20 @@ enum class Mutant {
   kDoubleDecide,
   kSilent,
   kNoMajority,
+  /// Adaptive heartbeat ◇P whose safety margin never widens
+  /// (ArrivalPredictor::Config::widen_on_mistake = false, tiny alpha).
+  /// run_mutant pairs it with one geo-style jittery directed link whose
+  /// lateness exceeds the frozen margin forever: the observer across that
+  /// link flaps on its peer without end, while every other pair is stable
+  /// — so eventual *weak* accuracy holds and eventual *strong* accuracy
+  /// does not. Violates: fd.eventual_strong_accuracy.
+  kFrozenMargin,
+  /// A skew injector that applies a raw, unclamped clock skew while
+  /// declaring a (much smaller) bound to the monitor — the bug the
+  /// well-formed injector's ProcessHost clamp makes impossible. Caught by
+  /// the scenario self-check, not an FD property. Violates:
+  /// scenario.skew_bound.
+  kSkewBound,
 };
 
 /// Every mutant, for iteration in tests.

@@ -34,6 +34,32 @@ bool group_from_text(const std::string& s, int n, ProcessSet& out) {
   return !out.empty();
 }
 
+std::string durs_to_text(const std::vector<DurUs>& ds) {
+  std::string out;
+  for (DurUs d : ds) {
+    if (!out.empty()) out += ',';
+    out += std::to_string(d);
+  }
+  return out;
+}
+
+bool durs_from_text(const std::string& s, std::size_t want,
+                    std::vector<DurUs>& out) {
+  out.clear();
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    try {
+      std::size_t pos = 0;
+      out.push_back(std::stoll(tok, &pos, 0));
+      if (pos != tok.size()) return false;
+    } catch (...) {
+      return false;
+    }
+  }
+  return out.size() == want;
+}
+
 /// Splits "key=value" tokens of an event line into a flat list.
 struct KvLine {
   std::vector<std::pair<std::string, std::string>> kv;
@@ -115,6 +141,31 @@ std::string to_text(const ReproFile& r) {
            << " loss_ppm=" << e.chaos.loss_ppm
            << " delay_max_us=" << e.chaos.extra_delay_max
            << " dup_ppm=" << e.chaos.duplicate_ppm << "\n";
+        break;
+      case FaultEvent::Kind::kGeoLatency:
+        // The full drawn matrices travel with the file: replay must stay
+        // bit-identical even after the preset tables or the generator's
+        // scaling draw change.
+        os << "event geo at=" << e.at << " until=" << e.until
+           << " regions=" << e.geo.regions
+           << " base_us=" << durs_to_text(e.geo.base)
+           << " jitter_us=" << durs_to_text(e.geo.jitter) << "\n";
+        break;
+      case FaultEvent::Kind::kFlapWindow:
+        os << "event flap at=" << e.at << " until=" << e.until
+           << " p=" << e.process << " period_us=" << e.flap_period
+           << " up_ppm=" << e.flap_up_ppm << "\n";
+        break;
+      case FaultEvent::Kind::kGrayWindow:
+        os << "event gray at=" << e.at << " until=" << e.until
+           << " p=" << e.process << " factor_milli=" << e.gray_factor_milli
+           << " send_extra_us=" << e.gray_send_extra << "\n";
+        break;
+      case FaultEvent::Kind::kSkewWindow:
+        os << "event skew at=" << e.at << " until=" << e.until
+           << " p=" << e.process << " offset_us=" << e.skew_offset
+           << " drift_ppm=" << e.skew_drift_ppm
+           << " bound_us=" << e.skew_bound << "\n";
         break;
     }
   }
@@ -259,6 +310,82 @@ std::optional<ReproFile> parse_repro(const std::string& text,
         }
         e.chaos.loss_ppm = static_cast<std::uint32_t>(loss_v);
         e.chaos.duplicate_ppm = static_cast<std::uint32_t>(dup_v);
+      } else if (kind == "geo") {
+        e.kind = FaultEvent::Kind::kGeoLatency;
+        const std::string* until = kv.get("until");
+        const std::string* regions = kv.get("regions");
+        const std::string* base = kv.get("base_us");
+        const std::string* jitter = kv.get("jitter_us");
+        std::int64_t reg = 0;
+        if (until == nullptr || !to_i64(*until, e.until) ||
+            regions == nullptr || !to_i64(*regions, reg) || reg < 1 ||
+            reg > 64) {
+          fail(error, "geo event with bad until=/regions=");
+          return std::nullopt;
+        }
+        e.geo.regions = static_cast<int>(reg);
+        const auto cells = static_cast<std::size_t>(reg * reg);
+        if (base == nullptr || !durs_from_text(*base, cells, e.geo.base) ||
+            jitter == nullptr ||
+            !durs_from_text(*jitter, cells, e.geo.jitter)) {
+          fail(error, "geo event with bad base_us=/jitter_us=");
+          return std::nullopt;
+        }
+      } else if (kind == "flap") {
+        e.kind = FaultEvent::Kind::kFlapWindow;
+        const std::string* until = kv.get("until");
+        const std::string* p = kv.get("p");
+        const std::string* period = kv.get("period_us");
+        const std::string* up = kv.get("up_ppm");
+        std::int64_t pid = 0;
+        std::uint64_t up_v = 0;
+        if (until == nullptr || !to_i64(*until, e.until) || p == nullptr ||
+            !to_i64(*p, pid) || pid < 0 || pid >= r.config.n ||
+            period == nullptr || !to_i64(*period, e.flap_period) ||
+            up == nullptr || !to_u64(*up, up_v) || up_v > 1'000'000) {
+          fail(error, "flap event with bad fields");
+          return std::nullopt;
+        }
+        e.process = static_cast<ProcessId>(pid);
+        e.flap_up_ppm = static_cast<std::uint32_t>(up_v);
+      } else if (kind == "gray") {
+        e.kind = FaultEvent::Kind::kGrayWindow;
+        const std::string* until = kv.get("until");
+        const std::string* p = kv.get("p");
+        const std::string* factor = kv.get("factor_milli");
+        const std::string* extra = kv.get("send_extra_us");
+        std::int64_t pid = 0;
+        std::uint64_t factor_v = 0;
+        if (until == nullptr || !to_i64(*until, e.until) || p == nullptr ||
+            !to_i64(*p, pid) || pid < 0 || pid >= r.config.n ||
+            factor == nullptr || !to_u64(*factor, factor_v) ||
+            factor_v == 0 || extra == nullptr ||
+            !to_i64(*extra, e.gray_send_extra)) {
+          fail(error, "gray event with bad fields");
+          return std::nullopt;
+        }
+        e.process = static_cast<ProcessId>(pid);
+        e.gray_factor_milli = static_cast<std::uint32_t>(factor_v);
+      } else if (kind == "skew") {
+        e.kind = FaultEvent::Kind::kSkewWindow;
+        const std::string* until = kv.get("until");
+        const std::string* p = kv.get("p");
+        const std::string* offset = kv.get("offset_us");
+        const std::string* drift = kv.get("drift_ppm");
+        const std::string* bound = kv.get("bound_us");
+        std::int64_t pid = 0;
+        std::int64_t drift_v = 0;
+        if (until == nullptr || !to_i64(*until, e.until) || p == nullptr ||
+            !to_i64(*p, pid) || pid < 0 || pid >= r.config.n ||
+            offset == nullptr || !to_i64(*offset, e.skew_offset) ||
+            drift == nullptr || !to_i64(*drift, drift_v) ||
+            drift_v <= -1'000'000 || drift_v >= 1'000'000 ||
+            bound == nullptr || !to_i64(*bound, e.skew_bound)) {
+          fail(error, "skew event with bad fields");
+          return std::nullopt;
+        }
+        e.process = static_cast<ProcessId>(pid);
+        e.skew_drift_ppm = static_cast<std::int32_t>(drift_v);
       } else {
         fail(error, "unknown event kind " + kind);
         return std::nullopt;

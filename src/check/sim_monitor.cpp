@@ -1,5 +1,6 @@
 #include "check/sim_monitor.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ecfd::check {
@@ -21,6 +22,18 @@ void SimMonitor::install(System& sys, const ProcessSet& correct,
   fd_ = std::make_unique<FdPropertyMonitor>(fc);
   // The consensus monitor only exists once attach_consensus() names the
   // protocols — a pure-FD run must not fail a vacuous termination check.
+}
+
+void SimMonitor::register_skew_bound(ProcessId p, DurUs bound) {
+  assert(sys_ != nullptr && "install() first");
+  if (skew_bounds_.empty()) {
+    skew_verdict_.property = "scenario.skew_bound";
+    skew_verdict_.eventual = false;
+    skew_verdict_.required = true;
+    skew_verdict_.state = VerdictState::kHolding;
+  }
+  auto [it, inserted] = skew_bounds_.emplace(p, bound);
+  if (!inserted) it->second = std::max(it->second, bound);
 }
 
 void SimMonitor::attach_fd(ProcessId p, const SuspectOracle* s,
@@ -77,6 +90,22 @@ void SimMonitor::tick() {
     if (leaders_[i] != nullptr) snap.trusted[i] = leaders_[i]->trusted();
   }
   fd_->observe(snap);
+  if (!skew_bounds_.empty() &&
+      skew_verdict_.state != VerdictState::kViolated) {
+    for (const auto& [p, bound] : skew_bounds_) {
+      if (sys_->host(p).crashed()) continue;
+      const std::int64_t err = sys_->host(p).now() - now;
+      if (err > bound || err < -bound) {
+        skew_verdict_.state = VerdictState::kViolated;
+        skew_verdict_.violated_at = now;
+        skew_verdict_.violations = 1;
+        skew_verdict_.witness = "p" + std::to_string(p) + " clock error " +
+                                std::to_string(err) + "us exceeds bound " +
+                                std::to_string(bound) + "us";
+        break;
+      }
+    }
+  }
   if (recorder_ != nullptr) record_verdict_transitions(now);
   if (now < until_) {
     sys_->scheduler().schedule_after(cfg_.period, [this] { tick(); });
@@ -103,6 +132,7 @@ std::vector<Verdict> SimMonitor::verdicts(TimeUs now) const {
   if (consensus_) {
     for (Verdict& v : consensus_->verdicts(now)) out.push_back(std::move(v));
   }
+  if (!skew_bounds_.empty()) out.push_back(skew_verdict_);
   return out;
 }
 

@@ -45,6 +45,18 @@ class SimMonitor {
   /// Attaches process \p p's oracles (either may be null).
   void attach_fd(ProcessId p, const SuspectOracle* s, const LeaderOracle* l);
 
+  /// Scenario self-check: declares that process \p p's local clock must
+  /// never stray more than \p bound from true simulation time. Each
+  /// sampling tick compares host(p).now() against the scheduler clock and
+  /// latches a "scenario.skew_bound" safety violation on excess — this is
+  /// how a skew *injector* that breaks its own declared envelope gets
+  /// caught (the well-formed injector clamps, see
+  /// ProcessHost::set_clock_skew). Re-registering keeps the loosest bound
+  /// (each window's clamp still enforces its own tighter value). The
+  /// verdict only exists once at least one bound is declared, so runs
+  /// without skew keep their historical verdict lists and digests.
+  void register_skew_bound(ProcessId p, DurUs bound);
+
   /// Attaches consensus protocols (decision callbacks) and the proposals
   /// for the validity check.
   void attach_consensus(
@@ -93,6 +105,8 @@ class SimMonitor {
   obs::Recorder* recorder_{nullptr};
   std::map<std::string, VerdictState> last_verdict_state_;
   TimeUs until_{0};
+  std::map<ProcessId, DurUs> skew_bounds_;
+  Verdict skew_verdict_;  ///< meaningful once !skew_bounds_.empty()
   std::vector<const SuspectOracle*> suspects_;
   std::vector<const LeaderOracle*> leaders_;
   std::unique_ptr<FdPropertyMonitor> fd_;

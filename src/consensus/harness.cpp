@@ -73,6 +73,17 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
         oracles[i] = std::move(from_p);
         break;
       }
+      case FdStack::kHeartbeatAdaptive: {
+        fd::HeartbeatP::Config hbc;
+        hbc.adaptive = true;
+        hbc.predictor.fallback_timeout = hbc.initial_timeout;
+        auto& hb = host.emplace<fd::HeartbeatP>(hbc);
+        auto from_p = std::make_unique<core::EcfdFromP>(&hb);
+        suspects[i] = &hb;
+        leaders[i] = from_p.get();
+        oracles[i] = std::move(from_p);
+        break;
+      }
       case FdStack::kOmegaPlusHeartbeat: {
         auto& hb = host.emplace<fd::HeartbeatP>();
         auto& lc = host.emplace<fd::LeaderCandidate>();

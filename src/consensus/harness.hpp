@@ -32,6 +32,7 @@ enum class FdStack {
   kOmegaPlusHeartbeat,  ///< leader-candidate Omega + heartbeat ◇S, composed
   kEfficientP,      ///< §4 piggybacked Omega+◇P (cheapest full stack)
   kScriptedStable,  ///< scripted: chaos until fd_stable_at, then perfect
+  kHeartbeatAdaptive,  ///< kHeartbeatP with Chen-style adaptive timeouts
 };
 
 /// Everything an observer may want to hook into, handed to

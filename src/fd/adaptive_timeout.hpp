@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+
+/// \file adaptive_timeout.hpp
+/// QoS-adaptive heartbeat timeout source (Chen, Toueg & Aguilera, "On the
+/// Quality of Service of Failure Detectors").
+///
+/// The static schedule in fd/heartbeat_p.hpp waits a constant Delta_p(q)
+/// after the last heartbeat and widens it additively on every mistake —
+/// correct, but the constant must be provisioned for the slowest link the
+/// deployment will ever see, so on a WAN it either false-suspects across
+/// the ocean or detects LAN crashes an order of magnitude late. Chen-style
+/// estimation instead *predicts* the next heartbeat arrival from a sliding
+/// window of observed arrivals and suspects only once the prediction plus
+/// a safety margin alpha has passed. The margin still widens on each
+/// premature suspicion (and never otherwise), so the finitely-many-
+/// mistakes convergence argument of [6] is preserved — the predictor only
+/// moves the baseline from a worst-case constant to the observed arrival
+/// process.
+
+namespace ecfd::fd {
+
+/// Windowed next-heartbeat-arrival estimator with an adaptive safety
+/// margin. One instance per observed peer; all state is plain integers so
+/// instances are copyable and deterministic.
+class ArrivalPredictor {
+ public:
+  struct Config {
+    int window{16};                    ///< inter-arrival samples kept
+    DurUs alpha{msec(20)};             ///< initial safety margin
+    DurUs alpha_increment{msec(10)};   ///< widening step per mistake
+    DurUs max_alpha{sec(5)};           ///< widening ceiling
+    DurUs fallback_timeout{msec(30)};  ///< pre-warm-up deadline delta
+    /// Mutation hook (check/mutants.hpp kFrozenMargin): a predictor that
+    /// never widens keeps making the same mistake forever and loses
+    /// eventual accuracy on any link whose jitter exceeds alpha.
+    bool widen_on_mistake{true};
+  };
+
+  /// Aggregate predicted-vs-actual quality, exported into obs metrics.
+  struct Stats {
+    std::int64_t arrivals{0};
+    std::int64_t predictions{0};  ///< arrivals that had a prior prediction
+    std::int64_t mistakes{0};     ///< premature suspicions (note_mistake)
+    std::int64_t abs_err_sum{0};  ///< sum |actual - predicted| (us)
+    std::int64_t abs_err_max{0};  ///< worst |actual - predicted| (us)
+  };
+
+  /// log2 buckets of |actual - predicted|: bucket 0 counts {0}, bucket i
+  /// counts [2^(i-1), 2^i) us — same convention as obs::Histogram so the
+  /// export replays losslessly per bucket.
+  static constexpr int kErrBuckets = 40;
+
+  ArrivalPredictor() : ArrivalPredictor(Config{}) {}
+  explicit ArrivalPredictor(Config cfg);
+
+  /// Feeds one heartbeat arrival (local-clock timestamp).
+  void observe(TimeUs arrival);
+
+  /// Reports a premature suspicion of this peer; widens alpha (unless the
+  /// mutation hook froze it).
+  void note_mistake();
+
+  /// True once two arrivals produced the first inter-arrival sample.
+  [[nodiscard]] bool warmed_up() const { return count_ >= 2; }
+
+  /// Windowed mean inter-arrival time (0 before warm-up).
+  [[nodiscard]] DurUs mean_interval() const;
+
+  /// Estimated next arrival: last arrival + mean interval (kTimeNever
+  /// before warm-up).
+  [[nodiscard]] TimeUs predicted_next() const;
+
+  /// Suspicion deadline: predicted_next() + alpha once warmed up, else
+  /// \p ref + fallback_timeout (ref = last heard / start of observation).
+  [[nodiscard]] TimeUs deadline(TimeUs ref) const;
+
+  [[nodiscard]] DurUs alpha() const { return alpha_; }
+  [[nodiscard]] TimeUs last_arrival() const { return last_arrival_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] std::int64_t err_bucket(int i) const {
+    return err_buckets_[static_cast<std::size_t>(i)];
+  }
+
+ private:
+  Config cfg_;
+  std::vector<DurUs> intervals_;  ///< ring buffer of recent inter-arrivals
+  int next_{0};
+  std::int64_t count_{0};  ///< arrivals observed
+  TimeUs last_arrival_{0};
+  DurUs alpha_;
+  Stats stats_;
+  std::vector<std::int64_t> err_buckets_;
+};
+
+}  // namespace ecfd::fd

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "fd/adaptive_timeout.hpp"
 #include "fd/oracle.hpp"
 #include "net/env.hpp"
 #include "net/protocol_ids.hpp"
@@ -20,6 +21,10 @@
 /// Periodic cost: n(n-1) messages — the quadratic baseline the paper's
 /// Section 4 compares its 2(n-1) ◇C→◇P transformation against.
 
+namespace ecfd::obs {
+class MetricsRegistry;
+}
+
 namespace ecfd::fd {
 
 class HeartbeatP final : public Protocol, public SuspectOracle {
@@ -28,6 +33,14 @@ class HeartbeatP final : public Protocol, public SuspectOracle {
     DurUs period{msec(10)};           ///< heartbeat broadcast period Φ
     DurUs initial_timeout{msec(30)};  ///< initial Δ_p(q)
     DurUs timeout_increment{msec(10)};///< Δ_p(q) += this on each mistake
+
+    /// When true, Δ_p(q) comes from a per-peer Chen-style arrival
+    /// predictor (fd/adaptive_timeout.hpp) instead of the static widening
+    /// schedule: suspect q once predicted-next-arrival + α has passed.
+    /// Mistakes widen α, so convergence (and thus ◇P) is preserved while
+    /// the baseline tracks the observed inter-arrival time per link.
+    bool adaptive{false};
+    ArrivalPredictor::Config predictor{};
   };
 
   explicit HeartbeatP(Env& env);
@@ -43,6 +56,19 @@ class HeartbeatP final : public Protocol, public SuspectOracle {
     return timeout_[static_cast<std::size_t>(q)];
   }
 
+  /// Per-peer arrival predictor (nullptr unless cfg.adaptive).
+  [[nodiscard]] const ArrivalPredictor* predictor(ProcessId q) const {
+    if (pred_.empty()) return nullptr;
+    return &pred_[static_cast<std::size_t>(q)];
+  }
+
+  /// Exports the predictors' QoS under "<prefix>.p<q>.": per-peer
+  /// predicted-vs-actual error histogram (predict_err_us, replayed per
+  /// log2 bucket), arrivals/predictions/mistakes counters and an alpha_us
+  /// gauge. No-op for a static-schedule instance.
+  void export_adaptive_metrics(obs::MetricsRegistry& reg,
+                               const std::string& prefix) const;
+
  private:
   void beat();
   void check();
@@ -51,6 +77,7 @@ class HeartbeatP final : public Protocol, public SuspectOracle {
   ProcessSet suspected_;
   std::vector<TimeUs> last_heard_;
   std::vector<DurUs> timeout_;
+  std::vector<ArrivalPredictor> pred_;  ///< per peer; empty when static
 };
 
 }  // namespace ecfd::fd

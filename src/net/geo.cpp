@@ -1,0 +1,88 @@
+#include "net/geo.hpp"
+
+#include <memory>
+
+namespace ecfd {
+
+namespace {
+
+/// Three regions, round-trip-asymmetric one-way delays (microseconds).
+/// Rows are source regions, columns destination regions.
+GeoSpec make_geo3() {
+  GeoSpec g;
+  g.regions = 3;
+  g.base = {
+      // us-east     eu-west      ap-south
+      msec(1),       usec(38'000), usec(95'000),   // from us-east
+      usec(42'000),  msec(1),      usec(62'000),   // from eu-west
+      usec(105'000), usec(71'000), msec(1),        // from ap-south
+  };
+  g.jitter = {
+      usec(500), msec(5),   msec(8),
+      msec(6),   usec(500), msec(5),
+      msec(9),   msec(7),   usec(500),
+  };
+  return g;
+}
+
+/// Two regions x two availability zones, modeled as four zones:
+/// zones 0,1 = region A; zones 2,3 = region B.
+GeoSpec make_geo2az() {
+  GeoSpec g;
+  g.regions = 4;
+  const DurUs same_zone = usec(300);
+  const DurUs cross_az = usec(1'500);
+  const DurUs ab = usec(45'000);  // region A -> B
+  const DurUs ba = usec(55'000);  // region B -> A
+  const DurUs jz = usec(200);
+  const DurUs jaz = usec(700);
+  const DurUs jwan = msec(4);
+  g.base = {
+      same_zone, cross_az,  ab,        ab,
+      cross_az,  same_zone, ab,        ab,
+      ba,        ba,        same_zone, cross_az,
+      ba,        ba,        cross_az,  same_zone,
+  };
+  g.jitter = {
+      jz,   jaz,  jwan, jwan,
+      jaz,  jz,   jwan, jwan,
+      jwan, jwan, jz,   jaz,
+      jwan, jwan, jaz,  jz,
+  };
+  return g;
+}
+
+}  // namespace
+
+GeoSpec GeoSpec::scaled(std::int64_t num, std::int64_t den) const {
+  GeoSpec out = *this;
+  for (DurUs& d : out.base) d = d * num / den;
+  for (DurUs& d : out.jitter) d = d * num / den;
+  return out;
+}
+
+const std::vector<std::string>& geo_preset_names() {
+  static const std::vector<std::string> names = {"geo3", "geo2az"};
+  return names;
+}
+
+const GeoSpec* geo_preset(const std::string& name) {
+  static const GeoSpec geo3 = make_geo3();
+  static const GeoSpec geo2az = make_geo2az();
+  if (name == "geo3") return &geo3;
+  if (name == "geo2az") return &geo2az;
+  return nullptr;
+}
+
+std::optional<DurUs> GeoLink::sample_delay(TimeUs, Rng& rng) {
+  return base_ + rng.range(0, jitter_);
+}
+
+LinkFactory geo_link_factory(GeoSpec spec) {
+  return [spec = std::move(spec)](ProcessId src, ProcessId dst) {
+    return std::make_unique<GeoLink>(spec.base_delay(src, dst),
+                                     spec.jitter_of(src, dst));
+  };
+}
+
+}  // namespace ecfd

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/link.hpp"
+
+/// \file geo.hpp
+/// Named multi-region WAN topologies with asymmetric per-link latency.
+///
+/// A GeoSpec assigns every process to a region (round-robin, p % regions)
+/// and gives each ordered region pair its own one-way base delay plus a
+/// uniform jitter band — one-way delays are deliberately direction-
+/// dependent, matching measured WAN paths where the two directions of a
+/// route differ by routing policy, not physics. The spec is a plain value
+/// (two integer matrices) so a fuzz schedule can embed the exact drawn
+/// matrices in its ecfd.repro.v1 file and replay bit-identically even if
+/// the presets below are retuned later.
+
+namespace ecfd {
+
+/// A multi-region topology: regions*regions one-way base delays and
+/// jitter bands, all in integral microseconds.
+struct GeoSpec {
+  int regions{1};
+  std::vector<DurUs> base;    ///< [src_region*regions + dst_region]
+  std::vector<DurUs> jitter;  ///< same shape; delay = base + U[0, jitter]
+
+  [[nodiscard]] bool valid() const {
+    const auto want = static_cast<std::size_t>(regions) *
+                      static_cast<std::size_t>(regions);
+    return regions >= 1 && base.size() == want && jitter.size() == want;
+  }
+
+  [[nodiscard]] int region_of(ProcessId p) const {
+    return static_cast<int>(p) % regions;
+  }
+
+  [[nodiscard]] DurUs base_delay(ProcessId src, ProcessId dst) const {
+    return base[static_cast<std::size_t>(region_of(src)) *
+                    static_cast<std::size_t>(regions) +
+                static_cast<std::size_t>(region_of(dst))];
+  }
+
+  [[nodiscard]] DurUs jitter_of(ProcessId src, ProcessId dst) const {
+    return jitter[static_cast<std::size_t>(region_of(src)) *
+                      static_cast<std::size_t>(regions) +
+                  static_cast<std::size_t>(region_of(dst))];
+  }
+
+  /// Every delay scaled by num/den (integer microsecond math); used by the
+  /// fuzzer to draw per-seed variations of a preset.
+  [[nodiscard]] GeoSpec scaled(std::int64_t num, std::int64_t den) const;
+};
+
+/// Preset lookup by name; nullptr when unknown.
+///
+///   "geo3"    three regions (us-east / eu-west / ap-south): 1 ms intra,
+///             38-105 ms inter-region one-way, asymmetric per direction.
+///   "geo2az"  two regions x two availability zones (modeled as four
+///             zones): sub-ms same-zone, ~2 ms cross-AZ, ~45/55 ms
+///             cross-region.
+[[nodiscard]] const GeoSpec* geo_preset(const std::string& name);
+
+/// All preset names, in a fixed order (the fuzzer draws an index).
+[[nodiscard]] const std::vector<std::string>& geo_preset_names();
+
+/// Directed WAN link: delay = base + U[0, jitter], no loss.
+class GeoLink final : public LinkModel {
+ public:
+  GeoLink(DurUs base, DurUs jitter) : base_(base), jitter_(jitter) {}
+  std::optional<DurUs> sample_delay(TimeUs now, Rng& rng) override;
+
+ private:
+  DurUs base_;
+  DurUs jitter_;
+};
+
+/// LinkFactory for Network::set_links: each directed pair gets a GeoLink
+/// parameterized by the spec's region matrices.
+[[nodiscard]] LinkFactory geo_link_factory(GeoSpec spec);
+
+}  // namespace ecfd

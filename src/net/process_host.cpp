@@ -1,5 +1,6 @@
 #include "net/process_host.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -45,17 +46,61 @@ Protocol* ProcessHost::protocol(ProtocolId id) const {
   return it == by_id_.end() ? nullptr : it->second;
 }
 
+void ProcessHost::set_gray(std::uint32_t factor_milli, DurUs send_extra) {
+  if (crashed_) return;
+  assert(factor_milli > 0);
+  gray_factor_milli_ = factor_milli;
+  gray_send_extra_ = send_extra;
+}
+
+void ProcessHost::set_clock_skew(std::int64_t offset_us,
+                                 std::int32_t drift_ppm, DurUs bound_us) {
+  if (crashed_) return;
+  assert(drift_ppm > -1'000'000);
+  skew_offset_ = offset_us;
+  skew_drift_ppm_ = drift_ppm;
+  skew_bound_ = bound_us;
+  skew_since_ = sched_.now();
+  skew_active_ = offset_us != 0 || drift_ppm != 0;
+}
+
+std::int64_t ProcessHost::clock_error() const {
+  if (!skew_active_) return 0;
+  const TimeUs t = sched_.now();
+  std::int64_t e =
+      skew_offset_ + skew_drift_ppm_ * (t - skew_since_) / 1'000'000;
+  if (skew_bound_ > 0) e = std::clamp<std::int64_t>(e, -skew_bound_, skew_bound_);
+  return e;
+}
+
 void ProcessHost::send(ProcessId dst, Message m) {
   if (crashed_) return;
   assert(dst >= 0 && dst < n_);
   m.src = id_;
   m.dst = dst;
   record(EventType::kSend, dst, m.protocol);
+  if (gray_send_extra_ > 0) {
+    // The gray NIC: the message leaves the protocol now but only enters
+    // the network after the extra latency — unless the host crashed in
+    // the meantime (a crash-stop host sends nothing after the crash).
+    sched_.schedule_after(gray_send_extra_, [this, m] {
+      if (!crashed_) network_.send(m);
+    });
+    return;
+  }
   network_.send(m);
 }
 
 TimerId ProcessHost::set_timer(DurUs delay, std::function<void()> fn) {
   if (crashed_) return kInvalidTimer;
+  if (gray_factor_milli_ != 1000) {
+    delay = delay * static_cast<DurUs>(gray_factor_milli_) / 1000;
+  }
+  if (skew_active_ && skew_drift_ppm_ != 0) {
+    // `delay` is a local-clock duration; convert to true time so a fast
+    // local clock (positive drift) fires early and a slow one late.
+    delay = delay * 1'000'000 / (1'000'000 + skew_drift_ppm_);
+  }
   // The wrapper removes its own id from the live set when it fires; the
   // queue discloses the id it will assign, so the closure can carry it by
   // value instead of through a heap-allocated cell.

@@ -50,8 +50,38 @@ class ProcessHost final : public Env {
   /// Protocol lookup (nullptr when absent); used by tests.
   [[nodiscard]] Protocol* protocol(ProtocolId id) const;
 
+  // --- fault-model knobs (check/ scenario pack) ----------------------
+
+  /// Gray failure: the process stays alive but runs slow. Timer delays are
+  /// stretched by factor_milli/1000 (1000 = normal speed) and every
+  /// outbound message sits an extra `send_extra` in the "NIC" before
+  /// entering the network. set_gray(1000, 0) restores normal operation.
+  /// Timers armed before the change keep their original deadline; the
+  /// protocols' self-rearming timers pick the factor up on the next arm,
+  /// which is exactly the creep a degraded-but-alive host exhibits.
+  void set_gray(std::uint32_t factor_milli, DurUs send_extra);
+  [[nodiscard]] bool gray() const {
+    return gray_factor_milli_ != 1000 || gray_send_extra_ != 0;
+  }
+
+  /// Clock skew: the local clock reads true time + offset + drift, where
+  /// drift accumulates at drift_ppm from the moment of the call. The total
+  /// error is clamped to +-bound_us when bound_us > 0 — the scenario
+  /// injector always passes the bound it declared to the monitors, so a
+  /// well-formed schedule can never exceed it (bound_us == 0 leaves the
+  /// skew unclamped; only mutation tests use that). Local-duration timer
+  /// delays are drift-scaled: a fast clock fires its timers early.
+  void set_clock_skew(std::int64_t offset_us, std::int32_t drift_ppm,
+                      DurUs bound_us);
+  void clear_clock_skew() { set_clock_skew(0, 0, 0); }
+
+  /// Signed local-minus-true clock error right now (0 without skew).
+  [[nodiscard]] std::int64_t clock_error() const;
+
   // --- Env interface -------------------------------------------------
-  [[nodiscard]] TimeUs now() const override { return sched_.now(); }
+  [[nodiscard]] TimeUs now() const override {
+    return sched_.now() + clock_error();
+  }
   void send(ProcessId dst, Message m) override;
   TimerId set_timer(DurUs delay, std::function<void()> fn) override;
   void cancel_timer(TimerId id) override;
@@ -69,6 +99,13 @@ class ProcessHost final : public Env {
   Rng rng_;
   bool crashed_{false};
   TimeUs crash_time_{kTimeNever};
+  std::uint32_t gray_factor_milli_{1000};
+  DurUs gray_send_extra_{0};
+  bool skew_active_{false};
+  std::int64_t skew_offset_{0};
+  std::int32_t skew_drift_ppm_{0};
+  DurUs skew_bound_{0};
+  TimeUs skew_since_{0};
   std::vector<std::unique_ptr<Protocol>> owned_;
   std::unordered_map<ProtocolId, Protocol*> by_id_;
   std::unordered_set<TimerId> live_timers_;

@@ -1,5 +1,7 @@
 #include "net/scenario.hpp"
 
+#include <cassert>
+
 namespace ecfd {
 
 std::unique_ptr<System> make_system(const ScenarioConfig& cfg) {
@@ -36,6 +38,13 @@ std::unique_ptr<System> make_system(const ScenarioConfig& cfg) {
         return std::make_unique<AsyncLink>(cfg.mean_delay);
       });
       break;
+    case LinkKind::kGeo: {
+      const GeoSpec* spec =
+          cfg.geo.valid() ? &cfg.geo : geo_preset(cfg.geo_preset_name);
+      assert(spec != nullptr && "unknown geo preset");
+      sys->network().set_links(geo_link_factory(*spec));
+      break;
+    }
   }
 
   for (const CrashPlan& c : cfg.crashes) {

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "net/geo.hpp"
 #include "net/system.hpp"
 
 /// \file scenario.hpp
@@ -17,6 +19,7 @@ enum class LinkKind {
   kPartialSync,   ///< arbitrary before GST, bounded by delta after
   kFairLossy,     ///< lossy but fair
   kAsync,         ///< exponential unbounded delays
+  kGeo,           ///< asymmetric multi-region WAN matrix (net/geo.hpp)
 };
 
 /// A planned crash.
@@ -46,6 +49,11 @@ struct ScenarioConfig {
 
   // kAsync parameter.
   DurUs mean_delay{msec(2)};
+
+  // kGeo parameters: a preset name, or a custom spec taking precedence
+  // when valid (the fuzzer passes the exact matrices it drew).
+  std::string geo_preset_name{"geo3"};
+  GeoSpec geo;
 
   std::vector<CrashPlan> crashes;
 

@@ -1,5 +1,6 @@
 #include "runtime/thread_env.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace ecfd::runtime {
@@ -77,13 +78,50 @@ std::vector<TraceRecord> ThreadHost::recent_trace() const {
   return out;
 }
 
-TimeUs ThreadHost::now() const { return sys_.now(); }
+TimeUs ThreadHost::now() const { return sys_.now() + clock_error(); }
+
+void ThreadHost::set_gray(std::uint32_t factor_milli, DurUs send_extra) {
+  assert(factor_milli > 0 && "gray factor must be positive");
+  gray_factor_milli_.store(factor_milli, std::memory_order_release);
+  gray_send_extra_.store(send_extra, std::memory_order_release);
+}
+
+void ThreadHost::set_clock_skew(std::int64_t offset_us,
+                                std::int32_t drift_ppm, DurUs bound_us) {
+  assert(drift_ppm > -1'000'000 && "clock cannot run backwards");
+  skew_offset_.store(offset_us, std::memory_order_relaxed);
+  skew_drift_ppm_.store(drift_ppm, std::memory_order_relaxed);
+  skew_bound_.store(bound_us, std::memory_order_relaxed);
+  skew_since_.store(sys_.now(), std::memory_order_relaxed);
+  skew_active_.store(offset_us != 0 || drift_ppm != 0,
+                     std::memory_order_release);
+}
+
+std::int64_t ThreadHost::clock_error() const {
+  if (!skew_active_.load(std::memory_order_acquire)) return 0;
+  const TimeUs t = sys_.now();
+  std::int64_t err =
+      skew_offset_.load(std::memory_order_relaxed) +
+      skew_drift_ppm_.load(std::memory_order_relaxed) *
+          (t - skew_since_.load(std::memory_order_relaxed)) / 1'000'000;
+  const std::int64_t bound = skew_bound_.load(std::memory_order_relaxed);
+  if (bound > 0) err = std::clamp(err, -bound, bound);
+  return err;
+}
 
 void ThreadHost::send(ProcessId dst, Message m) {
   if (crashed()) return;
   m.src = id_;
   m.dst = dst;
   record(EventType::kSend, dst, m.protocol);
+  const DurUs extra = gray_send_extra_.load(std::memory_order_acquire);
+  if (extra > 0) {
+    // Gray NIC: the message leaves the host late but otherwise intact.
+    post_at(sys_.now() + extra, [this, msg = std::move(m)]() mutable {
+      if (!crashed()) sys_.route(std::move(msg));
+    });
+    return;
+  }
   sys_.route(std::move(m));
 }
 
@@ -96,9 +134,22 @@ TimerId ThreadHost::set_timer(DurUs delay, std::function<void()> fn) {
 }
 
 TimerId ThreadHost::set_timer_impl(DurUs delay, std::function<void()> fn) {
+  const std::uint32_t gf = gray_factor_milli_.load(std::memory_order_acquire);
+  if (gf != 1000) {
+    // Gray CPU: the host's deferred work runs factor× late.
+    delay = delay * static_cast<DurUs>(gf) / 1000;
+  }
+  const std::int32_t drift = skew_active_.load(std::memory_order_acquire)
+                                 ? skew_drift_ppm_.load(std::memory_order_relaxed)
+                                 : 0;
+  if (drift != 0) {
+    // A fast local clock fires its timers early in fabric time (and a
+    // slow one late): the host *believes* it waited `delay`.
+    delay = delay * 1'000'000 / (1'000'000 + drift);
+  }
   if (legacy_) return legacy_set_timer(delay, std::move(fn));
   if (crashed()) return kInvalidTimer;
-  const TimeUs when = now() + delay;
+  const TimeUs when = sys_.now() + delay;
   if (!sys_.started() || on_owner_thread()) {
     return arm_on_owner(when, std::move(fn));
   }

@@ -90,6 +90,28 @@ class ThreadHost final : public Env {
     return crashed_.load(std::memory_order_acquire);
   }
 
+  /// Gray failure: the host stays alive but slow. Timer delays stretch by
+  /// factor_milli/1000 (1000 = healthy) and every send is held back by
+  /// \p send_extra before entering the fabric. Safe from any thread;
+  /// mirrors sim::ProcessHost::set_gray so the same scenario drives both
+  /// runtimes.
+  void set_gray(std::uint32_t factor_milli, DurUs send_extra);
+  [[nodiscard]] bool gray() const {
+    return gray_factor_milli_.load(std::memory_order_acquire) != 1000 ||
+           gray_send_extra_.load(std::memory_order_acquire) != 0;
+  }
+
+  /// Bounded clock skew: now() reads offset + drift_ppm-scaled elapsed
+  /// time ahead of (or behind) the fabric clock, clamped to ±bound_us
+  /// (bound 0 = unclamped; only mutation tests use that). Timers fire
+  /// early/late accordingly. Mirrors sim::ProcessHost::set_clock_skew.
+  void set_clock_skew(std::int64_t offset_us, std::int32_t drift_ppm,
+                      DurUs bound_us);
+  void clear_clock_skew() { set_clock_skew(0, 0, 0); }
+
+  /// Current now() − fabric-clock difference in microseconds.
+  [[nodiscard]] std::int64_t clock_error() const;
+
   /// Timers armed and not yet fired or cancelled. After quiescence (all
   /// timers fired or cancelled) this returns exactly 0 — the regression
   /// guard for the old runtime's unbounded cancelled-set leak.
@@ -175,6 +197,20 @@ class ThreadHost final : public Env {
   Rng rng_;  // only touched from this host's execution context
 
   std::atomic<bool> crashed_{false};
+
+  // Gray-failure state (any thread reads, injector writes).
+  std::atomic<std::uint32_t> gray_factor_milli_{1000};
+  std::atomic<std::int64_t> gray_send_extra_{0};
+
+  // Clock-skew state. `skew_active_` gates the hot now() path; the fields
+  // behind it only change under set_clock_skew (rare) and are read
+  // relaxed — a torn read across an injector update momentarily blends
+  // old and new skew, which is within the model (skew is adversarial).
+  std::atomic<bool> skew_active_{false};
+  std::atomic<std::int64_t> skew_offset_{0};
+  std::atomic<std::int32_t> skew_drift_ppm_{0};
+  std::atomic<std::int64_t> skew_bound_{0};
+  std::atomic<TimeUs> skew_since_{0};
 
   // Sharded executor state.
   Worker* worker_{nullptr};

@@ -33,6 +33,7 @@ std::string param_name(const ::testing::TestParamInfo<SweepParam>& info) {
     case FdStack::kOmegaPlusHeartbeat: fd = "mix"; break;
     case FdStack::kEfficientP: fd = "effp"; break;
     case FdStack::kScriptedStable: fd = "script"; break;
+    case FdStack::kHeartbeatAdaptive: fd = "hbad"; break;
   }
   return algo + "_" + fd + "_n" + std::to_string(p.n) + "f" +
          std::to_string(p.crashes) + "s" + std::to_string(p.seed);

@@ -88,6 +88,76 @@ TEST(FuzzQuick, CorrectStackSurvivesAllProfilesDigestPinned) {
       << " — rerun with ECFD_PRINT_FUZZ_DIGEST=1 and review";
 }
 
+// --- the WAN/geo scenario pack -------------------------------------------
+//
+// Same contract for the four WAN profiles, pinned separately so the LAN
+// digest above stays byte-stable evidence that the scenario pack changed
+// nothing about pre-existing behaviour.
+
+constexpr FuzzProfile kWanProfiles[] = {
+    FuzzProfile::kGeo,
+    FuzzProfile::kFlap,
+    FuzzProfile::kGray,
+    FuzzProfile::kSkew,
+};
+
+constexpr std::uint64_t kWanCampaignDigest = 0xcd4b5cea3ac4068fULL;
+
+TEST(FuzzQuick, WanPackSurvivesAllProfilesDigestPinned) {
+  std::vector<CaseResult> results(kSeeds * std::size(kWanProfiles));
+  runner::parallel_for(results.size(), runner::ThreadPool::default_threads(),
+                       [&](std::size_t i) {
+                         const FuzzProfile prof = kWanProfiles[i / kSeeds];
+                         const std::uint64_t seed = 1 + i % kSeeds;
+                         results[i] = run_one(prof, seed);
+                       });
+
+  runner::Fnv1a combined;
+  int total_violations = 0;
+  int undecided = 0;
+  for (const CaseResult& r : results) {
+    combined.u64(r.digest);
+    total_violations += r.violations;
+    if (!r.decided) ++undecided;
+    if (r.violations > 0) ADD_FAILURE() << r.detail;
+  }
+  EXPECT_EQ(total_violations, 0);
+  EXPECT_EQ(undecided, 0) << undecided << " cases left a correct process "
+                          << "undecided at the horizon";
+
+  if (std::getenv("ECFD_PRINT_FUZZ_DIGEST") != nullptr) {
+    std::printf("wan campaign digest: 0x%016llx\n",
+                static_cast<unsigned long long>(combined.value()));
+  }
+  EXPECT_EQ(combined.value(), kWanCampaignDigest)
+      << "WAN campaign digest drifted: got 0x" << std::hex << combined.value()
+      << " — rerun with ECFD_PRINT_FUZZ_DIGEST=1 and review";
+}
+
+TEST(FuzzQuick, AdaptiveStackSurvivesTheWanPack) {
+  // The QoS-adaptive ◇P under every WAN profile, with eventual *strong*
+  // accuracy required — the end-to-end claim of the adaptive source.
+  std::atomic<int> violations{0};
+  std::vector<std::string> details(std::size(kWanProfiles) * 8);
+  runner::parallel_for(details.size(), runner::ThreadPool::default_threads(),
+                       [&](std::size_t i) {
+                         FuzzCaseConfig cfg;
+                         cfg.profile = kWanProfiles[i / 8];
+                         cfg.seed = 101 + i % 8;
+                         cfg.fd = consensus::FdStack::kHeartbeatAdaptive;
+                         cfg.require_strong_accuracy = true;
+                         const FuzzOutcome out = run_fuzz_case(cfg);
+                         if (!out.ok) {
+                           violations.fetch_add(1);
+                           details[i] = out.violations.front().to_string();
+                         }
+                       });
+  EXPECT_EQ(violations.load(), 0);
+  for (const std::string& d : details) {
+    if (!d.empty()) ADD_FAILURE() << d;
+  }
+}
+
 TEST(FuzzQuick, ScheduleGeneratorRespectsInvariants) {
   for (FuzzProfile prof : kProfiles) {
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
@@ -121,6 +191,8 @@ TEST(FuzzQuick, ScheduleGeneratorRespectsInvariants) {
             EXPECT_TRUE(e.chaos.active());
             last_chaos_end = e.until;
             break;
+          default:
+            ADD_FAILURE() << "WAN event kind in a LAN profile schedule";
         }
       }
       // Determinism of generation itself.

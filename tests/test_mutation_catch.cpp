@@ -175,6 +175,81 @@ TEST(Repro, ShrunkReproReplaysBitIdentically) {
   EXPECT_EQ(replayed.result_fingerprint, recorded.result_fingerprint);
 }
 
+TEST(Repro, ScenarioEventsRoundTripEveryParameter) {
+  // The WAN scenario pack's events embed their drawn parameters — latency
+  // matrices, flap schedules, gray factors, skew envelopes — so a repro
+  // file replays bit-identically even after the generator's distributions
+  // change. Every field must survive text -> parse -> text.
+  ReproFile r;
+  r.config.n = 4;
+  r.config.seed = 3;
+  r.config.horizon = sec(8);
+  r.config.chaos_end = sec(4);
+  r.config.stable_margin = sec(2);
+  r.property = "fd.eventual_strong_accuracy";
+  r.digest = 0x1234abcdULL;
+
+  FaultEvent geo;
+  geo.kind = FaultEvent::Kind::kGeoLatency;
+  geo.at = 0;
+  geo.until = sec(8);
+  geo.geo = geo_preset("geo3")->scaled(85, 100);
+
+  FaultEvent flap;
+  flap.kind = FaultEvent::Kind::kFlapWindow;
+  flap.at = msec(400);
+  flap.until = sec(2);
+  flap.process = 2;
+  flap.flap_period = msec(250);
+  flap.flap_up_ppm = 600'000;
+
+  FaultEvent gray;
+  gray.kind = FaultEvent::Kind::kGrayWindow;
+  gray.at = sec(1);
+  gray.until = sec(3);
+  gray.process = 1;
+  gray.gray_factor_milli = 4500;
+  gray.gray_send_extra = msec(12);
+
+  FaultEvent skew;
+  skew.kind = FaultEvent::Kind::kSkewWindow;
+  skew.at = msec(700);
+  skew.until = sec(4);
+  skew.process = 3;
+  skew.skew_offset = -msec(15);
+  skew.skew_drift_ppm = -8'000;
+  skew.skew_bound = msec(40);
+
+  r.schedule.events = {geo, flap, gray, skew};
+
+  const std::string text = to_text(r);
+  std::string error;
+  const auto parsed = parse_repro(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(to_text(*parsed), text);
+
+  ASSERT_EQ(parsed->schedule.events.size(), 4u);
+  const FaultEvent& g = parsed->schedule.events[0];
+  EXPECT_EQ(g.geo.regions, 3);
+  EXPECT_EQ(g.geo.base, geo.geo.base);
+  EXPECT_EQ(g.geo.jitter, geo.geo.jitter);
+  const FaultEvent& f = parsed->schedule.events[1];
+  EXPECT_EQ(f.flap_period, msec(250));
+  EXPECT_EQ(f.flap_up_ppm, 600'000u);
+  const FaultEvent& gr = parsed->schedule.events[2];
+  EXPECT_EQ(gr.gray_factor_milli, 4500u);
+  EXPECT_EQ(gr.gray_send_extra, msec(12));
+  const FaultEvent& s = parsed->schedule.events[3];
+  EXPECT_EQ(s.skew_offset, -msec(15));
+  EXPECT_EQ(s.skew_drift_ppm, -8'000);
+  EXPECT_EQ(s.skew_bound, msec(40));
+
+  // And the embedded parameters drive the replay: same text, same digest.
+  const FuzzOutcome a = replay(*parsed);
+  const FuzzOutcome b = replay(*parse_repro(text));
+  EXPECT_EQ(a.digest, b.digest);
+}
+
 TEST(Repro, SaveAndLoadThroughDisk) {
   ShrinkCase c = make_shrink_case();
   ReproFile r;

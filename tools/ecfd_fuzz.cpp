@@ -17,7 +17,8 @@
 // counter registry as ecfd.metrics.v1 JSON.
 //
 //   ecfd_fuzz [--seeds N] [--seed0 S] [--n N] [--jobs T]
-//             [--profile crash|partition|loss_delay|churn|all]
+//             [--profile crash|partition|loss_delay|churn|
+//                        geo|flap|gray|skew|all]
 //             [--algo ecfd_c|ecfd_c_merged|chandra_toueg|mr_omega]
 //             [--fd ring|heartbeat_p|omega_heartbeat|efficient_p]
 //             [--horizon-ms M] [--chaos-end-ms M] [--margin-ms M]
@@ -216,8 +217,7 @@ int main(int argc, char** argv) {
 
   std::vector<FuzzProfile> profiles;
   if (profile_arg == "all") {
-    profiles = {FuzzProfile::kCrash, FuzzProfile::kPartition,
-                FuzzProfile::kLossDelay, FuzzProfile::kChurn};
+    profiles = all_profiles();  // LAN quartet + the WAN/geo scenario pack
   } else {
     const auto p = profile_from_name(profile_arg);
     if (!p) {

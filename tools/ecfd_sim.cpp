@@ -4,7 +4,7 @@
 // the outcome, so users can explore the algorithms without writing code:
 //
 //   ecfd_sim [--n N] [--seed S] [--algo c|c-merged|ct|mr]
-//            [--fd ring|heartbeat|mix|effp|scripted] [--crash P@MS ...]
+//            [--fd ring|heartbeat|mix|effp|scripted|adaptive] [--crash P@MS ...]
 //            [--gst MS] [--delta MS] [--stable-at MS] [--horizon MS]
 //            [--max-rounds R] [--ewa-only] [--leader K] [--verbose]
 //            [--check] [--check-margin MS]
@@ -54,7 +54,8 @@ void usage() {
       "  --n N            processes (default 5)\n"
       "  --seed S         rng seed (default 1)\n"
       "  --algo A         c | c-merged | ct | mr   (default c)\n"
-      "  --fd F           ring | heartbeat | mix | effp | scripted (default ring)\n"
+      "  --fd F           ring | heartbeat | mix | effp | scripted | adaptive\n"
+      "                   (default ring; adaptive = heartbeat with QoS timeouts)\n"
       "  --crash P@MS     crash process P at MS milliseconds (repeatable)\n"
       "  --gst MS         global stabilization time (default 200)\n"
       "  --delta MS       post-GST delay bound (default 5)\n"
@@ -131,6 +132,7 @@ int main(int argc, char** argv) {
       else if (v == "mix") cfg.fd = FdStack::kOmegaPlusHeartbeat;
       else if (v == "effp") cfg.fd = FdStack::kEfficientP;
       else if (v == "scripted") cfg.fd = FdStack::kScriptedStable;
+      else if (v == "adaptive") cfg.fd = FdStack::kHeartbeatAdaptive;
       else { std::cerr << "unknown fd " << v << "\n"; return 2; }
     } else if (a == "--crash") {
       if (!parse_crash(next(), cfg.scenario)) {
