@@ -4,7 +4,10 @@
 #include <cassert>
 
 #include "check/sim_monitor.hpp"
+#include "consensus/fd_stacks.hpp"
 #include "fd/heartbeat_p.hpp"
+#include "fd/hier_c.hpp"
+#include "fd/swim.hpp"
 #include "net/link.hpp"
 #include "runner/fingerprint.hpp"
 
@@ -205,25 +208,14 @@ std::optional<consensus::Algo> algo_from_name(const std::string& s) {
 }
 
 const char* fd_stack_name(consensus::FdStack f) {
-  switch (f) {
-    case consensus::FdStack::kRing: return "ring";
-    case consensus::FdStack::kHeartbeatP: return "heartbeat_p";
-    case consensus::FdStack::kOmegaPlusHeartbeat: return "omega_heartbeat";
-    case consensus::FdStack::kEfficientP: return "efficient_p";
-    case consensus::FdStack::kScriptedStable: return "scripted";
-    case consensus::FdStack::kHeartbeatAdaptive: return "heartbeat_adaptive";
-  }
-  return "?";
+  return consensus::fd_stack_info(f).name;
 }
 
 std::optional<consensus::FdStack> fd_stack_from_name(const std::string& s) {
-  for (consensus::FdStack f :
-       {consensus::FdStack::kRing, consensus::FdStack::kHeartbeatP,
-        consensus::FdStack::kOmegaPlusHeartbeat,
-        consensus::FdStack::kEfficientP,
-        consensus::FdStack::kScriptedStable,
-        consensus::FdStack::kHeartbeatAdaptive}) {
-    if (s == fd_stack_name(f)) return f;
+  // Canonical names only: repro files and digests must not drift when a
+  // CLI alias changes.
+  for (const consensus::FdStackInfo& info : consensus::all_fd_stacks()) {
+    if (s == info.name) return info.id;
   }
   return std::nullopt;
 }
@@ -512,8 +504,20 @@ FuzzOutcome run_mutant(Mutant m, std::uint64_t seed) {
   sc.n = n;
   sc.seed = seed;
   sc.links = LinkKind::kReliable;
-  if (m == Mutant::kBlind) sc.with_crash(n - 1, sec(2));
+  if (m == Mutant::kBlind || m == Mutant::kStuckCellPropagator) {
+    sc.with_crash(n - 1, sec(2));
+  }
   auto sys = make_system(sc);
+  if (m == Mutant::kDroppedRefutation) {
+    // A permanently gray p1: its 3x stretched probe windows keep it from
+    // ever falsely suspecting others, while the 30 ms send lag makes its
+    // acks miss everyone else's windows — p1 gets suspected, refutes, and
+    // the mutated gossiper drops the refutation. Permanent false suspicion
+    // of one process, stability everywhere else: exactly eventual strong
+    // (not weak) accuracy. The unmutated SwimFd passes this scenario
+    // (tests/test_swim.cpp asserts it).
+    sys->host(1).set_gray(3000, msec(30));
+  }
   if (m == Mutant::kFrozenMargin) {
     // One geo-style jittery directed link: p1 -> p0 delays in [1, 60] ms,
     // far beyond the frozen margin below, while every other link keeps
@@ -531,16 +535,19 @@ FuzzOutcome run_mutant(Mutant m, std::uint64_t seed) {
   const bool fd_mutant =
       m == Mutant::kFlappingLeader || m == Mutant::kSlander ||
       m == Mutant::kBlind || m == Mutant::kCoupledViolation ||
-      m == Mutant::kFrozenMargin;
+      m == Mutant::kFrozenMargin || m == Mutant::kStuckCellPropagator ||
+      m == Mutant::kDroppedRefutation;
   const bool scenario_mutant = m == Mutant::kSkewBound;
 
   SimMonitor::Config mc;
   mc.check_suspect =
       m == Mutant::kSlander || m == Mutant::kBlind ||
-      m == Mutant::kCoupledViolation || m == Mutant::kFrozenMargin;
+      m == Mutant::kCoupledViolation || m == Mutant::kFrozenMargin ||
+      m == Mutant::kStuckCellPropagator || m == Mutant::kDroppedRefutation;
   mc.check_leader =
       m == Mutant::kFlappingLeader || m == Mutant::kCoupledViolation;
-  mc.require_strong_accuracy = m == Mutant::kFrozenMargin;
+  mc.require_strong_accuracy =
+      m == Mutant::kFrozenMargin || m == Mutant::kDroppedRefutation;
   SimMonitor monitor(mc);
   monitor.install(*sys, correct, horizon);
 
@@ -579,6 +586,22 @@ FuzzOutcome run_mutant(Mutant m, std::uint64_t seed) {
           hbc.predictor.alpha = msec(6);
           hbc.predictor.widen_on_mistake = false;
           auto& f = host.emplace<fd::HeartbeatP>(hbc);
+          monitor.attach_fd(p, &f, nullptr);
+          break;
+        }
+        case Mutant::kStuckCellPropagator: {
+          // The real hierarchy with the propagation hook stuck on.
+          fd::HierC::Config hcfg;
+          hcfg.mutate_stuck_propagation = true;
+          auto& f = host.emplace<fd::HierC>(hcfg);
+          monitor.attach_fd(p, &f, nullptr);
+          break;
+        }
+        case Mutant::kDroppedRefutation: {
+          // The real gossiper with refutation application disabled.
+          fd::SwimFd::Config scfg;
+          scfg.mutate_drop_refutations = true;
+          auto& f = host.emplace<fd::SwimFd>(scfg);
           monitor.attach_fd(p, &f, nullptr);
           break;
         }

@@ -105,6 +105,7 @@ const std::vector<Mutant>& all_mutants() {
       Mutant::kCoupledViolation, Mutant::kSplitBrain,  Mutant::kInventedValue,
       Mutant::kDoubleDecide,   Mutant::kSilent,        Mutant::kNoMajority,
       Mutant::kFrozenMargin,   Mutant::kSkewBound,
+      Mutant::kStuckCellPropagator, Mutant::kDroppedRefutation,
   };
   return kAll;
 }
@@ -122,6 +123,8 @@ const char* mutant_name(Mutant m) {
     case Mutant::kNoMajority: return "no_majority";
     case Mutant::kFrozenMargin: return "frozen_margin";
     case Mutant::kSkewBound: return "skew_bound";
+    case Mutant::kStuckCellPropagator: return "stuck_cell_propagator";
+    case Mutant::kDroppedRefutation: return "dropped_refutation";
   }
   return "?";
 }
@@ -139,6 +142,8 @@ const char* expected_property(Mutant m) {
     case Mutant::kNoMajority: return "consensus.uniform_agreement";
     case Mutant::kFrozenMargin: return "fd.eventual_strong_accuracy";
     case Mutant::kSkewBound: return "scenario.skew_bound";
+    case Mutant::kStuckCellPropagator: return "fd.strong_completeness";
+    case Mutant::kDroppedRefutation: return "fd.eventual_strong_accuracy";
   }
   return "?";
 }

@@ -168,6 +168,17 @@ enum class Mutant {
   /// the scenario self-check, not an FD property. Violates:
   /// scenario.skew_bound.
   kSkewBound,
+  /// The real two-level hierarchical ◇C (fd/hier_c) with its mutation hook
+  /// engaged: cell leaders keep electing and beating but propagate an
+  /// eternally empty digest, so members never learn of any crash. The
+  /// identical config with the hook off passes this exact scenario
+  /// (tests/test_hier_c.cpp asserts it). Violates: fd.strong_completeness.
+  kStuckCellPropagator,
+  /// The real SWIM gossiper (fd/swim) with its mutation hook engaged:
+  /// ALIVE updates that would clear a suspect/dead entry are discarded, so
+  /// the one false suspicion a gray host provokes becomes permanent while
+  /// every other pair stabilizes. Violates: fd.eventual_strong_accuracy.
+  kDroppedRefutation,
 };
 
 /// Every mutant, for iteration in tests.

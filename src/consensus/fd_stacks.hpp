@@ -1,0 +1,64 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/harness.hpp"
+#include "core/ecfd_oracle.hpp"
+#include "net/process_host.hpp"
+
+/// \file fd_stacks.hpp
+/// The single failure-detector stack factory shared by the consensus
+/// harness, ecfd_sim, ecfd_fuzz and check/fuzz.cpp. Each FdStack entry
+/// carries its canonical name (pinned by fuzz digests and repro files), a
+/// short CLI alias, a help one-liner and an installer that emplaces the
+/// stack's protocols on a host and returns the oracle views. Adding a
+/// stack means adding one table row here — and APPENDING to the FdStack
+/// enum, since fuzz digests hash its ordinal.
+
+namespace ecfd::consensus {
+
+/// What install_fd_stack() mounted: the oracle views plus an optional
+/// query-time adapter the caller must keep alive for the run (protocol
+/// instances themselves are owned by the host).
+struct FdInstallation {
+  std::unique_ptr<core::EcfdOracle> owned;  ///< adapter; null if a protocol
+  const core::EcfdOracle* ecfd{nullptr};
+  const SuspectOracle* suspect{nullptr};
+  const LeaderOracle* leader{nullptr};
+};
+
+/// Scenario-derived inputs some stacks need (today: kScriptedStable).
+struct FdStackParams {
+  ProcessSet crashed;            ///< processes the script must suspect
+  ProcessId leader{kNoProcess};  ///< scripted post-stability leader
+  TimeUs stable_at{0};           ///< scripted stabilization time
+  bool ewa_only{false};          ///< scripted: Theorem-3 adversarial ◇S
+};
+
+struct FdStackInfo {
+  FdStack id;
+  const char* name;   ///< canonical (fuzz digests, repro files)
+  const char* alias;  ///< short CLI alias, may equal name
+  const char* summary;
+  FdInstallation (*install)(ProcessHost& host, const FdStackParams& params);
+};
+
+/// All stacks, in FdStack ordinal order.
+const std::vector<FdStackInfo>& all_fd_stacks();
+
+const FdStackInfo& fd_stack_info(FdStack f);
+
+/// Lookup by canonical name or alias; nullptr when unknown.
+const FdStackInfo* fd_stack_by_name(const std::string& s);
+
+/// Installs stack \p f on \p host; see FdInstallation for ownership.
+FdInstallation install_fd_stack(FdStack f, ProcessHost& host,
+                                const FdStackParams& params = {});
+
+/// Counter prefixes ("msg.<label>.") that count as failure-detector
+/// traffic in harness cost accounting.
+const std::vector<std::string>& fd_msg_prefixes();
+
+}  // namespace ecfd::consensus

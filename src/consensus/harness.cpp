@@ -6,14 +6,9 @@
 
 #include "broadcast/reliable_broadcast.hpp"
 #include "consensus/chandra_toueg.hpp"
+#include "consensus/fd_stacks.hpp"
 #include "consensus/mr_omega.hpp"
 #include "core/consensus_c.hpp"
-#include "core/ecfd_compose.hpp"
-#include "fd/efficient_p.hpp"
-#include "fd/heartbeat_p.hpp"
-#include "fd/leader_candidate.hpp"
-#include "fd/ring_fd.hpp"
-#include "fd/scripted_fd.hpp"
 
 namespace ecfd::consensus {
 
@@ -54,68 +49,18 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
   std::vector<const SuspectOracle*> suspects(static_cast<std::size_t>(n));
   std::vector<const LeaderOracle*> leaders(static_cast<std::size_t>(n));
 
+  FdStackParams fd_params;
+  fd_params.crashed = ProcessSet::full(n) - correct;
+  fd_params.leader = cfg.scripted_leader;
+  fd_params.stable_at = cfg.fd_stable_at;
+  fd_params.ewa_only = cfg.scripted_ewa_only;
   for (ProcessId p = 0; p < n; ++p) {
-    auto& host = sys->host(p);
     const auto i = static_cast<std::size_t>(p);
-    switch (cfg.fd) {
-      case FdStack::kRing: {
-        auto& ring = host.emplace<fd::RingFd>();
-        oracles[i] = std::make_unique<core::EcfdFromRing>(&ring);
-        suspects[i] = &ring;
-        leaders[i] = &ring;
-        break;
-      }
-      case FdStack::kHeartbeatP: {
-        auto& hb = host.emplace<fd::HeartbeatP>();
-        auto from_p = std::make_unique<core::EcfdFromP>(&hb);
-        suspects[i] = &hb;
-        leaders[i] = from_p.get();
-        oracles[i] = std::move(from_p);
-        break;
-      }
-      case FdStack::kHeartbeatAdaptive: {
-        fd::HeartbeatP::Config hbc;
-        hbc.adaptive = true;
-        hbc.predictor.fallback_timeout = hbc.initial_timeout;
-        auto& hb = host.emplace<fd::HeartbeatP>(hbc);
-        auto from_p = std::make_unique<core::EcfdFromP>(&hb);
-        suspects[i] = &hb;
-        leaders[i] = from_p.get();
-        oracles[i] = std::move(from_p);
-        break;
-      }
-      case FdStack::kOmegaPlusHeartbeat: {
-        auto& hb = host.emplace<fd::HeartbeatP>();
-        auto& lc = host.emplace<fd::LeaderCandidate>();
-        oracles[i] = std::make_unique<core::EcfdFromSAndOmega>(&hb, &lc);
-        suspects[i] = &hb;
-        leaders[i] = &lc;
-        break;
-      }
-      case FdStack::kEfficientP: {
-        auto& eff = host.emplace<fd::EfficientP>();
-        // EfficientP is a complete ◇C module already; no adapter needed.
-        ecfd[i] = &eff;
-        suspects[i] = &eff;
-        leaders[i] = &eff;
-        break;
-      }
-      case FdStack::kScriptedStable: {
-        ProcessSet crashed = ProcessSet::full(n) - correct;
-        ProcessId leader = cfg.scripted_leader;
-        if (leader == kNoProcess) leader = correct.first();
-        auto& scripted = host.emplace<fd::ScriptedFd>(
-            cfg.scripted_ewa_only
-                ? fd::ewa_only_script(n, p, leader, cfg.fd_stable_at)
-                : fd::stable_script(n, p, crashed, leader, cfg.fd_stable_at));
-        oracles[i] =
-            std::make_unique<core::EcfdFromSAndOmega>(&scripted, &scripted);
-        suspects[i] = &scripted;
-        leaders[i] = &scripted;
-        break;
-      }
-    }
-    if (ecfd[i] == nullptr) ecfd[i] = oracles[i].get();
+    FdInstallation inst = install_fd_stack(cfg.fd, sys->host(p), fd_params);
+    oracles[i] = std::move(inst.owned);
+    ecfd[i] = inst.ecfd;
+    suspects[i] = inst.suspect;
+    leaders[i] = inst.leader;
   }
 
   // --- reliable broadcast + consensus -------------------------------
@@ -238,9 +183,10 @@ HarnessResult run_consensus(const HarnessConfig& cfg) {
   r.consensus_msgs =
       sum_sent(counters, "msg.cons_c.") + sum_sent(counters, "msg.ct.");
   r.rb_msgs = sum_sent(counters, "msg.rb.");
-  r.fd_msgs = sum_sent(counters, "msg.hb_p.") + sum_sent(counters, "msg.ring.") +
-              sum_sent(counters, "msg.lc.") + sum_sent(counters, "msg.ofs.") +
-              sum_sent(counters, "msg.effp.");
+  r.fd_msgs = 0;
+  for (const std::string& prefix : fd_msg_prefixes()) {
+    r.fd_msgs += sum_sent(counters, prefix);
+  }
   return r;
 }
 

@@ -33,6 +33,9 @@ enum class FdStack {
   kEfficientP,      ///< §4 piggybacked Omega+◇P (cheapest full stack)
   kScriptedStable,  ///< scripted: chaos until fd_stable_at, then perfect
   kHeartbeatAdaptive,  ///< kHeartbeatP with Chen-style adaptive timeouts
+  // Append only: fuzz digests hash the ordinal (see check/fuzz.cpp).
+  kHierC,           ///< two-level hierarchical ◇C (√n cells, O(n) msgs)
+  kSwim,            ///< SWIM gossip membership as ◇C (O(1) msgs per node)
 };
 
 /// Everything an observer may want to hook into, handed to

@@ -27,6 +27,8 @@ inline constexpr ProtocolId kHeartbeatCounter = 14;  ///< fd/heartbeat_counter (
 inline constexpr ProtocolId kKvService = 15;     ///< kv/service (client + peer msgs)
 inline constexpr ProtocolId kKvBatchRb = 16;     ///< kv batch-body dissemination RB
 inline constexpr ProtocolId kBenchNet = 17;      ///< bench/bench_net flood frames
+inline constexpr ProtocolId kHierC = 18;         ///< fd/hier_c (two-level ◇C)
+inline constexpr ProtocolId kSwim = 19;          ///< fd/swim (gossip membership)
 inline constexpr ProtocolId kTesting = 100;      ///< unit-test scratch protocols
 inline constexpr ProtocolId kCheckMutantFd = 101;        ///< check/mutants (broken FDs)
 inline constexpr ProtocolId kCheckMutantConsensus = 102; ///< check/mutants (broken consensus)

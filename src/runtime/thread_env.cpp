@@ -483,8 +483,9 @@ ThreadSystem::ThreadSystem(Config cfg)
   for (int i = 0; i < m; ++i) {
     workers_.push_back(std::make_unique<Worker>(*this, i, seeder.next(), t0));
   }
+  const int block = cfg_.shard_block > 1 ? cfg_.shard_block : 1;
   for (ProcessId p = 0; p < cfg_.n; ++p) {
-    Worker* w = workers_[static_cast<std::size_t>(p % m)].get();
+    Worker* w = workers_[static_cast<std::size_t>((p / block) % m)].get();
     hosts_[static_cast<std::size_t>(p)]->worker_ = w;
     w->hosts_.push_back(hosts_[static_cast<std::size_t>(p)].get());
   }
@@ -563,6 +564,7 @@ void ThreadSystem::start() {
 }
 
 void ThreadSystem::route(Message m) {
+  routed_.fetch_add(1, std::memory_order_relaxed);
   DurUs delay;
   Worker* w = t_worker;
   bool lost = false;

@@ -293,6 +293,12 @@ class ThreadSystem {
     /// Sharded executor width: worker threads carrying the n hosts
     /// (0 = hardware_concurrency, clamped to [1, n]).
     int workers{0};
+    /// Cell-aware placement: hosts are assigned to workers in contiguous
+    /// blocks of this size — worker(p) = (p / shard_block) % M — so a
+    /// hierarchical detector whose cells are contiguous id ranges (e.g.
+    /// fd::HierC) keeps intra-cell traffic on one worker. 1 (default)
+    /// preserves the classic round-robin p % M layout.
+    int shard_block{1};
     /// Escape hatch: the pre-sharding one-OS-thread-per-process executor
     /// with a global routing lock. Kept for one release; also the
     /// baseline bench_e9_runtime_scale measures the sharded executor
@@ -328,6 +334,13 @@ class ThreadSystem {
   /// Routes a message (delay/loss applied); called by hosts. Uses the
   /// calling worker's own RNG stream — no global lock on the fabric.
   void route(Message m);
+
+  /// Messages that entered the fabric (before loss), since construction.
+  /// Relaxed counter: cheap on the send path, exact at quiescence — the
+  /// scale benches read it to report per-node message rates.
+  [[nodiscard]] std::uint64_t messages_routed() const {
+    return routed_.load(std::memory_order_relaxed);
+  }
 
   /// Sum of live timer-wheel entries across workers (0 in legacy mode),
   /// as last published by each worker; exact at quiescence.
@@ -368,6 +381,7 @@ class ThreadSystem {
   Rng ext_rng_;
   std::vector<std::unique_ptr<ThreadHost>> hosts_;
   std::vector<std::unique_ptr<Worker>> workers_;  // after hosts_: dies first
+  std::atomic<std::uint64_t> routed_{0};
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
 };

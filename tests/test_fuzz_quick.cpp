@@ -158,6 +158,41 @@ TEST(FuzzQuick, AdaptiveStackSurvivesTheWanPack) {
   }
 }
 
+TEST(FuzzQuick, ScalableStacksSurviveMixedProfiles) {
+  // The two O(n)-message ◇C constructions (hierarchical and SWIM) across
+  // crash, churn, WAN-geo and gray-failure profiles, with eventual strong
+  // accuracy required — the class-membership claim behind the E13 scale
+  // experiment, at ctest size (the deep campaigns run in tools/ecfd_fuzz
+  // and nightly).
+  constexpr consensus::FdStack kStacks[] = {consensus::FdStack::kHierC,
+                                            consensus::FdStack::kSwim};
+  constexpr FuzzProfile kMixed[] = {FuzzProfile::kCrash, FuzzProfile::kChurn,
+                                    FuzzProfile::kGeo, FuzzProfile::kGray};
+  constexpr int kSeedsPerCell = 4;
+  std::atomic<int> violations{0};
+  std::vector<std::string> details(std::size(kStacks) * std::size(kMixed) *
+                                   kSeedsPerCell);
+  runner::parallel_for(details.size(), runner::ThreadPool::default_threads(),
+                       [&](std::size_t i) {
+                         const std::size_t per_stack =
+                             std::size(kMixed) * kSeedsPerCell;
+                         FuzzCaseConfig cfg;
+                         cfg.fd = kStacks[i / per_stack];
+                         cfg.profile = kMixed[(i % per_stack) / kSeedsPerCell];
+                         cfg.seed = 201 + i % kSeedsPerCell;
+                         cfg.require_strong_accuracy = true;
+                         const FuzzOutcome out = run_fuzz_case(cfg);
+                         if (!out.ok) {
+                           violations.fetch_add(1);
+                           details[i] = out.violations.front().to_string();
+                         }
+                       });
+  EXPECT_EQ(violations.load(), 0);
+  for (const std::string& d : details) {
+    if (!d.empty()) ADD_FAILURE() << d;
+  }
+}
+
 TEST(FuzzQuick, ScheduleGeneratorRespectsInvariants) {
   for (FuzzProfile prof : kProfiles) {
     for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {

@@ -11,10 +11,13 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "check/thread_monitor.hpp"
+#include "fd/hier_c.hpp"
 #include "fd/stable_leader.hpp"
 #include "runtime/thread_env.hpp"
 
@@ -129,6 +132,58 @@ TEST(RuntimeScale, ConstructsAndRunsN1024) {
     sleep_ms(50);
   }
   EXPECT_NE(seen.load(), kNoProcess);
+}
+
+// Bring-up smoke at n=4096 on the hierarchical ◇C stack with cell-aware
+// placement (shard_block = cell size pins each √n-cell to one worker).
+// One mid-range member crashes; a host in a DIFFERENT cell must adopt the
+// suspicion through the full reporting chain — cell leader detects, top
+// leader composes, digest gossips down. Registered as a `slow` ctest entry.
+TEST(RuntimeScale, HierDigestReachesRemoteCellN4096) {
+  const int n = 4096;
+  ThreadSystem::Config cfg;
+  cfg.n = n;
+  cfg.seed = 13;
+  cfg.min_delay = usec(50);
+  cfg.max_delay = msec(1);
+  cfg.shard_block = 64;  // = ceil(sqrt(4096)), HierC's default cell size
+  ThreadSystem sys(cfg);
+  std::vector<fd::HierC*> fds;
+  fds.reserve(static_cast<std::size_t>(n));
+  for (ProcessId p = 0; p < n; ++p) {
+    fd::HierC::Config hc;
+    hc.period = msec(200);
+    hc.initial_timeout = msec(600);
+    hc.timeout_increment = msec(200);
+    fds.push_back(&sys.host(p).emplace<fd::HierC>(hc));
+  }
+  ASSERT_EQ(fds[0]->cell_size(), 64);
+  sys.start();
+  sleep_ms(2000);  // let both hierarchy levels elect and settle
+
+  const ProcessId victim = 2049;  // cell 32, not its leader
+  sys.host(victim).crash();
+
+  // Observer p1 sits in cell 0 — it can only learn of the crash through
+  // the composed digest. Poll its oracle on its own executor.
+  std::atomic<bool> adopted{false};
+  auto poller = std::make_shared<std::function<void()>>();
+  *poller = [&sys, &adopted, &fds, poller, victim]() {
+    if (fds[1]->suspected().contains(victim)) {
+      adopted.store(true);
+      return;
+    }
+    sys.host(1).post_at(sys.now() + msec(100), [poller]() { (*poller)(); });
+  };
+  sys.host(1).post([poller]() { (*poller)(); });
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!adopted.load() && std::chrono::steady_clock::now() < deadline) {
+    sleep_ms(100);
+  }
+  EXPECT_TRUE(adopted.load())
+      << "cell-0 observer never adopted the remote crash into its digest";
 }
 
 }  // namespace

@@ -7,6 +7,7 @@ Usage:
   check_bench_schema.py --trace FILE.json
   check_bench_schema.py --chrome FILE.json
   check_bench_schema.py --bench-net FILE.json
+  check_bench_schema.py --bench-fd-scale FILE.json
 
 Default mode compares two ecfd.bench.v1 reports. Wall-clock benchmark
 numbers move between machines and runs, so CI cannot gate on them. What CI
@@ -24,6 +25,15 @@ pinned here rather than diffed against a baseline because its rows carry
 an availability flag: a runner without io_uring still emits all four
 backend x coalesce rows, just marked available=0, and the validator
 enforces exactly that invariant.
+
+--bench-fd-scale validates the checked-in FULL report of
+bench/bench_e13_scale_fd (BENCH_FD_SCALE.json): the four-section shape
+with every required (stack, n) row present, plus the experiment's one
+machine-independent claim — the headline per-node message-cost ratio at
+n=4096, which comes from exact counts on the deterministic simulator and
+must show both scalable stacks >= 10x cheaper than the flat heartbeat.
+Wall-clock cells (sections 2 and 3) are checked for presence and type
+only, per the schema-not-values rule above.
 
 Exit status: 0 on match, 1 on mismatch (with a diff-style explanation on
 stderr), 2 on unreadable input.
@@ -252,9 +262,105 @@ def check_bench_net(path: str) -> int:
     return 0
 
 
+# The pinned shape of the full bench_e13_scale_fd report: per section, the
+# headers and the (stack, n) rows it must contain. Sections 2/3 carry
+# wall-clock or machine-local numbers, so only presence and numeric type
+# are enforced; section 1 and the headline come from exact deterministic
+# counts, which is why the 10x ratio gate below is safe in CI.
+FD_SCALE_MIN_RATIO = 10.0
+FD_SCALE_SECTIONS = (
+    ("E13 steady-state message cost (deterministic sim)",
+     ("stack", "n", "period_ms", "msgs_per_node_per_period",
+      "msgs_per_node_per_sec", "total_msgs"),
+     (("heartbeat_p", 256), ("heartbeat_p", 1024), ("heartbeat_p", 4096),
+      ("efficient_p", 256), ("efficient_p", 1024), ("efficient_p", 4096),
+      ("hier_c", 256), ("hier_c", 1024), ("hier_c", 4096),
+      ("hier_c", 16384),
+      ("swim", 256), ("swim", 1024), ("swim", 4096), ("swim", 16384))),
+    ("E13 detection latency (threaded runtime)",
+     ("stack", "n", "period_ms", "detect_first_ms", "detect_p50_ms",
+      "detect_max_ms", "detected", "observers", "msgs_per_node_per_sec"),
+     (("heartbeat_p", 256), ("heartbeat_p", 1024),
+      ("hier_c", 256), ("hier_c", 1024),
+      ("swim", 256), ("swim", 1024))),
+    ("E13 per-host memory (threaded runtime, constructed stacks)",
+     ("stack", "n", "heap_mb", "kb_per_host"),
+     (("heartbeat_p", 256), ("heartbeat_p", 1024), ("heartbeat_p", 4096),
+      ("heartbeat_p", 16384),
+      ("hier_c", 256), ("hier_c", 1024), ("hier_c", 4096),
+      ("hier_c", 16384),
+      ("swim", 256), ("swim", 1024), ("swim", 4096), ("swim", 16384))),
+    ("E13 headline: per-node message cost at n=4096",
+     ("stack", "msgs_per_node_per_period", "flat_ratio"),
+     (("heartbeat_p", None), ("hier_c", None), ("swim", None))),
+)
+
+
+def check_bench_fd_scale(path: str) -> int:
+    """Validates the checked-in bench_e13_scale_fd full report."""
+    doc = load(path)
+    if doc.get("schema") != "ecfd.bench.v1":
+        fail(f"{path}: schema tag '{doc.get('schema')}' != 'ecfd.bench.v1'")
+    if doc.get("bench") != "e13_scale_fd":
+        fail(f"{path}: bench name '{doc.get('bench')}' != 'e13_scale_fd'")
+    check_host(doc, path)
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or len(tables) != len(FD_SCALE_SECTIONS):
+        got = len(tables) if isinstance(tables, list) else type(tables).__name__
+        fail(f"{path}: expected {len(FD_SCALE_SECTIONS)} tables "
+             f"(full-mode report), got {got}")
+    for i, ((section, headers, required), t) in enumerate(
+        zip(FD_SCALE_SECTIONS, tables)
+    ):
+        if t.get("section") != section:
+            fail(f"{path}: tables[{i}] section '{t.get('section')}' "
+                 f"!= '{section}'")
+        if tuple(t.get("headers", ())) != headers:
+            fail(f"{path}: tables[{i}] ('{section}') headers "
+                 f"{t.get('headers')} != {list(headers)}")
+        rows = t.get("rows")
+        if not isinstance(rows, list):
+            fail(f"{path}: tables[{i}] ('{section}') rows missing")
+        seen = {}
+        for j, row in enumerate(rows):
+            if len(row) != len(headers):
+                fail(f"{path}: tables[{i}] row {j} has {len(row)} cells "
+                     f"for {len(headers)} headers")
+            for cell in row[1:]:
+                if not isinstance(cell, (int, float)):
+                    fail(f"{path}: tables[{i}] row {j} non-numeric "
+                         f"measurement {cell!r}")
+            key = (row[0], row[1] if "n" in headers else None)
+            seen[key] = row
+        for key in required:
+            if key not in seen:
+                fail(f"{path}: tables[{i}] ('{section}') missing required "
+                     f"row {key}")
+    # The experiment's headline claim, from exact deterministic counts:
+    # both scalable stacks >= FD_SCALE_MIN_RATIO x cheaper per node than
+    # the flat heartbeat at n=4096.
+    head = {r[0]: r for r in tables[3]["rows"]}
+    for stack in ("hier_c", "swim"):
+        ratio = head[stack][2]
+        if ratio < FD_SCALE_MIN_RATIO:
+            fail(f"{path}: headline flat_ratio for {stack} is {ratio}, "
+                 f"must be >= {FD_SCALE_MIN_RATIO}")
+    # Strong completeness at scale: every detection-latency row must show
+    # all observers detecting the crash within the bench deadline.
+    for row in tables[1]["rows"]:
+        detected, observers = row[6], row[7]
+        if detected != observers:
+            fail(f"{path}: detection row {row[0]} n={row[1]} has "
+                 f"{detected}/{observers} observers detecting the crash")
+    ratios = {s: round(head[s][2], 1) for s in ("hier_c", "swim")}
+    print(f"bench_fd_scale schema OK: {path}, {len(tables)} sections, "
+          f"n=4096 flat ratios {ratios}")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] in (
-        "--metrics", "--trace", "--chrome", "--bench-net"
+        "--metrics", "--trace", "--chrome", "--bench-net", "--bench-fd-scale"
     ):
         mode, path = sys.argv[1], sys.argv[2]
         if mode == "--metrics":
@@ -263,6 +369,8 @@ def main() -> int:
             return check_trace(path)
         if mode == "--bench-net":
             return check_bench_net(path)
+        if mode == "--bench-fd-scale":
+            return check_bench_fd_scale(path)
         return check_chrome(path)
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)

@@ -20,7 +20,8 @@
 //             [--profile crash|partition|loss_delay|churn|
 //                        geo|flap|gray|skew|all]
 //             [--algo ecfd_c|ecfd_c_merged|chandra_toueg|mr_omega]
-//             [--fd ring|heartbeat_p|omega_heartbeat|efficient_p]
+//             [--fd ring|heartbeat_p|omega_heartbeat|efficient_p|
+//                   heartbeat_adaptive|hier_c|swim]
 //             [--horizon-ms M] [--chaos-end-ms M] [--margin-ms M]
 //             [--out DIR] [--no-shrink] [--replay FILE] [--verbose]
 //             [--trace FILE] [--trace-depth N] [--metrics FILE]
@@ -52,6 +53,7 @@ void usage() {
                "                 [--profile P|all] [--algo A] [--fd F]\n"
                "                 [--horizon-ms M] [--chaos-end-ms M]\n"
                "                 [--margin-ms M] [--out DIR] [--no-shrink]\n"
+               "                 [--require-strong-accuracy]\n"
                "                 [--replay FILE] [--verbose]\n"
                "                 [--trace FILE] [--trace-depth N] "
                "[--metrics FILE]   (replay mode)\n");
@@ -190,6 +192,11 @@ int main(int argc, char** argv) {
       base.stable_margin = msec(std::stoll(next()));
     } else if (a == "--out") {
       out_dir = next();
+    } else if (a == "--require-strong-accuracy") {
+      // Promote fd.eventual_strong_accuracy from informational to
+      // required — campaigns over ◇P-grade stacks (adaptive heartbeat,
+      // hier_c, swim) gate on it.
+      base.require_strong_accuracy = true;
     } else if (a == "--no-shrink") {
       shrink = false;
     } else if (a == "--replay") {

@@ -4,7 +4,8 @@
 // the outcome, so users can explore the algorithms without writing code:
 //
 //   ecfd_sim [--n N] [--seed S] [--algo c|c-merged|ct|mr]
-//            [--fd ring|heartbeat|mix|effp|scripted|adaptive] [--crash P@MS ...]
+//            [--fd ring|heartbeat|mix|effp|scripted|adaptive|hier|swim]
+//            [--crash P@MS ...]
 //            [--gst MS] [--delta MS] [--stable-at MS] [--horizon MS]
 //            [--max-rounds R] [--ewa-only] [--leader K] [--verbose]
 //            [--check] [--check-margin MS]
@@ -38,6 +39,7 @@
 #include <string>
 
 #include "check/sim_monitor.hpp"
+#include "consensus/fd_stacks.hpp"
 #include "consensus/harness.hpp"
 #include "obs/metrics.hpp"
 #include "obs/timeline.hpp"
@@ -54,8 +56,15 @@ void usage() {
       "  --n N            processes (default 5)\n"
       "  --seed S         rng seed (default 1)\n"
       "  --algo A         c | c-merged | ct | mr   (default c)\n"
-      "  --fd F           ring | heartbeat | mix | effp | scripted | adaptive\n"
-      "                   (default ring; adaptive = heartbeat with QoS timeouts)\n"
+      "  --fd F           failure-detector stack (default ring):\n";
+  for (const FdStackInfo& info : all_fd_stacks()) {
+    std::cout << "                     " << info.alias;
+    if (std::string(info.alias) != info.name) {
+      std::cout << " (" << info.name << ")";
+    }
+    std::cout << " — " << info.summary << "\n";
+  }
+  std::cout <<
       "  --crash P@MS     crash process P at MS milliseconds (repeatable)\n"
       "  --gst MS         global stabilization time (default 200)\n"
       "  --delta MS       post-GST delay bound (default 5)\n"
@@ -127,13 +136,9 @@ int main(int argc, char** argv) {
       else { std::cerr << "unknown algo " << v << "\n"; return 2; }
     } else if (a == "--fd") {
       const std::string v = next();
-      if (v == "ring") cfg.fd = FdStack::kRing;
-      else if (v == "heartbeat") cfg.fd = FdStack::kHeartbeatP;
-      else if (v == "mix") cfg.fd = FdStack::kOmegaPlusHeartbeat;
-      else if (v == "effp") cfg.fd = FdStack::kEfficientP;
-      else if (v == "scripted") cfg.fd = FdStack::kScriptedStable;
-      else if (v == "adaptive") cfg.fd = FdStack::kHeartbeatAdaptive;
-      else { std::cerr << "unknown fd " << v << "\n"; return 2; }
+      const FdStackInfo* info = fd_stack_by_name(v);
+      if (info == nullptr) { std::cerr << "unknown fd " << v << "\n"; return 2; }
+      cfg.fd = info->id;
     } else if (a == "--crash") {
       if (!parse_crash(next(), cfg.scenario)) {
         std::cerr << "--crash expects P@MS\n";
