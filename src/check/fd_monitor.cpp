@@ -58,6 +58,33 @@ void FdPropertyMonitor::observe(const Snapshot& snap) {
   const auto& correct = cfg_.correct;
 
   if (cfg_.check_suspect) {
+    // Detection witnesses: per victim, the first snapshot where the crash
+    // was visible and, per observer, the first snapshot sampling the
+    // observer suspecting it.
+    for (ProcessId c : snap.crashed.members()) {
+      DetectionWitness* w = nullptr;
+      for (DetectionWitness& d : detections_) {
+        if (d.victim == c) {
+          w = &d;
+          break;
+        }
+      }
+      if (w == nullptr) {
+        DetectionWitness d;
+        d.victim = c;
+        d.crashed_seen = now;
+        d.first_suspect.assign(static_cast<std::size_t>(cfg_.n), kTimeNever);
+        detections_.push_back(std::move(d));
+        w = &detections_.back();
+      }
+      for (ProcessId q : correct.members()) {
+        auto& first = w->first_suspect[static_cast<std::size_t>(q)];
+        if (first != kTimeNever) continue;
+        const auto& sq = snap.suspected[static_cast<std::size_t>(q)];
+        if (sq.has_value() && sq->contains(c)) first = now;
+      }
+    }
+
     // Strong completeness: every process crashed by now is suspected by
     // every correct process.
     {

@@ -66,6 +66,24 @@ class FdPropertyMonitor {
   [[nodiscard]] std::int64_t snapshots() const { return snapshots_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Ground-truth detection witness for one crashed process, as the
+  /// monitor saw it: when the crash first appeared in a snapshot and when
+  /// each observer's suspicion of the victim was first sampled. Times are
+  /// quantized to the monitor period, so they bound — rather than equal —
+  /// the event-exact detection times the obs::QosScoreboard estimates;
+  /// tests/test_obs_qos.cpp validates the scoreboard against these.
+  struct DetectionWitness {
+    ProcessId victim{kNoProcess};
+    TimeUs crashed_seen{kTimeNever};
+    /// Indexed by observer; kTimeNever = never seen suspecting the victim.
+    std::vector<TimeUs> first_suspect;
+  };
+
+  /// One entry per victim, in the order crashes were first observed.
+  [[nodiscard]] const std::vector<DetectionWitness>& detections() const {
+    return detections_;
+  }
+
  private:
   /// Suffix tracker for one eventual property.
   struct EventualState {
@@ -101,6 +119,9 @@ class FdPropertyMonitor {
   // Leader-change detection.
   std::vector<std::optional<ProcessId>> prev_trusted_;
   ProcessId prev_common_leader_{kNoProcess};
+
+  // Detection witnesses (see DetectionWitness).
+  std::vector<DetectionWitness> detections_;
 };
 
 }  // namespace ecfd::check

@@ -458,6 +458,7 @@ FuzzOutcome run_fuzz_case(const FuzzCaseConfig& cfg,
   out.result_fingerprint = runner::fingerprint_result(r);
   out.digest =
       fuzz_digest(cfg, schedule, out.verdicts, out.result_fingerprint);
+  if (monitor.fd() != nullptr) out.detections = monitor.fd()->detections();
   return out;
 }
 

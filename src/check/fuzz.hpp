@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "check/fd_monitor.hpp"
 #include "check/mutants.hpp"
 #include "check/verdict.hpp"
 #include "consensus/harness.hpp"
@@ -149,6 +150,10 @@ struct FuzzOutcome {
   sim::Counters counters;            ///< simulator counter registry at end
   std::uint64_t result_fingerprint{0};  ///< fingerprint_result (0 for mutants)
   std::uint64_t digest{0};  ///< config + schedule + verdicts + fingerprint
+  /// Monitor-witnessed detection ground truth (crash first seen + first
+  /// suspicion per observer), for validating the online QoS scoreboard.
+  /// Deliberately NOT folded into `digest`: historical digests predate it.
+  std::vector<FdPropertyMonitor::DetectionWitness> detections;
 };
 
 /// Runs one fuzz case under the given schedule, with monitors attached.

@@ -36,9 +36,11 @@ enum class EventType : std::uint8_t {
   kNote = 13,        ///< label = tag, b = interned detail (Env::trace text)
   kLeaseGrant = 14,  ///< kv leader lease established; b = lease term
   kLeaseRevoke = 15, ///< kv leader lease lost;        b = lease term
+  kWireSend = 16,    ///< frame left for the wire; a = dst, b = causal seq
+  kWireDeliver = 17, ///< frame arrived off the wire; a = src, b = origin seq
 };
 
-inline constexpr int kNumEventTypes = 16;
+inline constexpr int kNumEventTypes = 18;
 
 /// High-frequency per-message/per-timer events. These go to a host's "hot"
 /// ring; everything else (suspicions, leader changes, rounds, decides,
@@ -46,7 +48,8 @@ inline constexpr int kNumEventTypes = 16;
 /// protocol transitions are never evicted by message churn.
 constexpr bool is_hot_event(EventType t) {
   return (t >= EventType::kSend && t <= EventType::kTimerCancel) ||
-         t == EventType::kDrop;
+         t == EventType::kDrop || t == EventType::kWireSend ||
+         t == EventType::kWireDeliver;
 }
 
 /// Stable wire/rendering name of an event type ("suspect", "decide", ...).

@@ -1,0 +1,442 @@
+#include "obs/flight.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+
+namespace ecfd::obs {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// On-disk layout of ecfd.postmortem.v1. All fields are little-endian,
+// naturally aligned, fixed width; tools/check_bench_schema.py mirrors the
+// offsets with struct.unpack, so treat this as a wire format: append,
+// never reorder.
+// ---------------------------------------------------------------------
+
+struct PmHeader {
+  char magic[8];                 //   0: "ECFDPM01"
+  std::uint32_t version;         //   8
+  std::uint32_t header_bytes;    //  12: sizeof(PmHeader)
+  std::int32_t node;             //  16: recording process id
+  std::int32_t n;                //  20: universe size (rec->hosts())
+  std::int64_t wall_epoch_us;    //  24: CLOCK_REALTIME at recorder creation
+  std::int64_t crash_time_us;    //  32: Env-clock estimate of death (-1 none)
+  std::int64_t base_env_time_us; //  40: Env clock at last snapshot
+  std::int64_t base_mono_us;     //  48: CLOCK_MONOTONIC at last snapshot
+  std::uint64_t snapshot_count;  //  56
+  std::uint64_t file_bytes;      //  64
+  std::uint32_t crash_signal;    //  72: 0 = no crash recorded
+  std::uint32_t clock;           //  76: 0 virtual, 1 monotonic
+  char source[16];               //  80: "socket" | "sim" | ... (NUL-padded)
+  std::uint32_t strings_off;     //  96
+  std::uint32_t strings_cap;     // 100: region bytes
+  std::uint32_t strings_len;     // 104: bytes used
+  std::uint32_t string_count;    // 108
+  std::uint32_t metrics_off;     // 112
+  std::uint32_t metrics_cap;     // 116: max entries
+  std::uint32_t metrics_count;   // 120
+  std::uint32_t rings_off;       // 124
+  std::uint32_t ring_count;      // 128
+  std::uint32_t reserved;        // 132
+};
+static_assert(sizeof(PmHeader) == 136, "ecfd.postmortem.v1 header layout");
+
+struct PmRingDesc {
+  std::int32_t host;    // -1 for the system ring
+  std::uint32_t kind;   // 0 hot, 1 state, 2 system
+  std::uint64_t depth;  // persisted slot count (power of two)
+  std::uint64_t head;   // total events ever pushed, at dump time
+};
+static_assert(sizeof(PmRingDesc) == 24, "ring descriptor layout");
+
+struct PmMetric {
+  std::uint32_t kind;  // 0 counter, 1 gauge
+  char name[52];       // NUL-terminated (truncated if longer)
+  std::int64_t value;
+};
+static_assert(sizeof(PmMetric) == 64, "metric entry layout");
+
+using RawEvent = EventRing::RawEvent;
+static_assert(sizeof(RawEvent) == 32, "raw slot layout");
+
+constexpr std::size_t kHeaderRegion = 256;
+constexpr std::size_t kStringsCap = 64 * 1024;
+constexpr std::size_t kMetricsCap = 512;  // entries
+
+std::int64_t mono_now_us() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1'000'000 +
+         ts.tv_nsec / 1000;
+}
+
+std::atomic<FlightRecorder*> g_crash_target{nullptr};
+
+void crash_signal_handler(int sig) {
+  FlightRecorder* fr = g_crash_target.load(std::memory_order_relaxed);
+  if (fr != nullptr) fr->crash_dump(sig);
+  // SA_RESETHAND restored the default disposition on entry, so re-raising
+  // terminates the process with the original signal (correct wait status).
+  ::raise(sig);
+}
+
+}  // namespace
+
+FlightRecorder::~FlightRecorder() { close(); }
+
+bool FlightRecorder::open(const std::string& path, const Recorder* rec,
+                          int self, std::string* error) {
+  close();
+  rec_ = rec;
+  self_ = self;
+
+  rings_.clear();
+  auto add_ring = [&](const EventRing* r, std::uint32_t kind,
+                      std::int32_t host) {
+    if (r == nullptr || !r->enabled()) return;
+    RingRef ref;
+    ref.ring = r;
+    ref.kind = kind;
+    ref.host = host;
+    ref.depth = r->capacity();
+    rings_.push_back(ref);
+  };
+  if (self >= 0 && self < rec->hosts()) {
+    add_ring(&rec->ring(self), 0, self);
+    add_ring(&rec->state_ring(self), 1, self);
+  }
+  add_ring(&rec->system_ring(), 2, -1);
+
+  // Layout: header | strings | metrics | ring descs + slots.
+  std::size_t off = kHeaderRegion;
+  const std::size_t strings_off = off;
+  off += kStringsCap;
+  const std::size_t metrics_off = off;
+  off += kMetricsCap * sizeof(PmMetric);
+  const std::size_t rings_off = off;
+  for (RingRef& r : rings_) {
+    r.desc_off = off;
+    off += sizeof(PmRingDesc) + r.depth * sizeof(RawEvent);
+  }
+  bytes_ = off;
+
+  fd_ = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    if (error != nullptr) *error = "open(" + path + ") failed";
+    return false;
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(bytes_)) != 0) {
+    if (error != nullptr) *error = "ftruncate(" + path + ") failed";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  void* map = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, MAP_SHARED,
+                     fd_, 0);
+  if (map == MAP_FAILED) {
+    if (error != nullptr) *error = "mmap(" + path + ") failed";
+    ::close(fd_);
+    fd_ = -1;
+    return false;
+  }
+  base_ = static_cast<unsigned char*>(map);
+
+  base_mono_us_ = mono_now_us();
+  base_env_mono_us_ = base_mono_us_;
+  base_env_us_ = 0;
+  snapshot_count_ = 0;
+
+  auto* h = reinterpret_cast<PmHeader*>(base_);
+  std::memset(h, 0, sizeof(PmHeader));
+  std::memcpy(h->magic, kPostmortemMagic, sizeof(kPostmortemMagic));
+  h->version = kPostmortemVersion;
+  h->header_bytes = sizeof(PmHeader);
+  h->node = self;
+  h->n = rec->hosts();
+  h->crash_time_us = -1;
+  h->file_bytes = bytes_;
+  h->strings_off = static_cast<std::uint32_t>(strings_off);
+  h->strings_cap = static_cast<std::uint32_t>(kStringsCap);
+  h->metrics_off = static_cast<std::uint32_t>(metrics_off);
+  h->metrics_cap = static_cast<std::uint32_t>(kMetricsCap);
+  h->rings_off = static_cast<std::uint32_t>(rings_off);
+  h->ring_count = static_cast<std::uint32_t>(rings_.size());
+
+  snapshot(0);
+  return true;
+}
+
+void FlightRecorder::snapshot(TimeUs now) {
+  if (base_ == nullptr) return;
+  auto* h = reinterpret_cast<PmHeader*>(base_);
+
+  base_env_us_ = now;
+  base_env_mono_us_ = mono_now_us();
+  h->base_env_time_us = base_env_us_;
+  h->base_mono_us = base_env_mono_us_;
+
+  const TraceMeta& meta = rec_->meta();
+  h->wall_epoch_us = meta.wall_epoch_us;
+  h->clock = meta.clock == ClockDomain::kMonotonic ? 1 : 0;
+  std::memset(h->source, 0, sizeof(h->source));
+  std::strncpy(h->source, meta.source.c_str(), sizeof(h->source) - 1);
+
+  // Interned strings: u32 length + bytes, concatenated. The table only
+  // grows, so rewriting the whole region at each snapshot is correct and
+  // keeps the format free of incremental bookkeeping.
+  const std::vector<std::string> strs = rec_->strings();
+  unsigned char* sp = base_ + h->strings_off;
+  std::size_t used = 0;
+  std::uint32_t count = 0;
+  for (const std::string& s : strs) {
+    const std::size_t need = 4 + s.size();
+    if (used + need > h->strings_cap) break;
+    const auto len = static_cast<std::uint32_t>(s.size());
+    std::memcpy(sp + used, &len, 4);
+    std::memcpy(sp + used + 4, s.data(), s.size());
+    used += need;
+    ++count;
+  }
+  h->strings_len = static_cast<std::uint32_t>(used);
+  h->string_count = count;
+
+  // Metric names + cached cell pointers for the signal-safe value path.
+  // NOTE: metric_cells_ is also read by crash_dump(); a signal landing
+  // exactly inside this assignment can observe a torn vector, in which
+  // case the dump may lose metric values — the rings are unaffected.
+  if (metrics_ != nullptr) {
+    std::vector<MetricsRegistry::CellRef> cells = metrics_->cells();
+    if (cells.size() > kMetricsCap) cells.resize(kMetricsCap);
+    metric_cells_ = std::move(cells);
+    auto* entries = reinterpret_cast<PmMetric*>(base_ + h->metrics_off);
+    for (std::size_t i = 0; i < metric_cells_.size(); ++i) {
+      PmMetric& m = entries[i];
+      m.kind = metric_cells_[i].is_gauge ? 1 : 0;
+      std::memset(m.name, 0, sizeof(m.name));
+      std::strncpy(m.name, metric_cells_[i].name.c_str(),
+                   sizeof(m.name) - 1);
+    }
+    h->metrics_count = static_cast<std::uint32_t>(metric_cells_.size());
+  }
+
+  write_metric_values();
+  write_rings();
+  h->snapshot_count = ++snapshot_count_;
+}
+
+void FlightRecorder::crash_dump(int signal) {
+  if (base_ == nullptr) return;
+  auto* h = reinterpret_cast<PmHeader*>(base_);
+  const std::int64_t mono = mono_now_us();
+  h->crash_time_us = base_env_us_ + (mono - base_env_mono_us_);
+  h->crash_signal = static_cast<std::uint32_t>(signal);
+  write_rings();
+  write_metric_values();
+  // MAP_SHARED dirty pages outlive the process; no msync needed.
+}
+
+void FlightRecorder::write_rings() {
+  for (const RingRef& r : rings_) {
+    auto* desc = reinterpret_cast<PmRingDesc*>(base_ + r.desc_off);
+    auto* slots =
+        reinterpret_cast<RawEvent*>(base_ + r.desc_off + sizeof(PmRingDesc));
+    desc->host = r.host;
+    desc->kind = r.kind;
+    desc->depth = r.depth;
+    desc->head = r.ring->copy_raw(slots, r.depth);
+  }
+}
+
+void FlightRecorder::write_metric_values() {
+  if (base_ == nullptr || metric_cells_.empty()) return;
+  auto* h = reinterpret_cast<PmHeader*>(base_);
+  auto* entries = reinterpret_cast<PmMetric*>(base_ + h->metrics_off);
+  const std::size_t count = std::min<std::size_t>(
+      metric_cells_.size(), h->metrics_count);
+  for (std::size_t i = 0; i < count; ++i) {
+    entries[i].value =
+        metric_cells_[i].cell->load(std::memory_order_relaxed);
+  }
+}
+
+void FlightRecorder::close() {
+  if (g_crash_target.load(std::memory_order_relaxed) == this) {
+    g_crash_target.store(nullptr, std::memory_order_relaxed);
+  }
+  if (base_ != nullptr) {
+    ::munmap(base_, bytes_);
+    base_ = nullptr;
+  }
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rings_.clear();
+  metric_cells_.clear();
+  bytes_ = 0;
+}
+
+void FlightRecorder::install_crash_handler(FlightRecorder* fr) {
+  g_crash_target.store(fr, std::memory_order_relaxed);
+  if (fr == nullptr) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = &crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESETHAND | SA_NODEFER;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+}
+
+// ----------------------------------------------------------------- reader
+
+bool read_postmortem(const std::string& path, TimelineDoc* doc,
+                     PostmortemInfo* info, std::string* error) {
+  auto fail = [&](const std::string& msg) {
+    if (error != nullptr) *error = path + ": " + msg;
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open");
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  if (buf.size() < sizeof(PmHeader)) return fail("truncated header");
+  const auto* data = reinterpret_cast<const unsigned char*>(buf.data());
+
+  PmHeader h{};
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kPostmortemMagic, sizeof(kPostmortemMagic)) != 0) {
+    return fail("bad magic (not an ecfd.postmortem.v1 file)");
+  }
+  if (h.version != kPostmortemVersion) return fail("unsupported version");
+  if (h.file_bytes > buf.size()) return fail("truncated body");
+  auto region_ok = [&](std::uint64_t off, std::uint64_t len) {
+    return off <= buf.size() && len <= buf.size() - off;
+  };
+  if (!region_ok(h.strings_off, h.strings_cap) ||
+      !region_ok(h.metrics_off,
+                 std::uint64_t{h.metrics_cap} * sizeof(PmMetric))) {
+    return fail("region out of bounds");
+  }
+
+  doc->origin = path;
+  doc->n = h.n;
+  doc->meta.source.assign(h.source, strnlen(h.source, sizeof(h.source)));
+  doc->meta.clock =
+      h.clock == 1 ? ClockDomain::kMonotonic : ClockDomain::kVirtual;
+  doc->meta.wall_epoch_us = h.wall_epoch_us;
+  doc->strings.clear();
+  doc->events.clear();
+  doc->dropped = 0;
+
+  // Strings.
+  {
+    const unsigned char* sp = data + h.strings_off;
+    std::size_t used = 0;
+    for (std::uint32_t i = 0; i < h.string_count; ++i) {
+      if (used + 4 > h.strings_len) return fail("string table truncated");
+      std::uint32_t len = 0;
+      std::memcpy(&len, sp + used, 4);
+      if (used + 4 + len > h.strings_len) {
+        return fail("string table truncated");
+      }
+      doc->strings.emplace_back(
+          reinterpret_cast<const char*>(sp + used + 4), len);
+      used += 4 + len;
+    }
+  }
+
+  // Metrics.
+  if (info != nullptr) {
+    info->counters.clear();
+    info->gauges.clear();
+    const std::uint32_t mcount = std::min(h.metrics_count, h.metrics_cap);
+    const auto* entries =
+        reinterpret_cast<const PmMetric*>(data + h.metrics_off);
+    for (std::uint32_t i = 0; i < mcount; ++i) {
+      PmMetric m{};
+      std::memcpy(&m, &entries[i], sizeof(m));
+      std::string name(m.name, strnlen(m.name, sizeof(m.name)));
+      auto& dst = m.kind == 1 ? info->gauges : info->counters;
+      dst.emplace_back(std::move(name), m.value);
+    }
+  }
+
+  // Rings.
+  std::uint64_t off = h.rings_off;
+  for (std::uint32_t r = 0; r < h.ring_count; ++r) {
+    if (!region_ok(off, sizeof(PmRingDesc))) return fail("ring truncated");
+    PmRingDesc desc{};
+    std::memcpy(&desc, data + off, sizeof(desc));
+    off += sizeof(PmRingDesc);
+    if (desc.depth == 0 || (desc.depth & (desc.depth - 1)) != 0 ||
+        desc.depth > (1u << 24)) {
+      return fail("bad ring depth");
+    }
+    if (!region_ok(off, desc.depth * sizeof(RawEvent))) {
+      return fail("ring slots truncated");
+    }
+    const auto* slots = reinterpret_cast<const RawEvent*>(data + off);
+    off += desc.depth * sizeof(RawEvent);
+
+    const std::uint64_t count = std::min(desc.head, desc.depth);
+    if (desc.head > desc.depth) doc->dropped += desc.head - desc.depth;
+    const std::uint64_t mask = desc.depth - 1;
+    for (std::uint64_t seq = desc.head - count; seq < desc.head; ++seq) {
+      RawEvent raw{};
+      std::memcpy(&raw, &slots[seq & mask], sizeof(raw));
+      if (raw.type == 0 || raw.type >= static_cast<std::uint32_t>(kNumEventTypes)) {
+        continue;  // empty or from-the-future slot
+      }
+      Event e;
+      e.time = raw.time;
+      e.host = desc.host;
+      e.a = raw.a;
+      e.b = raw.b;
+      e.label = raw.label;
+      e.type = static_cast<EventType>(raw.type);
+      doc->events.push_back(e);
+    }
+  }
+
+  if (info != nullptr) {
+    info->node = h.node;
+    info->signal = static_cast<int>(h.crash_signal);
+    info->crash_time_us = h.crash_time_us;
+    info->snapshots = h.snapshot_count;
+  }
+
+  // A fatal signal ends the timeline: make the crash a first-class event
+  // so the rendering pipeline shows history stopping at the moment of
+  // death.
+  if (h.crash_signal != 0) {
+    Event e;
+    e.time = h.crash_time_us;
+    e.host = h.node;
+    e.a = static_cast<std::int32_t>(h.crash_signal);
+    e.type = EventType::kCrash;
+    doc->events.push_back(e);
+  }
+
+  std::stable_sort(doc->events.begin(), doc->events.end(),
+                   [](const Event& x, const Event& y) {
+                     if (x.time != y.time) return x.time < y.time;
+                     return x.host < y.host;
+                   });
+  if (info != nullptr) info->events = doc->events.size();
+  return true;
+}
+
+}  // namespace ecfd::obs

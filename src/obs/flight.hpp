@@ -1,0 +1,135 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+
+/// \file flight.hpp
+/// The crash flight recorder: an mmap-backed persistent image of a node's
+/// event rings and metrics, plus an async-signal-safe crash dump so a
+/// SIGSEGV/SIGABRT/SIGBUS leaves behind the last seconds of history.
+///
+/// Design: open() maps a fixed-layout `ecfd.postmortem.v1` file with
+/// MAP_SHARED, so every byte written to the mapping is backed by the page
+/// cache and survives process death — including kill -9 — without any
+/// msync. Two write paths feed the image:
+///
+///   snapshot(now)    cold path, called from the node's report timer. May
+///                    take locks (Recorder string table, registry mutex):
+///                    refreshes the interned strings, the metric NAME
+///                    table, and the ring slots. Also caches the metric
+///                    Cell pointers for the hot path.
+///
+///   crash_dump(sig)  async-signal-safe: no allocation, no locks, no
+///                    stdio. Copies the ring slots (relaxed atomic loads),
+///                    stores the cached metric cell values, stamps the
+///                    signal number and crash time (CLOCK_MONOTONIC delta
+///                    from open()), all via plain stores into the mapping.
+///
+/// Only the node's own rings go into the image (hot + state for `self`,
+/// plus the system ring): a live process only ever records into those, and
+/// keeping the image small bounds signal-handler work.
+///
+/// install_crash_handler() registers SIGSEGV/SIGABRT/SIGBUS handlers with
+/// SA_RESETHAND|SA_NODEFER that dump and re-raise, so the process still
+/// dies with the original signal (correct wait status, core if enabled).
+///
+/// read_postmortem() parses the file back into a TimelineDoc (reusing the
+/// ecfd_trace rendering pipeline) and appends a synthetic kCrash event at
+/// the recorded crash time, so `ecfd_trace --postmortem` shows a timeline
+/// that ends at the moment of death.
+
+namespace ecfd::obs {
+
+/// On-disk constants of the ecfd.postmortem.v1 format. The layout is
+/// packed little-endian with naturally aligned fixed-width fields; see
+/// flight.cpp for the exact struct definitions.
+inline constexpr char kPostmortemMagic[8] = {'E', 'C', 'F', 'D',
+                                             'P', 'M', '0', '1'};
+inline constexpr std::uint32_t kPostmortemVersion = 1;
+
+class FlightRecorder {
+ public:
+  FlightRecorder() = default;
+  ~FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Creates (truncates) \p path and maps the image. \p self is this
+  /// node's id; its hot + state rings and the system ring of \p rec are
+  /// the ones persisted. Returns false (with *error set) on I/O failure.
+  /// The recorder and registry must outlive this object.
+  bool open(const std::string& path, const Recorder* rec, int self,
+            std::string* error);
+
+  /// Registry whose counters/gauges are persisted (optional; may be null).
+  void set_metrics(const MetricsRegistry* m) { metrics_ = m; }
+
+  [[nodiscard]] bool is_open() const { return base_ != nullptr; }
+
+  /// Cold-path refresh; see file comment. \p now is the Env clock reading
+  /// used to correlate crash time with event time.
+  void snapshot(TimeUs now);
+
+  /// Async-signal-safe dump; see file comment. Safe to call with
+  /// signal = 0 for an orderly final flush.
+  void crash_dump(int signal);
+
+  /// Unmaps and closes (final snapshot NOT taken automatically).
+  void close();
+
+  /// Registers this recorder as the process-wide crash-dump target and
+  /// installs SIGSEGV/SIGABRT/SIGBUS handlers. Only one FlightRecorder
+  /// per process can be registered; passing nullptr deregisters.
+  static void install_crash_handler(FlightRecorder* fr);
+
+ private:
+  struct RingRef {
+    const EventRing* ring{nullptr};
+    std::size_t desc_off{0};  ///< file offset of the ring descriptor
+    std::size_t depth{0};     ///< slot capacity persisted
+    std::uint32_t kind{0};    ///< 0 hot, 1 state, 2 system
+    std::int32_t host{-1};
+  };
+
+  void write_rings();           ///< signal-safe slot copy into the image
+  void write_metric_values();   ///< signal-safe cached-cell value store
+
+  unsigned char* base_{nullptr};
+  std::size_t bytes_{0};
+  int fd_{-1};
+  int self_{-1};
+  const Recorder* rec_{nullptr};
+  const MetricsRegistry* metrics_{nullptr};
+  std::vector<RingRef> rings_;
+  std::vector<MetricsRegistry::CellRef> metric_cells_;  ///< cached at snapshot
+  std::int64_t base_mono_us_{0};  ///< CLOCK_MONOTONIC at open()
+  TimeUs base_env_us_{0};         ///< Env clock at the last snapshot
+  std::int64_t base_env_mono_us_{0};  ///< CLOCK_MONOTONIC at that snapshot
+  std::uint64_t snapshot_count_{0};
+};
+
+/// Everything read_postmortem() recovers besides the timeline itself.
+struct PostmortemInfo {
+  int node{-1};
+  int signal{0};            ///< 0 = orderly flush, else the fatal signal
+  TimeUs crash_time_us{0};  ///< Env-clock estimate of the moment of death
+  std::uint64_t snapshots{0};
+  std::uint64_t events{0};
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+};
+
+/// Parses an ecfd.postmortem.v1 file into a renderable TimelineDoc (events
+/// time-sorted, synthetic kCrash appended when a fatal signal was
+/// recorded). Returns false with *error on malformed input.
+bool read_postmortem(const std::string& path, TimelineDoc* doc,
+                     PostmortemInfo* info, std::string* error);
+
+}  // namespace ecfd::obs

@@ -1,0 +1,126 @@
+#include "obs/http_export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace ecfd::obs {
+
+void MetricsHttpServer::handle(std::string path, std::string content_type,
+                               std::function<std::string()> gen) {
+  routes_.push_back(
+      Route{std::move(path), std::move(content_type), std::move(gen)});
+}
+
+bool MetricsHttpServer::start(int port, std::string* error) {
+  if (running()) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  // Loopback only: this is an operator/scraper endpoint, not cluster
+  // traffic, and must not widen the node's attack surface.
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    if (error != nullptr) {
+      *error = "bind/listen on port " + std::to_string(port) + " failed";
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = static_cast<int>(ntohs(addr.sin_port));
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 200);  // short timeout: stop() latency
+    if (r <= 0) continue;
+    if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) break;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    serve_client(client);
+    ::close(client);
+  }
+}
+
+void MetricsHttpServer::serve_client(int fd) {
+  char req[1024];
+  const ssize_t got = ::recv(fd, req, sizeof(req) - 1, 0);
+  if (got <= 0) return;
+  req[got] = '\0';
+
+  // "GET /path HTTP/1.x" — anything else is a 404/405.
+  std::string path;
+  if (std::strncmp(req, "GET ", 4) == 0) {
+    const char* start = req + 4;
+    const char* end = std::strchr(start, ' ');
+    if (end != nullptr) path.assign(start, end);
+  }
+  const Route* route = nullptr;
+  for (const Route& r : routes_) {
+    if (r.path == path) {
+      route = &r;
+      break;
+    }
+  }
+
+  std::string body;
+  std::string header;
+  if (route != nullptr) {
+    body = route->gen();
+    header = "HTTP/1.0 200 OK\r\nContent-Type: " + route->content_type +
+             "\r\nContent-Length: " + std::to_string(body.size()) +
+             "\r\nConnection: close\r\n\r\n";
+  } else {
+    body = "not found\n";
+    for (const Route& r : routes_) body += r.path + "\n";
+    header = "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain\r\n"
+             "Content-Length: " + std::to_string(body.size()) +
+             "\r\nConnection: close\r\n\r\n";
+  }
+  const std::string resp = header + body;
+  std::size_t off = 0;
+  while (off < resp.size()) {
+    const ssize_t sent = ::send(fd, resp.data() + off, resp.size() - off,
+                                MSG_NOSIGNAL);
+    if (sent <= 0) break;
+    off += static_cast<std::size_t>(sent);
+  }
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stop_.store(true, std::memory_order_release);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = -1;
+}
+
+}  // namespace ecfd::obs

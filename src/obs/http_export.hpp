@@ -1,0 +1,73 @@
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// \file http_export.hpp
+/// A minimal embedded HTTP/1.0 exporter for observability endpoints.
+///
+/// This replaces the detached-thread metrics server that used to live
+/// inside tools/ecfd_node.cpp: that one leaked its listening socket and
+/// could never be joined, so a node's exit raced an accept() on a
+/// half-dead process. MetricsHttpServer owns the whole lifecycle —
+/// start() binds (port 0 picks an ephemeral port, reported by port(), so
+/// tests can run in parallel), the accept loop polls with a short timeout
+/// and checks a stop flag, and stop() shuts the listener down and joins
+/// the thread. The destructor stops too, so a node cannot leak it.
+///
+/// Handlers are registered per path and return the full response body;
+/// they run on the server thread, so they must be thread-safe against the
+/// node's main loop (the metrics registry and the QoS scoreboard's bound
+/// gauges already are). Anything not registered is a 404; GET only.
+
+namespace ecfd::obs {
+
+class MetricsHttpServer {
+ public:
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { stop(); }
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Registers \p gen to serve GET \p path (exact match) with the given
+  /// Content-Type. Call before start(); not thread-safe afterwards.
+  void handle(std::string path, std::string content_type,
+              std::function<std::string()> gen);
+
+  /// Binds 0.0.0.0:\p port (0 = ephemeral) and starts the accept thread.
+  /// Returns false with *error set on bind failure.
+  bool start(int port, std::string* error = nullptr);
+
+  /// The bound port (after start()); -1 when not running.
+  [[nodiscard]] int port() const { return port_; }
+
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Stops the accept loop, closes the listener, joins the thread.
+  /// Idempotent.
+  void stop();
+
+ private:
+  struct Route {
+    std::string path;
+    std::string content_type;
+    std::function<std::string()> gen;
+  };
+
+  void serve_loop();
+  void serve_client(int fd);
+
+  std::vector<Route> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  int listen_fd_{-1};
+  int port_{-1};
+};
+
+}  // namespace ecfd::obs

@@ -140,4 +140,66 @@ void MetricsRegistry::write_text(std::ostream& os) const {
   }
 }
 
+namespace {
+
+/// Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Our dotted names
+/// map dots (and any other forbidden byte) to '_'.
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    c == '_' || c == ':' || (i > 0 && c >= '0' && c <= '9');
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_prometheus(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, cell] : counters_) {
+    const std::string p = prometheus_name(name) + "_total";
+    os << "# TYPE " << p << " counter\n"
+       << p << " " << cell.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, cell] : gauges_) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " gauge\n"
+       << p << " " << cell.load(std::memory_order_relaxed) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prometheus_name(name);
+    os << "# TYPE " << p << " histogram\n";
+    int last = Histogram::kBuckets - 1;
+    while (last > 0 && h->bucket_count(last) == 0) --last;
+    std::int64_t cum = 0;
+    for (int i = 0; i <= last; ++i) {
+      cum += h->bucket_count(i);
+      // Bucket i holds integers in [bucket_lower(i), bucket_lower(i+1)),
+      // so its inclusive `le` bound is bucket_lower(i+1) - 1.
+      os << p << "_bucket{le=\"" << Histogram::bucket_lower(i + 1) - 1
+         << "\"} " << cum << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << h->count() << "\n"
+       << p << "_sum " << h->sum() << "\n"
+       << p << "_count " << h->count() << "\n";
+  }
+}
+
+std::vector<MetricsRegistry::CellRef> MetricsRegistry::cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CellRef> out;
+  out.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, cell] : counters_) {
+    out.push_back(CellRef{name, &cell, false});
+  }
+  for (const auto& [name, cell] : gauges_) {
+    out.push_back(CellRef{name, &cell, true});
+  }
+  return out;
+}
+
 }  // namespace ecfd::obs

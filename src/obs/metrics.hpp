@@ -7,6 +7,7 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "sim/stats.hpp"
 
@@ -127,6 +128,26 @@ class MetricsRegistry {
   /// Plain-text exposition (one "counter|gauge|histogram NAME ..." line
   /// each, sorted), served by the ecfd_node --metrics-port endpoint.
   void write_text(std::ostream& os) const;
+
+  /// Prometheus text exposition format (version 0.0.4): dots in names
+  /// become underscores, counters gain a _total suffix, histograms expand
+  /// into cumulative `le` buckets plus _sum/_count. Served by ecfd_node at
+  /// GET /metrics so a stock Prometheus scraper can ingest the registry.
+  void write_prometheus(std::ostream& os) const;
+
+  /// A stable reference to one scalar cell, for exporters that must read
+  /// values without taking the registry mutex (the crash flight recorder's
+  /// signal handler). Pointers stay valid for the registry's lifetime.
+  struct CellRef {
+    std::string name;
+    const Cell* cell{nullptr};
+    bool is_gauge{false};
+  };
+
+  /// Snapshot of every counter and gauge cell, name-sorted within each
+  /// kind (counters first). Takes the mutex; call at bind/snapshot time,
+  /// then read the returned pointers lock-free.
+  [[nodiscard]] std::vector<CellRef> cells() const;
 
  private:
   mutable std::mutex mu_;  ///< guards registration and iteration

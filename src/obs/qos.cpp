@@ -1,0 +1,228 @@
+#include "obs/qos.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace ecfd::obs {
+
+QosScoreboard::QosScoreboard(int n)
+    : n_(n),
+      cells_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n)),
+      crashed_at_(static_cast<std::size_t>(n), kTimeNever),
+      detected_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                false) {
+  assert(n > 0);
+}
+
+void QosScoreboard::note_crash(std::int32_t victim, TimeUs at) {
+  if (victim < 0 || victim >= n_) return;
+  TimeUs& slot = crashed_at_[static_cast<std::size_t>(victim)];
+  if (at < slot) slot = at;
+}
+
+void QosScoreboard::ingest(const Event& e) {
+  if (window_start_ == kTimeNever || e.time < window_start_) {
+    window_start_ = e.time;
+  }
+  if (window_end_ == kTimeNever || e.time > window_end_) window_end_ = e.time;
+
+  if (e.type == EventType::kCrash) {
+    note_crash(e.host, e.time);
+    return;
+  }
+  if (e.type != EventType::kSuspect && e.type != EventType::kUnsuspect) {
+    return;
+  }
+  const int o = e.host;
+  const int p = e.a;
+  if (o < 0 || o >= n_ || p < 0 || p >= n_) return;
+  QosCell& c = at(o, p);
+  const TimeUs crash = crashed_at_[static_cast<std::size_t>(p)];
+  const std::size_t pair =
+      static_cast<std::size_t>(o) * static_cast<std::size_t>(n_) +
+      static_cast<std::size_t>(p);
+
+  if (e.type == EventType::kSuspect) {
+    if (c.suspected) return;  // duplicate transition, keep the first onset
+    c.suspected = true;
+    c.suspect_since = e.time;
+    ++c.suspicions;
+    if (suspicions_total_ != nullptr) {
+      suspicions_total_->fetch_add(1, std::memory_order_relaxed);
+    }
+    if (crash != kTimeNever && e.time >= crash) {
+      // The peer really is dead: this is the detection, not a mistake.
+      if (!detected_[pair]) {
+        detected_[pair] = true;
+        ++c.detections;
+        c.detection_sum_us += e.time - crash;
+        if (detection_hist_ != nullptr) detection_hist_->observe(e.time - crash);
+        if (detections_total_ != nullptr) {
+          detections_total_->fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      return;
+    }
+    // Tentatively a mistake (the peer may still crash later; the episode
+    // is classified when it closes). Recurrence is measured start-to-start.
+    if (c.have_mistake_start) {
+      ++c.recurrences;
+      c.recurrence_sum_us += e.time - c.last_mistake_start;
+      if (recurrence_hist_ != nullptr) {
+        recurrence_hist_->observe(e.time - c.last_mistake_start);
+      }
+    }
+    c.last_mistake_start = e.time;
+    c.have_mistake_start = true;
+    return;
+  }
+
+  // kUnsuspect.
+  if (!c.suspected) return;
+  c.suspected = false;
+  if (crash != kTimeNever && c.suspect_since >= crash) {
+    return;  // retracting a true detection: no mistake bookkeeping
+  }
+  // The episode started while the peer was correct, so the portion before
+  // any crash was a mistake.
+  const TimeUs end = crash == kTimeNever ? e.time : std::min(e.time, crash);
+  const std::int64_t dur = end > c.suspect_since ? end - c.suspect_since : 0;
+  ++c.mistakes;
+  c.mistake_dur_sum_us += dur;
+  c.mistake_time_us += dur;
+  if (mistake_dur_hist_ != nullptr) mistake_dur_hist_->observe(dur);
+  if (mistakes_total_ != nullptr) {
+    mistakes_total_->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (crash != kTimeNever && e.time >= crash && !detected_[pair]) {
+    // The suspicion was already open when the peer died: detection time 0.
+    detected_[pair] = true;
+    ++c.detections;
+    if (detection_hist_ != nullptr) detection_hist_->observe(0);
+    if (detections_total_ != nullptr) {
+      detections_total_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void QosScoreboard::finalize(TimeUs end) {
+  if (finalized_) return;
+  finalized_ = true;
+  if (window_start_ == kTimeNever) window_start_ = end;
+  if (window_end_ == kTimeNever || end > window_end_) window_end_ = end;
+  for (int o = 0; o < n_; ++o) {
+    for (int p = 0; p < n_; ++p) {
+      QosCell& c = at(o, p);
+      if (!c.suspected) continue;
+      const TimeUs crash = crashed_at_[static_cast<std::size_t>(p)];
+      if (crash != kTimeNever && c.suspect_since >= crash) continue;
+      const TimeUs stop =
+          crash == kTimeNever ? window_end_ : std::min(window_end_, crash);
+      if (stop > c.suspect_since) {
+        c.mistake_time_us += stop - c.suspect_since;
+      }
+      const std::size_t pair =
+          static_cast<std::size_t>(o) * static_cast<std::size_t>(n_) +
+          static_cast<std::size_t>(p);
+      if (crash != kTimeNever && window_end_ >= crash && !detected_[pair]) {
+        detected_[pair] = true;
+        ++c.detections;
+        if (detection_hist_ != nullptr) detection_hist_->observe(0);
+      }
+    }
+  }
+}
+
+double QosScoreboard::query_accuracy(int observer, int peer) const {
+  const QosCell& c = cell(observer, peer);
+  if (window_start_ == kTimeNever) return 1.0;
+  const TimeUs crash = crashed_at_[static_cast<std::size_t>(peer)];
+  const TimeUs stop =
+      crash == kTimeNever ? window_end_ : std::min(window_end_, crash);
+  if (stop <= window_start_) return 1.0;
+  const double len = static_cast<double>(stop - window_start_);
+  double pa = 1.0 - static_cast<double>(c.mistake_time_us) / len;
+  return std::clamp(pa, 0.0, 1.0);
+}
+
+void QosScoreboard::bind_metrics(MetricsRegistry* m) {
+  metrics_ = m;
+  if (m == nullptr) {
+    detection_hist_ = mistake_dur_hist_ = recurrence_hist_ = nullptr;
+    suspicions_total_ = mistakes_total_ = detections_total_ = nullptr;
+    return;
+  }
+  detection_hist_ = m->histogram("qos.detection_us");
+  mistake_dur_hist_ = m->histogram("qos.mistake_duration_us");
+  recurrence_hist_ = m->histogram("qos.mistake_recurrence_us");
+  suspicions_total_ = m->counter("qos.suspicions");
+  mistakes_total_ = m->counter("qos.mistakes");
+  detections_total_ = m->counter("qos.detections");
+}
+
+void QosScoreboard::export_gauges(int self, TimeUs now) {
+  if (metrics_ == nullptr || self < 0 || self >= n_) return;
+  for (int p = 0; p < n_; ++p) {
+    if (p == self) continue;
+    const QosCell& c = cell(self, p);
+    // P_A as of `now`: the closed mistake time plus the open episode so far.
+    const TimeUs crash = crashed_at_[static_cast<std::size_t>(p)];
+    std::int64_t mistake_time = c.mistake_time_us;
+    if (c.suspected && (crash == kTimeNever || c.suspect_since < crash)) {
+      const TimeUs stop = crash == kTimeNever ? now : std::min(now, crash);
+      if (stop > c.suspect_since) mistake_time += stop - c.suspect_since;
+    }
+    double pa = 1.0;
+    const TimeUs start = window_start_ == kTimeNever ? now : window_start_;
+    const TimeUs stop = crash == kTimeNever ? now : std::min(now, crash);
+    if (stop > start) {
+      pa = std::clamp(
+          1.0 - static_cast<double>(mistake_time) /
+                    static_cast<double>(stop - start),
+          0.0, 1.0);
+    }
+    const std::string suffix = ".p" + std::to_string(p);
+    metrics_->set_gauge("qos.pa_ppm" + suffix,
+                        static_cast<std::int64_t>(pa * 1'000'000.0));
+    metrics_->set_gauge("qos.suspected" + suffix, c.suspected ? 1 : 0);
+  }
+}
+
+void QosScoreboard::write_table(std::ostream& os) const {
+  os << "observer  peer  susp  detect    t_d_ms  mistakes    t_m_ms   "
+        "t_mr_ms     p_a\n";
+  char buf[160];
+  auto cell_ms = [](double us) {
+    return us < 0 ? -1.0 : us / 1000.0;
+  };
+  auto fmt_ms = [&](char* out, std::size_t cap, double us) {
+    if (us < 0) {
+      std::snprintf(out, cap, "%9s", "-");
+    } else {
+      std::snprintf(out, cap, "%9.2f", cell_ms(us));
+    }
+  };
+  for (int o = 0; o < n_; ++o) {
+    for (int p = 0; p < n_; ++p) {
+      if (o == p) continue;
+      const QosCell& c = cell(o, p);
+      const bool crashed =
+          crashed_at_[static_cast<std::size_t>(p)] != kTimeNever;
+      if (c.suspicions == 0 && !crashed) continue;
+      char td[16], tm[16], tmr[16];
+      fmt_ms(td, sizeof(td), c.mean_detection_us());
+      fmt_ms(tm, sizeof(tm), c.mean_mistake_us());
+      fmt_ms(tmr, sizeof(tmr), c.mean_recurrence_us());
+      std::snprintf(buf, sizeof(buf),
+                    "p%-7d  p%-3d  %4lld  %6lld %s  %8lld %s %s  %6.4f%s\n",
+                    o, p, static_cast<long long>(c.suspicions),
+                    static_cast<long long>(c.detections), td,
+                    static_cast<long long>(c.mistakes), tm, tmr,
+                    query_accuracy(o, p), crashed ? "  [crashed]" : "");
+      os << buf;
+    }
+  }
+}
+
+}  // namespace ecfd::obs

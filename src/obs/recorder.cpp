@@ -24,6 +24,8 @@ const char* event_type_name(EventType t) {
     case EventType::kNote: return "note";
     case EventType::kLeaseGrant: return "lease_grant";
     case EventType::kLeaseRevoke: return "lease_revoke";
+    case EventType::kWireSend: return "wire_send";
+    case EventType::kWireDeliver: return "wire_deliver";
   }
   return "unknown";
 }

@@ -81,6 +81,37 @@ class EventRing {
   void snapshot(std::vector<Event>* out,
                 std::vector<std::uint64_t>* seqs = nullptr) const;
 
+  /// One raw slot, POD-packed for the flight recorder's mmap image
+  /// (obs/flight.hpp). 32 bytes, naturally aligned, endian-native.
+  struct RawEvent {
+    TimeUs time{0};
+    std::int64_t b{0};
+    std::int32_t a{-1};
+    std::int32_t label{-1};
+    std::uint32_t type{0};
+    std::uint32_t pad{0};
+  };
+
+  /// Async-signal-safe bounded copy: writes min(capacity, cap) slots in
+  /// RING-INDEX order (not time order — the returned head counter lets the
+  /// reader reconstruct the sequence) into \p out. No locks, no
+  /// allocation; relaxed atomic loads only. Returns pushed().
+  std::uint64_t copy_raw(RawEvent* out, std::size_t cap) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    const std::size_t count = std::min(slots_.size(), cap);
+    for (std::size_t i = 0; i < count; ++i) {
+      const Slot& s = slots_[i];
+      RawEvent& e = out[i];
+      e.time = s.time.load(std::memory_order_relaxed);
+      e.b = s.b.load(std::memory_order_relaxed);
+      e.a = s.a.load(std::memory_order_relaxed);
+      e.label = s.label.load(std::memory_order_relaxed);
+      e.type = s.type.load(std::memory_order_relaxed);
+      e.pad = 0;
+    }
+    return head;
+  }
+
  private:
   struct Slot {
     std::atomic<TimeUs> time{0};
@@ -155,6 +186,7 @@ class Recorder {
 
   /// Ring for non-process observers (monitors); events carry host = -1.
   [[nodiscard]] EventRing& system_ring() { return system_ring_; }
+  [[nodiscard]] const EventRing& system_ring() const { return system_ring_; }
 
   /// Interns \p s, returning its stable id. Thread-safe; may allocate —
   /// cold paths only.

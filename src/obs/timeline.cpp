@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <map>
 #include <string>
+#include <tuple>
 
 #include "obs/json.hpp"
 
@@ -112,18 +113,108 @@ TimelineDoc snapshot_doc(const Recorder& rec, std::string origin) {
   return doc;
 }
 
+namespace {
+
+/// Per-doc clock refinement from wire-level causal edges.
+///
+/// Wall-clock epoch calibration (wall_epoch_us differences) is only as good
+/// as CLOCK_REALTIME agreement between the processes. When traces carry
+/// kWireSend/kWireDeliver pairs (the causal-seq wire flag), every matched
+/// frame gives a one-way delay observation d = recv_j - send_i =
+/// latency + (err_j - err_i); the minimum over many frames approaches the
+/// floor latency plus the offset error (standard NTP reasoning). With both
+/// directions measured, (d_ij - d_ji) / 2 estimates err_j - err_i with the
+/// symmetric part of the latency cancelled. Corrections propagate over a
+/// BFS spanning tree anchored at \p anchor; docs without a causal path to
+/// the anchor keep the epoch-only calibration.
+///
+/// \p offsets are the already-computed epoch rebases; returns an extra
+/// per-doc additive correction.
+std::vector<std::int64_t> causal_corrections(
+    const std::vector<TimelineDoc>& docs,
+    const std::vector<std::int64_t>& offsets, std::size_t anchor) {
+  std::vector<std::int64_t> corr(docs.size(), 0);
+  if (docs.size() < 2) return corr;
+
+  // host -> the unique monotonic doc that recorded its kWireSend events
+  // (-1 unknown, -2 ambiguous: the host appears in several docs).
+  std::map<std::int32_t, int> host_doc;
+  // (sender, receiver, seq) -> epoch-rebased send time.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int64_t>, TimeUs>
+      send_at;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    if (docs[d].meta.clock != ClockDomain::kMonotonic) continue;
+    for (const Event& e : docs[d].events) {
+      if (e.type != EventType::kWireSend) continue;
+      auto [it, inserted] = host_doc.emplace(e.host, static_cast<int>(d));
+      if (!inserted && it->second != static_cast<int>(d)) it->second = -2;
+      send_at[{e.host, e.a, e.b}] = e.time + offsets[d];
+    }
+  }
+  if (host_doc.empty()) return corr;
+
+  // Minimum observed one-way delay per ordered doc pair.
+  std::map<std::pair<int, int>, std::int64_t> min_delay;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    if (docs[d].meta.clock != ClockDomain::kMonotonic) continue;
+    for (const Event& e : docs[d].events) {
+      if (e.type != EventType::kWireDeliver) continue;
+      const auto src_doc = host_doc.find(e.a);
+      if (src_doc == host_doc.end() || src_doc->second < 0 ||
+          src_doc->second == static_cast<int>(d)) {
+        continue;
+      }
+      const auto sent = send_at.find({e.a, e.host, e.b});
+      if (sent == send_at.end()) continue;
+      const std::int64_t delay = (e.time + offsets[d]) - sent->second;
+      const std::pair<int, int> key{src_doc->second, static_cast<int>(d)};
+      auto [it, inserted] = min_delay.emplace(key, delay);
+      if (!inserted && delay < it->second) it->second = delay;
+    }
+  }
+
+  // BFS from the anchor over doc pairs measured in both directions.
+  std::vector<bool> placed(docs.size(), false);
+  placed[anchor] = true;
+  std::vector<std::size_t> frontier{anchor};
+  while (!frontier.empty()) {
+    std::vector<std::size_t> next;
+    for (const std::size_t i : frontier) {
+      for (std::size_t j = 0; j < docs.size(); ++j) {
+        if (placed[j]) continue;
+        const auto fwd = min_delay.find({static_cast<int>(i),
+                                         static_cast<int>(j)});
+        const auto rev = min_delay.find({static_cast<int>(j),
+                                         static_cast<int>(i)});
+        if (fwd == min_delay.end() || rev == min_delay.end()) continue;
+        // (d_ij - d_ji) / 2 estimates err_j - err_i on the raw rebased
+        // clocks; subtracting it (relative to i's own correction) aligns j.
+        corr[j] = corr[i] - (fwd->second - rev->second) / 2;
+        placed[j] = true;
+        next.push_back(j);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return corr;
+}
+
+}  // namespace
+
 MergedTimeline merge(const std::vector<TimelineDoc>& docs) {
   MergedTimeline out;
   std::int64_t min_epoch = 0;
   bool have_epoch = false;
-  for (const TimelineDoc& d : docs) {
-    out.n = std::max(out.n, d.n);
-    out.dropped += d.dropped;
-    if (d.meta.clock == ClockDomain::kMonotonic) {
+  std::size_t anchor = 0;
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    out.n = std::max(out.n, docs[d].n);
+    out.dropped += docs[d].dropped;
+    if (docs[d].meta.clock == ClockDomain::kMonotonic) {
       out.monotonic = true;
-      if (!have_epoch || d.meta.wall_epoch_us < min_epoch) {
-        min_epoch = d.meta.wall_epoch_us;
+      if (!have_epoch || docs[d].meta.wall_epoch_us < min_epoch) {
+        min_epoch = docs[d].meta.wall_epoch_us;
         have_epoch = true;
+        anchor = d;
       }
     }
   }
@@ -138,6 +229,16 @@ MergedTimeline merge(const std::vector<TimelineDoc>& docs) {
     return id;
   };
 
+  // Epoch rebases first, then the causal refinement computed on top.
+  std::vector<std::int64_t> offsets(docs.size(), 0);
+  for (std::size_t d = 0; d < docs.size(); ++d) {
+    if (docs[d].meta.clock == ClockDomain::kMonotonic) {
+      offsets[d] = docs[d].meta.wall_epoch_us - min_epoch;
+    }
+  }
+  const std::vector<std::int64_t> corr =
+      causal_corrections(docs, offsets, anchor);
+
   struct Tagged {
     Event e;
     std::size_t doc;
@@ -146,9 +247,8 @@ MergedTimeline merge(const std::vector<TimelineDoc>& docs) {
   std::vector<Tagged> all;
   for (std::size_t d = 0; d < docs.size(); ++d) {
     const TimelineDoc& doc = docs[d];
-    const std::int64_t offset = doc.meta.clock == ClockDomain::kMonotonic
-                                    ? doc.meta.wall_epoch_us - min_epoch
-                                    : 0;
+    const std::int64_t offset =
+        doc.meta.clock == ClockDomain::kMonotonic ? offsets[d] + corr[d] : 0;
     // One-time remap of this doc's label ids into the merged table.
     std::vector<std::int32_t> remap(doc.strings.size());
     for (std::size_t i = 0; i < doc.strings.size(); ++i) {
@@ -249,6 +349,14 @@ void write_text(std::ostream& os, const MergedTimeline& t) {
       case EventType::kLeaseRevoke:
         line += "lease_revoke term=" + std::to_string(e.b);
         break;
+      case EventType::kWireSend:
+        line += "wire_send -> p" + std::to_string(e.a) +
+                " seq=" + std::to_string(e.b);
+        break;
+      case EventType::kWireDeliver:
+        line += "wire_deliver <- p" + std::to_string(e.a) +
+                " seq=" + std::to_string(e.b);
+        break;
       case EventType::kNone:
         line += "?";
         break;
@@ -271,6 +379,8 @@ int lane_of(EventType t) {
     case EventType::kDrop:
     case EventType::kTimerSet:
     case EventType::kTimerCancel:
+    case EventType::kWireSend:
+    case EventType::kWireDeliver:
       return 0;  // net
     case EventType::kSuspect:
     case EventType::kUnsuspect:
@@ -389,7 +499,12 @@ void write_chrome_trace(std::ostream& os, const MergedTimeline& t) {
       case EventType::kSend:
       case EventType::kDeliver:
       case EventType::kDrop:
-        name += e.type == EventType::kDeliver ? " p" : " -> p";
+      case EventType::kWireSend:
+      case EventType::kWireDeliver:
+        name += e.type == EventType::kDeliver ||
+                        e.type == EventType::kWireDeliver
+                    ? " p"
+                    : " -> p";
         name += std::to_string(e.a);
         break;
       case EventType::kSuspect:

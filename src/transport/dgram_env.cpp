@@ -213,9 +213,14 @@ void DgramEnv::send(ProcessId dst, Message m) {
   }
 
   const std::string key = message_counter_key(m);
+  // While a recorder is attached, every outgoing frame carries a per-sender
+  // causal sequence number (wire flag kFlagCausalSeq), and the matching
+  // kWireSend event lets ecfd_trace stitch true happens-before send->deliver
+  // edges across process traces. Untraced runs emit legacy frames.
+  const std::uint64_t causal_seq = recording() ? ++wire_seq_ : 0;
   std::vector<std::uint8_t> frame;
   std::string error;
-  if (!wire::encode_message(m, &frame, &error)) {
+  if (!wire::encode_message(m, &frame, &error, causal_seq)) {
     metrics_.add("net.encode_error");
     trace("net.encode_error", key + ": " + error);
     return;
@@ -228,6 +233,9 @@ void DgramEnv::send(ProcessId dst, Message m) {
     return;
   }
   metrics_.add(key + ".sent");
+  if (causal_seq != 0) {
+    record(EventType::kWireSend, dst, static_cast<std::int64_t>(causal_seq));
+  }
   // Gray NIC holdback stacks with the injected chaos delay; the holdback
   // timer itself runs on the (possibly gray-stretched) local clock — a
   // gray host is slow everywhere.
@@ -368,7 +376,8 @@ void DgramEnv::deliver(const Message& m) {
 void DgramEnv::handle_frame(const std::uint8_t* data, std::size_t len,
                             ExternalToken from_token) {
   std::string error;
-  auto decoded = wire::decode_message(data, len, &error);
+  std::uint64_t causal_seq = 0;
+  auto decoded = wire::decode_message(data, len, &error, &causal_seq);
   if (!decoded) {
     metrics_.add("net.decode_error");
     trace("net.decode_error", error);
@@ -391,6 +400,10 @@ void DgramEnv::handle_frame(const std::uint8_t* data, std::size_t len,
   }
   peer_cells_[static_cast<std::size_t>(decoded->src)].recv->fetch_add(
       1, std::memory_order_relaxed);
+  if (causal_seq != 0) {
+    record(EventType::kWireDeliver, decoded->src,
+           static_cast<std::int64_t>(causal_seq));
+  }
   deliver(*decoded);
 }
 

@@ -333,6 +333,7 @@ class DgramEnv : public Env {
   std::priority_queue<Timer, std::vector<Timer>, TimerLater> timers_;
   std::unordered_set<TimerId> cancelled_;
   std::uint64_t next_seq_{1};
+  std::uint64_t wire_seq_{0};  ///< causal send sequence (0 = none issued)
   TimerId next_timer_{1};
   bool stopping_{false};
 

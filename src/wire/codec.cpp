@@ -459,11 +459,12 @@ bool decode_payload(PayloadKind kind, WireReader& r, int depth,
 }  // namespace
 
 bool encode_message(const Message& m, std::vector<std::uint8_t>* out,
-                    std::string* error) {
+                    std::string* error, std::uint64_t causal_seq) {
   WireWriter w;
   w.u16(kMagic);
   w.u8(kVersion);
-  w.u8(0);  // flags, reserved
+  w.u8(causal_seq != 0 ? kFlagCausalSeq : 0);
+  if (causal_seq != 0) w.u64(causal_seq);
   w.i32(m.src);
   w.i32(m.dst);
   w.i32(m.protocol);
@@ -490,11 +491,13 @@ bool encode_message(const Message& m, std::vector<std::uint8_t>* out,
 }
 
 std::optional<Message> decode_message(const std::uint8_t* data,
-                                      std::size_t len, std::string* error) {
+                                      std::size_t len, std::string* error,
+                                      std::uint64_t* causal_seq) {
   const auto fail = [&](const char* reason) -> std::optional<Message> {
     set_error(error, reason);
     return std::nullopt;
   };
+  if (causal_seq != nullptr) *causal_seq = 0;
 
   if (len < 4 || len > kMaxFrameBytes) return fail("bad frame size");
   if (crc32(data, len - 4) !=
@@ -508,7 +511,13 @@ std::optional<Message> decode_message(const std::uint8_t* data,
   WireReader r(data, len - 4);  // the checksum itself is not re-read
   if (r.u16() != kMagic) return fail("bad magic");
   if (r.u8() != kVersion) return fail("unsupported version");
-  if (r.u8() != 0) return fail("nonzero reserved flags");
+  const std::uint8_t flags = r.u8();
+  if ((flags & ~kKnownFlags) != 0) return fail("nonzero reserved flags");
+  if ((flags & kFlagCausalSeq) != 0) {
+    const std::uint64_t seq = r.u64();
+    if (!r.ok() || seq == 0) return fail("bad causal sequence");
+    if (causal_seq != nullptr) *causal_seq = seq;
+  }
 
   Message m;
   m.src = r.i32();

@@ -33,6 +33,16 @@ namespace ecfd::wire {
 inline constexpr std::uint16_t kMagic = 0xECFD;
 inline constexpr std::uint8_t kVersion = 1;
 
+/// Frame flag bits (byte 3 of the header). A set bit changes the layout
+/// right after the flags byte, so unknown bits are rejected — a v1 decoder
+/// without this table cannot skip fields it does not know the width of.
+/// kFlagCausalSeq inserts a u64 per-sender send sequence number used by
+/// ecfd_trace to stitch true happens-before send->deliver edges across
+/// process traces; transports only set it while a recorder is attached, so
+/// untraced runs emit byte-identical legacy frames.
+inline constexpr std::uint8_t kFlagCausalSeq = 0x01;
+inline constexpr std::uint8_t kKnownFlags = kFlagCausalSeq;
+
 /// Hard bounds enforced by decode: anything larger is rejected, so a
 /// corrupt length field can never cause a huge allocation.
 inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
@@ -61,19 +71,26 @@ enum class PayloadKind : std::uint16_t {
 
 /// Encodes \p m into a self-contained frame. Returns false (and sets
 /// \p error when non-null) if the payload type is not in the registry.
+/// \p causal_seq, when nonzero, sets kFlagCausalSeq and embeds the
+/// sender's send sequence number (sequences start at 1; 0 = untagged).
 bool encode_message(const Message& m, std::vector<std::uint8_t>* out,
-                    std::string* error = nullptr);
+                    std::string* error = nullptr,
+                    std::uint64_t causal_seq = 0);
 
 /// Decodes one frame. Returns std::nullopt (and sets \p error when
 /// non-null) on any malformed input; never throws, never reads out of
-/// bounds, never allocates more than the bounds above allow.
+/// bounds, never allocates more than the bounds above allow. When
+/// \p causal_seq is non-null it receives the frame's embedded causal
+/// sequence number, or 0 if the frame carries none.
 std::optional<Message> decode_message(const std::uint8_t* data,
                                       std::size_t len,
-                                      std::string* error = nullptr);
+                                      std::string* error = nullptr,
+                                      std::uint64_t* causal_seq = nullptr);
 
 inline std::optional<Message> decode_message(
-    const std::vector<std::uint8_t>& frame, std::string* error = nullptr) {
-  return decode_message(frame.data(), frame.size(), error);
+    const std::vector<std::uint8_t>& frame, std::string* error = nullptr,
+    std::uint64_t* causal_seq = nullptr) {
+  return decode_message(frame.data(), frame.size(), error, causal_seq);
 }
 
 }  // namespace ecfd::wire

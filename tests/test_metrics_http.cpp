@@ -1,0 +1,183 @@
+// Tests for the observability HTTP endpoint (obs/http_export.hpp) and the
+// Prometheus exposition writer (MetricsRegistry::write_prometheus): a real
+// client socket fetches /metrics.json and /metrics from a running
+// MetricsHttpServer and both representations must be valid — the JSON
+// parses back through obs/json.hpp with the registered values intact, the
+// Prometheus text obeys the 0.0.4 grammar (TYPE lines, _total counters,
+// cumulative le buckets). Also the lifecycle contract the old detached
+// ecfd_node server violated: stop() joins the thread and releases the
+// port, so a second server can bind it immediately.
+
+#include <gtest/gtest.h>
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/http_export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace ecfd::obs {
+namespace {
+
+/// One blocking HTTP/1.0 GET against 127.0.0.1:port; returns the full
+/// response (headers + body), or "" on connect failure.
+std::string http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  (void)!::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t got = ::recv(fd, buf, sizeof(buf), 0);
+    if (got <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(got));
+  }
+  ::close(fd);
+  return resp;
+}
+
+std::string body_of(const std::string& resp) {
+  const auto pos = resp.find("\r\n\r\n");
+  return pos == std::string::npos ? std::string() : resp.substr(pos + 4);
+}
+
+class MetricsHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reg_.add("net.sent.p0", 42);
+    reg_.add("net.recv.p0", 17);
+    reg_.set_gauge("fd.suspected", 1);
+    Histogram* h = reg_.histogram("kv.client.read_us");
+    h->observe(0);
+    h->observe(1);
+    h->observe(3);    // bucket [2,4)
+    h->observe(700);  // bucket [512,1024)
+
+    server_.handle("/metrics", "text/plain; version=0.0.4", [this]() {
+      std::ostringstream os;
+      reg_.write_prometheus(os);
+      return os.str();
+    });
+    server_.handle("/metrics.json", "application/json", [this]() {
+      std::ostringstream os;
+      reg_.write_json(os, "test");
+      return os.str();
+    });
+    std::string error;
+    ASSERT_TRUE(server_.start(/*port=*/0, &error)) << error;
+    ASSERT_GT(server_.port(), 0);
+  }
+
+  MetricsRegistry reg_;
+  MetricsHttpServer server_;
+};
+
+TEST_F(MetricsHttpTest, JsonEndpointServesAParsableRegistry) {
+  const std::string resp = http_get(server_.port(), "/metrics.json");
+  ASSERT_NE(resp.find("200 OK"), std::string::npos) << resp;
+  ASSERT_NE(resp.find("Content-Type: application/json"), std::string::npos);
+
+  std::string error;
+  const json::Value doc = json::parse(body_of(resp), &error);
+  ASSERT_FALSE(doc.is_null()) << error;
+  EXPECT_EQ(doc.at("schema").as_string(), "ecfd.metrics.v1");
+  EXPECT_EQ(doc.at("source").as_string(), "test");
+  EXPECT_EQ(doc.at("counters").at("net.sent.p0").as_int(), 42);
+  EXPECT_EQ(doc.at("gauges").at("fd.suspected").as_int(), 1);
+  EXPECT_EQ(
+      doc.at("histograms").at("kv.client.read_us").at("count").as_int(), 4);
+  EXPECT_EQ(doc.at("histograms").at("kv.client.read_us").at("sum").as_int(),
+            704);
+}
+
+TEST_F(MetricsHttpTest, PrometheusEndpointObeysTheExpositionGrammar) {
+  const std::string resp = http_get(server_.port(), "/metrics");
+  ASSERT_NE(resp.find("200 OK"), std::string::npos) << resp;
+  const std::string body = body_of(resp);
+
+  // Counters: sanitized name, _total suffix, TYPE line first.
+  EXPECT_NE(body.find("# TYPE net_sent_p0_total counter"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("net_sent_p0_total 42"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE fd_suspected gauge"), std::string::npos);
+  EXPECT_NE(body.find("fd_suspected 1"), std::string::npos);
+
+  // Histogram: cumulative le buckets ending in +Inf == count, then
+  // _sum/_count. Observations were 0, 1, 3, 700.
+  EXPECT_NE(body.find("# TYPE kv_client_read_us histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("kv_client_read_us_bucket{le=\"0\"} 1"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("kv_client_read_us_bucket{le=\"1\"} 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("kv_client_read_us_bucket{le=\"3\"} 3"),
+            std::string::npos);
+  EXPECT_NE(body.find("kv_client_read_us_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(body.find("kv_client_read_us_sum 704"), std::string::npos);
+  EXPECT_NE(body.find("kv_client_read_us_count 4"), std::string::npos);
+
+  // le bucket counts must be nondecreasing in document order.
+  std::int64_t prev = -1;
+  std::size_t pos = 0;
+  int buckets = 0;
+  while ((pos = body.find("kv_client_read_us_bucket", pos)) !=
+         std::string::npos) {
+    const auto brace = body.find("} ", pos);
+    ASSERT_NE(brace, std::string::npos);
+    const std::int64_t v = std::stoll(body.substr(brace + 2));
+    EXPECT_GE(v, prev);
+    prev = v;
+    ++buckets;
+    pos = brace;
+  }
+  EXPECT_GE(buckets, 4);
+}
+
+TEST_F(MetricsHttpTest, UnknownPathIs404WithTheRouteList) {
+  const std::string resp = http_get(server_.port(), "/nope");
+  EXPECT_NE(resp.find("404 Not Found"), std::string::npos);
+  EXPECT_NE(resp.find("/metrics.json"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, ValuesAreLiveNotCachedAtStart) {
+  reg_.add("net.sent.p0", 8);  // 42 -> 50 after start()
+  const std::string resp = http_get(server_.port(), "/metrics");
+  EXPECT_NE(body_of(resp).find("net_sent_p0_total 50"), std::string::npos);
+}
+
+TEST_F(MetricsHttpTest, StopJoinsAndReleasesThePort) {
+  const int port = server_.port();
+  server_.stop();
+  EXPECT_FALSE(server_.running());
+  server_.stop();  // idempotent
+
+  // The old detached-thread server leaked its fd forever; the fix means
+  // the port is immediately rebindable.
+  MetricsHttpServer second;
+  second.handle("/ping", "text/plain", []() { return std::string("pong\n"); });
+  std::string error;
+  ASSERT_TRUE(second.start(port, &error)) << error;
+  EXPECT_EQ(second.port(), port);
+  EXPECT_NE(http_get(port, "/ping").find("pong"), std::string::npos);
+  second.stop();
+}
+
+}  // namespace
+}  // namespace ecfd::obs

@@ -327,5 +327,83 @@ TEST(Timeline, SameSimSeedYieldsByteIdenticalTraces) {
   EXPECT_EQ(doc->events.size(), rec1.merged().size());
 }
 
+// --- Causal clock refinement ------------------------------------------
+
+Event wire_event(TimeUs t, int host, EventType type, int other,
+                 std::int64_t seq) {
+  Event e;
+  e.time = t;
+  e.host = host;
+  e.type = type;
+  e.a = other;
+  e.b = seq;
+  return e;
+}
+
+TEST(Timeline, WireSeqEdgesCorrectPerProcessClockError) {
+  // Two monotonic docs with IDENTICAL wall epochs, but doc B's clock reads
+  // 5000us ahead of true time — an error wall-epoch calibration cannot
+  // see. The seq-matched wire edges can: A->B one-way delays read 5000us
+  // too long, B->A reads 5000us too short, and the NTP-style half
+  // difference recovers the 5000us correction exactly (symmetric links).
+  //
+  // True story (200us latency each way):
+  //   A sends seq 1 at true t=1000, B delivers at true 1200 (records 6200)
+  //   B sends seq 1 at true t=2000 (records 7000), A delivers at 2200
+  TimelineDoc a;
+  a.meta.source = "socket";
+  a.meta.clock = ClockDomain::kMonotonic;
+  a.meta.wall_epoch_us = 1'000'000;
+  a.n = 2;
+  a.events.push_back(
+      wire_event(1000, 0, EventType::kWireSend, /*dst=*/1, /*seq=*/1));
+  a.events.push_back(
+      wire_event(2200, 0, EventType::kWireDeliver, /*src=*/1, /*seq=*/1));
+
+  TimelineDoc b = a;
+  b.events.clear();
+  b.events.push_back(
+      wire_event(6200, 1, EventType::kWireDeliver, /*src=*/0, /*seq=*/1));
+  b.events.push_back(
+      wire_event(7000, 1, EventType::kWireSend, /*dst=*/0, /*seq=*/1));
+
+  const MergedTimeline t = merge({a, b});
+  ASSERT_EQ(t.events.size(), 4u);
+  TimeUs b_deliver = -1;
+  TimeUs b_send = -1;
+  for (const Event& e : t.events) {
+    if (e.host == 1 && e.type == EventType::kWireDeliver) b_deliver = e.time;
+    if (e.host == 1 && e.type == EventType::kWireSend) b_send = e.time;
+  }
+  // Without the refinement these would sit at 6200/7000; corrected they
+  // land at the true 1200/2000.
+  EXPECT_EQ(b_deliver, 1200);
+  EXPECT_EQ(b_send, 2000);
+  // And the merged order is now the true causal order: A's send first,
+  // then B's delivery of it.
+  EXPECT_EQ(t.events.front().type, EventType::kWireSend);
+  EXPECT_EQ(t.events.front().host, 0);
+}
+
+TEST(Timeline, DocsWithoutWireEdgesKeepEpochOnlyCalibration) {
+  // No seq-matched frames between the docs: the refinement must leave the
+  // epoch-difference offsets untouched rather than guess.
+  TimelineDoc a;
+  a.meta.clock = ClockDomain::kMonotonic;
+  a.meta.wall_epoch_us = 1'000'000;
+  a.n = 2;
+  a.events.push_back(wire_event(100, 0, EventType::kSend, 1, 0));
+
+  TimelineDoc b = a;
+  b.meta.wall_epoch_us = 1'003'000;  // started 3ms later
+  b.events.clear();
+  b.events.push_back(wire_event(100, 1, EventType::kSend, 0, 0));
+
+  const MergedTimeline t = merge({a, b});
+  ASSERT_EQ(t.events.size(), 2u);
+  EXPECT_EQ(t.events[0].time, 100);   // doc A: earliest epoch = base
+  EXPECT_EQ(t.events[1].time, 3100);  // doc B: rebased by the epoch delta
+}
+
 }  // namespace
 }  // namespace ecfd::obs

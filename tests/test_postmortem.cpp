@@ -1,0 +1,210 @@
+// Tests for the crash flight recorder (obs/flight.hpp): the in-process
+// ecfd.postmortem.v1 round-trip, the metrics persisted with it, malformed
+// input rejection, and the property the subsystem exists for — a child
+// process that dies on SIGSEGV leaves behind a readable image whose
+// timeline ends at the moment of death.
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/flight.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/timeline.hpp"
+
+namespace ecfd::obs {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(Postmortem, OrderlyRoundTripRecoversEventsAndMetrics) {
+  Recorder rec(256);
+  rec.bind_hosts(3);
+  rec.meta().source = "socket";
+  rec.meta().clock = ClockDomain::kMonotonic;
+  rec.meta().wall_epoch_us = 1'700'000'000'000'000;
+  rec.ring(1).push(100, EventType::kSend, /*a=*/2);
+  rec.ring(1).push(250, EventType::kDeliver, /*a=*/0);
+  rec.state_ring(1).push(300, EventType::kSuspect, /*a=*/2);
+  rec.system_ring().push(400, EventType::kVerdict, /*a=*/1);
+
+  MetricsRegistry reg;
+  reg.add("net.sent.p0", 42);
+  reg.set_gauge("fd.suspected", 1);
+
+  const std::string path = temp_path("ecfd_pm_roundtrip.bin");
+  FlightRecorder fr;
+  std::string error;
+  ASSERT_TRUE(fr.open(path, &rec, /*self=*/1, &error)) << error;
+  fr.set_metrics(&reg);
+  fr.snapshot(/*now=*/500);
+  fr.close();
+
+  TimelineDoc doc;
+  PostmortemInfo info;
+  ASSERT_TRUE(read_postmortem(path, &doc, &info, &error)) << error;
+  EXPECT_EQ(info.node, 1);
+  EXPECT_EQ(info.signal, 0);  // orderly: no synthetic crash event
+  EXPECT_EQ(info.snapshots, 2u);  // open() takes one, snapshot() another
+  ASSERT_EQ(doc.events.size(), 4u);
+  EXPECT_EQ(doc.meta.source, "socket");
+  EXPECT_EQ(doc.meta.clock, ClockDomain::kMonotonic);
+  EXPECT_EQ(doc.meta.wall_epoch_us, 1'700'000'000'000'000);
+
+  // Time-sorted, and no synthetic kCrash at the end.
+  EXPECT_EQ(doc.events.front().time, 100);
+  EXPECT_EQ(doc.events.back().time, 400);
+  EXPECT_EQ(doc.events.back().type, EventType::kVerdict);
+  bool saw_suspect = false;
+  for (const Event& e : doc.events) {
+    if (e.type == EventType::kSuspect && e.host == 1 && e.a == 2) {
+      saw_suspect = true;
+    }
+  }
+  EXPECT_TRUE(saw_suspect);
+
+  bool saw_counter = false;
+  for (const auto& [name, value] : info.counters) {
+    if (name == "net.sent.p0" && value == 42) saw_counter = true;
+  }
+  EXPECT_TRUE(saw_counter);
+  bool saw_gauge = false;
+  for (const auto& [name, value] : info.gauges) {
+    if (name == "fd.suspected" && value == 1) saw_gauge = true;
+  }
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(Postmortem, RingOverflowKeepsTheNewestEvents) {
+  Recorder rec(/*depth=*/8);
+  rec.bind_hosts(1);
+  for (int i = 0; i < 100; ++i) {
+    rec.ring(0).push(1000 + i, EventType::kSend, 0);
+  }
+  const std::string path = temp_path("ecfd_pm_overflow.bin");
+  FlightRecorder fr;
+  std::string error;
+  ASSERT_TRUE(fr.open(path, &rec, 0, &error)) << error;
+  fr.snapshot(2000);
+  fr.close();
+
+  TimelineDoc doc;
+  PostmortemInfo info;
+  ASSERT_TRUE(read_postmortem(path, &doc, &info, &error)) << error;
+  ASSERT_EQ(doc.events.size(), 8u);  // newest 8 survive the wrap
+  EXPECT_EQ(doc.events.front().time, 1092);
+  EXPECT_EQ(doc.events.back().time, 1099);
+  EXPECT_GT(doc.dropped, 0u);
+}
+
+TEST(Postmortem, RejectsMalformedInput) {
+  TimelineDoc doc;
+  PostmortemInfo info;
+  std::string error;
+  EXPECT_FALSE(read_postmortem(temp_path("ecfd_pm_missing.bin"), &doc, &info,
+                               &error));
+
+  const std::string path = temp_path("ecfd_pm_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "definitely not a postmortem image";
+  }
+  error.clear();
+  EXPECT_FALSE(read_postmortem(path, &doc, &info, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Valid image, truncated mid-file: must fail cleanly, not crash.
+  Recorder rec(64);
+  rec.bind_hosts(1);
+  rec.ring(0).push(1, EventType::kSend, 0);
+  const std::string full = temp_path("ecfd_pm_truncated.bin");
+  FlightRecorder fr;
+  ASSERT_TRUE(fr.open(full, &rec, 0, &error)) << error;
+  fr.snapshot(10);
+  fr.close();
+  std::ifstream is(full, std::ios::binary);
+  std::vector<char> bytes((std::istreambuf_iterator<char>(is)),
+                          std::istreambuf_iterator<char>());
+  is.close();
+  {
+    std::ofstream os(full, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  error.clear();
+  EXPECT_FALSE(read_postmortem(full, &doc, &info, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+// The real contract: a SIGSEGV death leaves a readable image. The child
+// re-raises from the handler with SA_RESETHAND, so the parent observes the
+// original signal in the wait status; the parent then reads the mapping
+// the kernel kept alive in the page cache.
+TEST(Postmortem, SigsegvChildLeavesTimelineEndingAtTheCrash) {
+  const std::string path = temp_path("ecfd_pm_sigsegv.bin");
+  std::remove(path.c_str());
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child. No gtest asserts in here — on any failure just _exit(3) so
+    // the parent sees a non-signal status and fails the test.
+    Recorder rec(256);
+    rec.bind_hosts(2);
+    rec.ring(0).push(10, EventType::kSend, 1);
+    rec.state_ring(0).push(20, EventType::kSuspect, 1);
+    MetricsRegistry reg;
+    reg.add("net.sent.p1", 7);
+    FlightRecorder fr;
+    std::string error;
+    if (!fr.open(path, &rec, 0, &error)) _exit(3);
+    fr.set_metrics(&reg);
+    fr.snapshot(25);
+    FlightRecorder::install_crash_handler(&fr);
+    rec.ring(0).push(30, EventType::kDeliver, 1);  // after the snapshot
+    ::raise(SIGSEGV);
+    _exit(3);  // unreachable: the reset handler re-raises
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status)) << "child exited with status " << status;
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  TimelineDoc doc;
+  PostmortemInfo info;
+  std::string error;
+  ASSERT_TRUE(read_postmortem(path, &doc, &info, &error)) << error;
+  EXPECT_EQ(info.node, 0);
+  EXPECT_EQ(info.signal, SIGSEGV);
+  ASSERT_GE(doc.events.size(), 4u);
+
+  // The deliver pushed AFTER the last cold snapshot is only in the image
+  // because the signal handler re-dumped the rings.
+  bool saw_post_snapshot_event = false;
+  for (const Event& e : doc.events) {
+    if (e.type == EventType::kDeliver && e.time == 30) {
+      saw_post_snapshot_event = true;
+    }
+  }
+  EXPECT_TRUE(saw_post_snapshot_event);
+
+  // The timeline ends at the synthetic crash marker.
+  const Event& last = doc.events.back();
+  EXPECT_EQ(last.type, EventType::kCrash);
+  EXPECT_EQ(last.host, 0);
+  EXPECT_EQ(last.a, SIGSEGV);
+  EXPECT_GE(last.time, 25);  // at or after the last env-clock reading
+}
+
+}  // namespace
+}  // namespace ecfd::obs

@@ -523,5 +523,78 @@ TEST(WireCodec, RejectsOversizedLengthFieldsWithoutAllocating) {
   EXPECT_FALSE(decode_message(f).has_value());
 }
 
+// --- causal sequence tagging ----------------------------------------------
+//
+// The kFlagCausalSeq flags bit inserts a u64 send sequence right after the
+// flags byte, letting ecfd_trace stitch exact send->deliver edges across
+// processes. The tag is only ever emitted while a recorder is attached, so
+// untraced frames must stay byte-identical to the pre-flag format.
+
+TEST(WireCodec, CausalSeqRoundTrips) {
+  Message m = base(protocol_ids::kCToP, 1, "ctp.alive");
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  ASSERT_TRUE(encode_message(m, &frame, &error, /*causal_seq=*/0xABCDEF12345ULL))
+      << error;
+  EXPECT_EQ(frame[3], kFlagCausalSeq);
+
+  std::uint64_t seq = 0;
+  auto decoded = decode_message(frame.data(), frame.size(), &error, &seq);
+  ASSERT_TRUE(decoded.has_value()) << error;
+  EXPECT_EQ(seq, 0xABCDEF12345ULL);
+  EXPECT_EQ(decoded->src, m.src);
+  EXPECT_STREQ(decoded->label, m.label);
+
+  // A decoder that doesn't care about the tag still accepts the frame.
+  EXPECT_TRUE(decode_message(frame).has_value());
+}
+
+TEST(WireCodec, UntaggedFramesAreByteIdenticalToLegacy) {
+  const Message m = base(protocol_ids::kCToP, 1, "ctp.alive");
+  std::vector<std::uint8_t> plain;
+  std::vector<std::uint8_t> explicit_zero;
+  std::string error;
+  ASSERT_TRUE(encode_message(m, &plain, &error));
+  ASSERT_TRUE(encode_message(m, &explicit_zero, &error, /*causal_seq=*/0));
+  EXPECT_EQ(plain, explicit_zero);
+  EXPECT_EQ(plain[3], 0);  // flags byte stays zero
+
+  std::vector<std::uint8_t> tagged;
+  ASSERT_TRUE(encode_message(m, &tagged, &error, /*causal_seq=*/1));
+  EXPECT_EQ(tagged.size(), plain.size() + 8);  // exactly the u64 tag
+
+  // Decoding an untagged frame reports seq 0 ("no tag").
+  std::uint64_t seq = 99;
+  ASSERT_TRUE(decode_message(plain.data(), plain.size(), &error, &seq));
+  EXPECT_EQ(seq, 0u);
+}
+
+TEST(WireCodec, RejectsAZeroCausalSeqOnTheWire) {
+  // seq 0 means "untagged" and must never appear in a flagged frame; a
+  // frame carrying it is structurally invalid. Seq bytes sit at [4, 12).
+  Message m = base(protocol_ids::kCToP, 1, "ctp.alive");
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  ASSERT_TRUE(encode_message(m, &frame, &error, /*causal_seq=*/7));
+  for (std::size_t i = 4; i < 12; ++i) frame[i] = 0;
+  fix_crc(frame);
+  EXPECT_FALSE(decode_message(frame).has_value());
+}
+
+TEST(WireCodec, TaggedFrameRejectsEveryTruncation) {
+  Message m = base(protocol_ids::kCToP, 1, "ctp.alive");
+  std::vector<std::uint8_t> frame;
+  std::string error;
+  ASSERT_TRUE(encode_message(m, &frame, &error, /*causal_seq=*/42));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    auto cut = std::vector<std::uint8_t>(frame.begin(), frame.begin() + len);
+    EXPECT_FALSE(decode_message(cut).has_value()) << "length " << len;
+    if (len >= 4) {
+      fix_crc(cut);
+      EXPECT_FALSE(decode_message(cut).has_value()) << "refit length " << len;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ecfd::wire

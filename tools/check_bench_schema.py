@@ -8,6 +8,8 @@ Usage:
   check_bench_schema.py --chrome FILE.json
   check_bench_schema.py --bench-net FILE.json
   check_bench_schema.py --bench-fd-scale FILE.json
+  check_bench_schema.py --bench-obs FILE.json
+  check_bench_schema.py --postmortem FILE.bin
 
 Default mode compares two ecfd.bench.v1 reports. Wall-clock benchmark
 numbers move between machines and runs, so CI cannot gate on them. What CI
@@ -35,6 +37,15 @@ must show both scalable stacks >= 10x cheaper than the flat heartbeat.
 Wall-clock cells (sections 2 and 3) are checked for presence and type
 only, per the schema-not-values rule above.
 
+--bench-obs validates the checked-in bench/bench_obs report
+(BENCH_OBS.json): the three-section shape (recorder_push, qos_ingest,
+flight_snapshot) with every required case row present; measurement cells
+are type-checked only. --postmortem validates an ecfd.postmortem.v1 crash
+image byte-for-byte against the documented binary layout — an independent
+reimplementation of the header/ring/metric structs from src/obs/flight.cpp,
+so a C++-side layout drift that the C++ reader would silently follow still
+fails CI.
+
 Exit status: 0 on match, 1 on mismatch (with a diff-style explanation on
 stderr), 2 on unreadable input.
 """
@@ -45,7 +56,8 @@ import sys
 TRACE_EVENT_TYPES = {
     "send", "deliver", "timer_set", "timer_cancel", "drop", "suspect",
     "unsuspect", "leader_change", "round_start", "decide", "crash",
-    "verdict", "note", "lease_grant", "lease_revoke",
+    "verdict", "note", "lease_grant", "lease_revoke", "wire_send",
+    "wire_deliver",
 }
 
 
@@ -358,9 +370,170 @@ def check_bench_fd_scale(path: str) -> int:
     return 0
 
 
+# The pinned shape of the bench_obs report (BENCH_OBS.json): per section,
+# the headers and the leading cells of every required row. Wall-clock
+# costs move between machines, so only presence and numeric type of the
+# measurement cells are enforced.
+BENCH_OBS_SECTIONS = (
+    ("recorder_push",
+     ("case", "threads", "ops", "ns_op"),
+     (("hot_push",), ("disabled_push",), ("contended_push",))),
+    ("qos_ingest",
+     ("case", "n", "ops", "ns_op"),
+     (("ingest",), ("export_gauges",))),
+    ("flight_snapshot",
+     ("case", "depth", "ops", "us_op"),
+     (("snapshot", 1024), ("crash_dump", 1024),
+      ("snapshot", 4096), ("crash_dump", 4096),
+      ("snapshot", 16384), ("crash_dump", 16384))),
+)
+
+
+def check_bench_obs(path: str) -> int:
+    """Validates the checked-in bench_obs report."""
+    doc = load(path)
+    if doc.get("schema") != "ecfd.bench.v1":
+        fail(f"{path}: schema tag '{doc.get('schema')}' != 'ecfd.bench.v1'")
+    if doc.get("bench") != "obs":
+        fail(f"{path}: bench name '{doc.get('bench')}' != 'obs'")
+    check_host(doc, path)
+    tables = doc.get("tables")
+    if not isinstance(tables, list) or len(tables) != len(BENCH_OBS_SECTIONS):
+        got = len(tables) if isinstance(tables, list) else type(tables).__name__
+        fail(f"{path}: expected {len(BENCH_OBS_SECTIONS)} tables, got {got}")
+    for i, ((section, headers, required), t) in enumerate(
+        zip(BENCH_OBS_SECTIONS, tables)
+    ):
+        if t.get("section") != section:
+            fail(f"{path}: tables[{i}] section '{t.get('section')}' "
+                 f"!= '{section}'")
+        if tuple(t.get("headers", ())) != headers:
+            fail(f"{path}: tables[{i}] ('{section}') headers "
+                 f"{t.get('headers')} != {list(headers)}")
+        rows = t.get("rows")
+        if not isinstance(rows, list):
+            fail(f"{path}: tables[{i}] ('{section}') rows missing")
+        seen = set()
+        for j, row in enumerate(rows):
+            if len(row) != len(headers):
+                fail(f"{path}: tables[{i}] row {j} has {len(row)} cells "
+                     f"for {len(headers)} headers")
+            for cell in row[1:]:
+                if not isinstance(cell, (int, float)):
+                    fail(f"{path}: tables[{i}] row {j} non-numeric "
+                         f"measurement {cell!r}")
+            seen.add(tuple(row[:len(required[0])]))
+        for key in required:
+            if key not in seen:
+                fail(f"{path}: tables[{i}] ('{section}') missing required "
+                     f"row {key}")
+    print(f"bench_obs schema OK: {path}, {len(tables)} sections")
+    return 0
+
+
+# ecfd.postmortem.v1 binary layout, mirrored from src/obs/flight.cpp (the
+# structs there carry static_asserts pinning these sizes). Little-endian,
+# naturally aligned.
+PM_MAGIC = b"ECFDPM01"
+PM_HEADER_FMT = "<8sIIiiqqqqQQII16sIIIIIIIII"  # 136 bytes
+PM_HEADER_BYTES = 136
+PM_RING_DESC_FMT = "<iIQQ"   # host, kind, depth, head = 24 bytes
+PM_RING_DESC_BYTES = 24
+PM_METRIC_FMT = "<I52sq"     # kind, name, value = 64 bytes
+PM_METRIC_BYTES = 64
+PM_RAW_EVENT_FMT = "<qqiiII"  # time, b, a, label, type, pad = 32 bytes
+PM_RAW_EVENT_BYTES = 32
+PM_NUM_EVENT_TYPES = 18
+
+
+def check_postmortem(path: str) -> int:
+    """Validates one ecfd.postmortem.v1 crash image structurally, without
+    going through the C++ reader: an independent check that the on-disk
+    layout still matches the documented format."""
+    import struct
+
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        print(f"cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if len(blob) < PM_HEADER_BYTES:
+        fail(f"{path}: {len(blob)} bytes is smaller than the header")
+    (magic, version, header_bytes, node, n, wall_epoch_us, crash_time_us,
+     base_env_time_us, base_mono_us, snapshot_count, file_bytes,
+     crash_signal, clock, source, strings_off, strings_cap, strings_len,
+     string_count, metrics_off, metrics_cap, metrics_count, rings_off,
+     ring_count) = struct.unpack_from(PM_HEADER_FMT, blob, 0)
+    if magic != PM_MAGIC:
+        fail(f"{path}: magic {magic!r} != {PM_MAGIC!r}")
+    if version != 1:
+        fail(f"{path}: version {version} != 1")
+    if header_bytes != PM_HEADER_BYTES:
+        fail(f"{path}: header_bytes {header_bytes} != {PM_HEADER_BYTES}")
+    if file_bytes != len(blob):
+        fail(f"{path}: header says {file_bytes} bytes, file has {len(blob)}")
+    if node < 0 or n <= 0 or node >= n:
+        fail(f"{path}: node {node} out of range for n={n}")
+    if clock not in (0, 1):
+        fail(f"{path}: clock {clock} not 0 (virtual) / 1 (monotonic)")
+    src = source.split(b"\0", 1)[0].decode("ascii", "replace")
+    if not src:
+        fail(f"{path}: empty source string")
+    if snapshot_count == 0:
+        fail(f"{path}: snapshot_count is 0 (open() always dumps once)")
+    if strings_len > strings_cap or strings_off + strings_len > len(blob):
+        fail(f"{path}: string table [{strings_off}, +{strings_len}] "
+             "out of bounds")
+    if metrics_count > metrics_cap:
+        fail(f"{path}: metrics_count {metrics_count} > cap {metrics_cap}")
+    if metrics_off + metrics_count * PM_METRIC_BYTES > len(blob):
+        fail(f"{path}: metrics region out of bounds")
+    for i in range(metrics_count):
+        kind, name, _value = struct.unpack_from(
+            PM_METRIC_FMT, blob, metrics_off + i * PM_METRIC_BYTES)
+        if kind not in (0, 1):
+            fail(f"{path}: metric[{i}] kind {kind} not counter/gauge")
+        if b"\0" not in name:
+            fail(f"{path}: metric[{i}] name not NUL-terminated")
+    if ring_count == 0:
+        fail(f"{path}: no rings persisted")
+    events = 0
+    off = rings_off
+    for i in range(ring_count):
+        if off + PM_RING_DESC_BYTES > len(blob):
+            fail(f"{path}: ring[{i}] descriptor out of bounds")
+        host, kind, depth, head = struct.unpack_from(
+            PM_RING_DESC_FMT, blob, off)
+        if host < -1 or host >= n:
+            fail(f"{path}: ring[{i}] host {host} out of range for n={n}")
+        if kind not in (0, 1, 2):
+            fail(f"{path}: ring[{i}] kind {kind} not hot/state/system")
+        if depth == 0 or depth & (depth - 1):
+            fail(f"{path}: ring[{i}] depth {depth} not a power of two")
+        off += PM_RING_DESC_BYTES
+        if off + depth * PM_RAW_EVENT_BYTES > len(blob):
+            fail(f"{path}: ring[{i}] slots out of bounds")
+        live = min(head, depth)
+        for j in range(live):
+            _t, _b, _a, _label, etype, _pad = struct.unpack_from(
+                PM_RAW_EVENT_FMT, blob, off + j * PM_RAW_EVENT_BYTES)
+            if etype >= PM_NUM_EVENT_TYPES:
+                fail(f"{path}: ring[{i}] slot {j} event type {etype} "
+                     f"out of range")
+        events += live
+        off += depth * PM_RAW_EVENT_BYTES
+    death = (f"signal {crash_signal}" if crash_signal else "orderly close")
+    print(f"postmortem OK: {path}, node {node}/{n}, source '{src}', "
+          f"{ring_count} rings, {events} events, {snapshot_count} "
+          f"snapshots, {death}")
+    return 0
+
+
 def main() -> int:
     if len(sys.argv) == 3 and sys.argv[1] in (
-        "--metrics", "--trace", "--chrome", "--bench-net", "--bench-fd-scale"
+        "--metrics", "--trace", "--chrome", "--bench-net", "--bench-fd-scale",
+        "--bench-obs", "--postmortem"
     ):
         mode, path = sys.argv[1], sys.argv[2]
         if mode == "--metrics":
@@ -371,6 +544,10 @@ def main() -> int:
             return check_bench_net(path)
         if mode == "--bench-fd-scale":
             return check_bench_fd_scale(path)
+        if mode == "--bench-obs":
+            return check_bench_obs(path)
+        if mode == "--postmortem":
+            return check_postmortem(path)
         return check_chrome(path)
     if len(sys.argv) != 3:
         print(__doc__, file=sys.stderr)

@@ -29,6 +29,10 @@
 //   --verify           read back every key at the end; exit 1 if any
 //                      acked write was lost (the smoke test's teeth)
 //   --json FILE        mirror results as ecfd.bench.v1 (bench/table.hpp)
+//   --metrics FILE     write client-side metrics as ecfd.metrics.v1 JSON:
+//                      kv.client.read_us / kv.client.write_us latency
+//                      histograms plus op/failure/redirect/timeout
+//                      counters (with --suite, the last cell wins)
 //
 // Output: a fixed-width table (throughput, p50/p95/p99 latency, retries)
 // plus per-run accounting; exit 0 on success, 1 on verification failure,
@@ -39,6 +43,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
@@ -49,6 +54,7 @@
 
 #include "bench/table.hpp"
 #include "kv/client.hpp"
+#include "obs/metrics.hpp"
 #include "sim/rng.hpp"
 #include "transport/node_config.hpp"
 
@@ -75,6 +81,7 @@ struct BenchOptions {
   std::int64_t timeout_ms{200};
   bool verify{false};
   bool suite{false};
+  std::string metrics_path;  ///< ecfd.metrics.v1 JSON (empty = off)
 };
 
 /// Zipf(theta) sampler over [0, n) via inverse-CDF on a precomputed table
@@ -106,6 +113,8 @@ struct ClientResult {
   std::int64_t failures{0};  ///< calls with no reply (attempt budget gone)
   kv::KvClient::Stats net;
   std::vector<std::int64_t> latencies_us;
+  std::vector<std::int64_t> read_lat_us;   ///< successful GETs only
+  std::vector<std::int64_t> write_lat_us;  ///< acked write envelopes only
   /// key -> (last acked value, was the *last issued* write acked?). Keys
   /// are partitioned per client, so this is the ground truth for --verify.
   std::map<std::string, std::pair<std::string, bool>> last_write;
@@ -171,6 +180,7 @@ ClientResult run_client(int idx, const transport::NodeConfig& cfg,
       if (st == kv::Status::kOk || st == kv::Status::kNotFound) {
         ++res.reads;
         res.latencies_us.push_back(wall_us() - t0);
+        res.read_lat_us.push_back(res.latencies_us.back());
       } else {
         ++res.failures;
       }
@@ -197,6 +207,7 @@ ClientResult run_client(int idx, const transport::NodeConfig& cfg,
       const auto reply = client.execute(std::move(ops));
       if (reply && reply->status == kv::Status::kOk) {
         res.latencies_us.push_back(wall_us() - t0);
+        res.write_lat_us.push_back(res.latencies_us.back());
         for (std::size_t b = 0; b < reply->results.size(); ++b) {
           if (reply->results[b].status != kv::Status::kOk) {
             ++res.failures;
@@ -322,6 +333,31 @@ int run_bench(const transport::NodeConfig& cfg, const BenchOptions& opt) {
   std::cout << "elapsed " << elapsed_s << " s, " << attempts
             << " datagrams sent\n";
 
+  if (!opt.metrics_path.empty()) {
+    // Client-side view of the service, in the same registry format the
+    // servers export: per-op latency histograms + outcome counters.
+    obs::MetricsRegistry reg;
+    obs::Histogram* read_h = reg.histogram("kv.client.read_us");
+    obs::Histogram* write_h = reg.histogram("kv.client.write_us");
+    for (const auto& r : results) {
+      for (const std::int64_t v : r.read_lat_us) read_h->observe(v);
+      for (const std::int64_t v : r.write_lat_us) write_h->observe(v);
+    }
+    reg.add("kv.client.ops", ops);
+    reg.add("kv.client.acked_writes", acked);
+    reg.add("kv.client.reads", reads);
+    reg.add("kv.client.failures", failures);
+    reg.add("kv.client.redirects", redirects);
+    reg.add("kv.client.timeouts", timeouts);
+    reg.add("kv.client.attempts", attempts);
+    std::ofstream os(opt.metrics_path);
+    if (!os) {
+      std::cerr << "ecfd_kv: cannot open " << opt.metrics_path << "\n";
+      return 2;
+    }
+    reg.write_json(os, "ecfd_kv");
+  }
+
   int rc = 0;
   if (opt.verify) {
     const std::int64_t lost = verify(cfg, opt, results);
@@ -370,7 +406,7 @@ void usage() {
          "  bench [--clients N] [--ops N] [--duration-ms MS] [--read-pct P]\n"
          "        [--keys N] [--dist uniform|zipf] [--value-bytes B]\n"
          "        [--batch N] [--no-lease] [--timeout-ms MS] [--verify]\n"
-         "        [--suite] [--json FILE]\n";
+         "        [--suite] [--json FILE] [--metrics FILE]\n";
 }
 
 }  // namespace
@@ -472,6 +508,8 @@ int main(int argc, char** argv) {
       } else if (a == "--json") {
         // handled by bench::init below; need argc/argv-style passthrough
         ++i;
+      } else if (a == "--metrics") {
+        opt.metrics_path = next();
       } else {
         std::cerr << "ecfd_kv: unknown bench option " << a << "\n";
         return 2;

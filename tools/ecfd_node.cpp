@@ -35,14 +35,21 @@
 //                Tunables come from the config's [kv] section.
 //   --run-ms     exit after this long (default: run until killed)
 //   --report-ms  output period (default 500)
-//   --metrics-port P  serve the live counter registry as a plain-text
-//                HTTP endpoint on 127.0.0.1:P (curl or nc it any time);
-//                GET /metrics.json returns the same registry as an
-//                ecfd.metrics.v1 JSON document
+//   --metrics-port P  serve the live registry over HTTP on 127.0.0.1:P:
+//                GET /metrics       Prometheus text exposition
+//                GET /metrics.json  ecfd.metrics.v1 JSON
+//                GET /metrics.txt   human-readable counter dump
+//                GET /qos           per-peer FD QoS scoreboard (needs a
+//                                   recorder: --trace or --postmortem)
 //   --metrics FILE  write the final registry as ecfd.metrics.v1 JSON
 //   --trace FILE  record typed events and write this node's ecfd.trace.v1
 //                timeline at exit; merge the per-node files with
 //                tools/ecfd_trace (wall-clock epochs align them)
+//   --postmortem FILE  keep an mmap-backed ecfd.postmortem.v1 flight
+//                image at FILE: ring snapshots + metrics are refreshed
+//                every report period and on SIGSEGV/SIGABRT/SIGBUS, so
+//                the file survives the crash; render it afterwards with
+//                ecfd_trace --postmortem FILE
 //
 // Output: one JSON line per report period on stdout,
 //   {"t_ms":1500,"node":0,"fd":"ecfd","suspected":[2],"trusted":1,
@@ -51,20 +58,16 @@
 // Exit code: 0 on clean --run-ms exit, 2 on usage/config errors.
 // See README.md ("Real-network quickstart") and examples/cluster_demo.sh.
 
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <sstream>
 #include <string>
-#include <thread>
 
 #include "broadcast/reliable_broadcast.hpp"
 #include "core/c_to_p.hpp"
@@ -75,6 +78,9 @@
 #include "fd/heartbeat_p.hpp"
 #include "fd/stable_leader.hpp"
 #include "kv/service.hpp"
+#include "obs/flight.hpp"
+#include "obs/http_export.hpp"
+#include "obs/qos.hpp"
 #include "transport/dgram_env.hpp"
 #include "transport/node_config.hpp"
 
@@ -101,9 +107,12 @@ void usage() {
       "  --run-ms MS     exit after MS ms (default: until SIGINT/SIGTERM)\n"
       "  --report-ms MS  report period (default 500)\n"
       "  --verbose       trace protocol events to stderr\n"
-      "  --metrics-port P  serve live counters as text on 127.0.0.1:P\n"
+      "  --metrics-port P  serve /metrics (Prometheus), /metrics.json,\n"
+      "                  /metrics.txt and /qos over HTTP on 127.0.0.1:P\n"
       "  --metrics FILE  write final counters as ecfd.metrics.v1 JSON\n"
-      "  --trace FILE    write this node's ecfd.trace.v1 timeline at exit\n";
+      "  --trace FILE    write this node's ecfd.trace.v1 timeline at exit\n"
+      "  --postmortem FILE  keep a crash-surviving ecfd.postmortem.v1\n"
+      "                  flight image at FILE (ecfd_trace --postmortem)\n";
 }
 
 /// The assembled detector stack; all protocols are owned by the env, the
@@ -211,64 +220,6 @@ std::string report_line(TimeUs t, ProcessId self, const std::string& fd,
   return out;
 }
 
-/// Serves the registry's text exposition on 127.0.0.1:\p port, one
-/// connection at a time, from a detached thread. MetricsRegistry reads are
-/// thread-safe (atomic cells), so the event loop is never blocked.
-/// Returns false (with a perror) when the port cannot be bound.
-bool serve_metrics(std::uint16_t port, obs::MetricsRegistry& metrics) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("ecfd_node: metrics socket");
-    return false;
-  }
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(fd, 4) < 0) {
-    std::perror("ecfd_node: metrics bind/listen");
-    ::close(fd);
-    return false;
-  }
-  std::thread([fd, &metrics] {
-    for (;;) {
-      const int conn = ::accept(fd, nullptr, nullptr);
-      if (conn < 0) continue;
-      // One short read is enough for the request line of every client we
-      // care about (curl/nc); the path chooses the representation.
-      char req[1024] = {};
-      const ssize_t got = ::recv(conn, req, sizeof(req) - 1, 0);
-      const bool want_json =
-          got > 0 && std::string(req, static_cast<std::size_t>(got))
-                             .find("/metrics.json") != std::string::npos;
-      std::ostringstream body;
-      std::string content_type = "text/plain";
-      if (want_json) {
-        metrics.write_json(body, "ecfd_node");
-        content_type = "application/json";
-      } else {
-        metrics.write_text(body);
-      }
-      const std::string text = body.str();
-      const std::string resp =
-          "HTTP/1.0 200 OK\r\nContent-Type: " + content_type +
-          "\r\nContent-Length: " +
-          std::to_string(text.size()) + "\r\n\r\n" + text;
-      std::size_t off = 0;
-      while (off < resp.size()) {
-        const ssize_t w = ::write(conn, resp.data() + off, resp.size() - off);
-        if (w <= 0) break;
-        off += static_cast<std::size_t>(w);
-      }
-      ::close(conn);
-    }
-  }).detach();
-  return true;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -285,6 +236,7 @@ int main(int argc, char** argv) {
   int metrics_port = -1;
   std::string metrics_path;
   std::string trace_path;
+  std::string postmortem_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -324,6 +276,8 @@ int main(int argc, char** argv) {
       metrics_path = next();
     } else if (a == "--trace") {
       trace_path = next();
+    } else if (a == "--postmortem") {
+      postmortem_path = next();
     } else {
       std::cerr << "unknown argument: " << a << "\n";
       usage();
@@ -378,15 +332,76 @@ int main(int argc, char** argv) {
   if (!note.empty()) std::cerr << "ecfd_node: " << note << "\n";
   DgramEnv& env = *env_ptr;
 
+  // A recorder feeds the trace file, the flight recorder AND the live QoS
+  // scoreboard, so any of those features turns it on.
   std::unique_ptr<obs::Recorder> recorder;
-  if (!trace_path.empty()) {
+  if (!trace_path.empty() || !postmortem_path.empty() || metrics_port >= 0) {
     recorder = std::make_unique<obs::Recorder>(4096);
     env.attach_recorder(recorder.get());
   }
-  if (metrics_port >= 0 &&
-      !serve_metrics(static_cast<std::uint16_t>(metrics_port),
-                     env.metrics())) {
-    return 2;
+
+  // Live per-peer QoS scoreboard (Chen/Toueg/Aguilera estimators), fed by
+  // draining this node's state ring on the report timer. qos_mu covers the
+  // scoreboard against the HTTP thread reading /qos; the registry cells it
+  // updates are atomics and need no lock.
+  obs::QosScoreboard qos(cfg->n());
+  std::mutex qos_mu;
+  std::uint64_t qos_next_seq = 0;
+  std::vector<obs::Event> qos_events;
+  std::vector<std::uint64_t> qos_seqs;
+  if (recorder != nullptr) qos.bind_metrics(&env.metrics());
+  auto drain_qos = [&]() {
+    if (recorder == nullptr) return;
+    const std::lock_guard<std::mutex> lock(qos_mu);
+    recorder->state_ring(id).snapshot(&qos_events, &qos_seqs);
+    for (std::size_t i = 0; i < qos_events.size(); ++i) {
+      if (qos_seqs[i] < qos_next_seq) continue;
+      qos.ingest(qos_events[i]);
+    }
+    if (!qos_seqs.empty()) qos_next_seq = qos_seqs.back() + 1;
+    qos.export_gauges(id, env.now());
+  };
+
+  // Crash flight recorder: an mmap-backed postmortem image refreshed every
+  // report period; the signal handler re-dumps the rings at the moment of
+  // death, and MAP_SHARED dirty pages survive the process.
+  obs::FlightRecorder flight;
+  if (!postmortem_path.empty()) {
+    if (!flight.open(postmortem_path, recorder.get(), id, &error)) {
+      std::cerr << "ecfd_node: " << error << "\n";
+      return 2;
+    }
+    flight.set_metrics(&env.metrics());
+    obs::FlightRecorder::install_crash_handler(&flight);
+  }
+
+  obs::MetricsHttpServer http;
+  if (metrics_port >= 0) {
+    http.handle("/metrics", "text/plain; version=0.0.4", [&env]() {
+      std::ostringstream os;
+      env.metrics().write_prometheus(os);
+      return os.str();
+    });
+    http.handle("/metrics.json", "application/json", [&env]() {
+      std::ostringstream os;
+      env.metrics().write_json(os, "ecfd_node");
+      return os.str();
+    });
+    http.handle("/metrics.txt", "text/plain", [&env]() {
+      std::ostringstream os;
+      env.metrics().write_text(os);
+      return os.str();
+    });
+    http.handle("/qos", "text/plain", [&qos, &qos_mu]() {
+      std::ostringstream os;
+      const std::lock_guard<std::mutex> lock(qos_mu);
+      qos.write_table(os);
+      return os.str();
+    });
+    if (!http.start(metrics_port, &error)) {
+      std::cerr << "ecfd_node: " << error << "\n";
+      return 2;
+    }
   }
 
   Stack stack = build_fd(env, *cfg, fd_name);
@@ -451,11 +466,15 @@ int main(int argc, char** argv) {
 
   env.start();
 
-  // Report timer: one JSON line per period, re-armed forever.
+  // Report timer: one JSON line per period, re-armed forever. The same
+  // tick drains the state ring into the QoS scoreboard and refreshes the
+  // flight image, so the postmortem is never staler than one period.
   std::function<void()> report = [&]() {
     std::cout << report_line(env.now(), id, fd_name, env.backend_name(),
                              stack, cons, kvs, env.counters(), env.n())
               << std::endl;  // flush: readers are pipes and demo scripts
+    drain_qos();
+    if (flight.is_open()) flight.snapshot(env.now());
     env.set_timer(msec(report_ms), report);
   };
   env.set_timer(msec(report_ms), report);
@@ -489,6 +508,17 @@ int main(int argc, char** argv) {
                            stack, cons, kvs, env.counters(), env.n())
             << std::endl;
 
+  // Orderly teardown of the observability tier: final QoS drain, final
+  // flight snapshot (no crash signal stamped), handler deregistered before
+  // the flight image unmaps, HTTP server stopped and joined.
+  drain_qos();
+  if (flight.is_open()) {
+    flight.snapshot(env.now());
+    obs::FlightRecorder::install_crash_handler(nullptr);
+    flight.close();
+  }
+  http.stop();
+
   if (!metrics_path.empty()) {
     std::ofstream os(metrics_path);
     if (!os) {
@@ -497,7 +527,7 @@ int main(int argc, char** argv) {
     }
     env.metrics().write_json(os, "ecfd_node");
   }
-  if (recorder != nullptr) {
+  if (recorder != nullptr && !trace_path.empty()) {
     std::ofstream os(trace_path);
     if (!os) {
       std::cerr << "ecfd_node: cannot open " << trace_path << "\n";

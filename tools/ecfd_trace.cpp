@@ -5,14 +5,23 @@
 // --trace per OS process), merges them onto a single time axis, and
 // renders the result:
 //
-//   ecfd_trace [--text FILE|-] [--chrome FILE|-] [--stats] TRACE...
+//   ecfd_trace [--text FILE|-] [--chrome FILE|-] [--qos FILE|-]
+//              [--stats] [--postmortem FILE]... [TRACE...]
 //
 //   --text OUT    human-readable timeline, one event per line
 //                 (default when no output flag is given: --text -)
 //   --chrome OUT  Chrome-trace JSON for chrome://tracing or Perfetto:
 //                 one Chrome "process" per host, suspicion intervals,
 //                 leader epochs and consensus rounds as spans
+//   --qos OUT     per-peer FD QoS scoreboard (Chen/Toueg/Aguilera T_D,
+//                 T_M, T_MR, P_A) replayed from the merged timeline's
+//                 kSuspect/kUnsuspect/kCrash transitions
 //   --stats       per-host and per-type event counts to stderr
+//   --postmortem FILE  read an ecfd.postmortem.v1 crash image (written
+//                 by ecfd_node --postmortem) as an input; its rings merge
+//                 into the timeline like any trace, a summary of the
+//                 death goes to stderr, and the timeline ends at a
+//                 synthetic crash event stamped by the signal handler
 //
 // Merging: virtual-time traces (simulator) pass through unchanged;
 // monotonic traces (threaded runtime, UDP nodes) are aligned by their
@@ -33,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/flight.hpp"
+#include "obs/qos.hpp"
 #include "obs/timeline.hpp"
 
 using namespace ecfd;
@@ -42,7 +53,8 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: ecfd_trace [--text FILE|-] [--chrome FILE|-] "
-               "[--stats] TRACE...\n");
+               "[--qos FILE|-] [--stats] [--postmortem FILE]... "
+               "[TRACE...]\n");
 }
 
 /// Writes via \p render either to stdout ("-") or to \p path.
@@ -94,8 +106,10 @@ void print_stats(const obs::MergedTimeline& t) {
 int main(int argc, char** argv) {
   std::string text_out;
   std::string chrome_out;
+  std::string qos_out;
   bool stats = false;
   std::vector<std::string> inputs;
+  std::vector<std::string> postmortems;
 
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -113,6 +127,10 @@ int main(int argc, char** argv) {
       text_out = next();
     } else if (a == "--chrome") {
       chrome_out = next();
+    } else if (a == "--qos") {
+      qos_out = next();
+    } else if (a == "--postmortem") {
+      postmortems.push_back(next());
     } else if (a == "--stats") {
       stats = true;
     } else if (!a.empty() && a[0] == '-' && a != "-") {
@@ -123,15 +141,47 @@ int main(int argc, char** argv) {
       inputs.push_back(a);
     }
   }
-  if (inputs.empty()) {
+  if (inputs.empty() && postmortems.empty()) {
     usage();
     return 2;
   }
-  if (text_out.empty() && chrome_out.empty() && !stats) text_out = "-";
+  if (text_out.empty() && chrome_out.empty() && qos_out.empty() && !stats) {
+    text_out = "-";
+  }
 
   std::vector<obs::TimelineDoc> docs;
   bool any_virtual = false;
   bool any_monotonic = false;
+  for (const std::string& path : postmortems) {
+    obs::TimelineDoc doc;
+    obs::PostmortemInfo info;
+    std::string error;
+    if (!obs::read_postmortem(path, &doc, &info, &error)) {
+      std::fprintf(stderr, "ecfd_trace: %s: %s\n", path.c_str(),
+                   error.c_str());
+      return 1;
+    }
+    if (info.signal != 0) {
+      std::fprintf(stderr,
+                   "ecfd_trace: %s: node %d died on signal %d at t=%lldus "
+                   "(%llu snapshots, %zu events recovered)\n",
+                   path.c_str(), info.node, info.signal,
+                   static_cast<long long>(info.crash_time_us),
+                   static_cast<unsigned long long>(info.snapshots),
+                   doc.events.size());
+    } else {
+      std::fprintf(stderr,
+                   "ecfd_trace: %s: node %d exited cleanly (%llu snapshots, "
+                   "%zu events)\n",
+                   path.c_str(), info.node,
+                   static_cast<unsigned long long>(info.snapshots),
+                   doc.events.size());
+    }
+    doc.origin = path;
+    (doc.meta.clock == obs::ClockDomain::kVirtual ? any_virtual
+                                                  : any_monotonic) = true;
+    docs.push_back(std::move(doc));
+  }
   for (const std::string& path : inputs) {
     std::ifstream is(path);
     if (!is) {
@@ -178,6 +228,15 @@ int main(int argc, char** argv) {
         obs::write_chrome_trace(os, merged);
       })) {
     return 1;
+  }
+  if (!qos_out.empty()) {
+    obs::QosScoreboard qos(merged.n);
+    qos.ingest_all(merged.events);
+    qos.finalize(merged.events.empty() ? 0 : merged.events.back().time);
+    if (!write_output(qos_out, "qos scoreboard",
+                      [&](std::ostream& os) { qos.write_table(os); })) {
+      return 1;
+    }
   }
   return 0;
 }
